@@ -1,0 +1,101 @@
+#pragma once
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints (a) real wall-clock measurements of the functional
+// C++ implementation on this host and (b), where the paper's number
+// depends on Perlmutter hardware, modeled values clearly labeled
+// `modeled`.  Reproduction targets are the *shapes* (who wins, by what
+// factor, where crossovers fall); see EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+
+#include "model/driver.hpp"
+#include "perfmodel/scaling.hpp"
+
+namespace wrf::bench {
+
+/// Print the Table II configuration header every bench starts with.
+inline void print_config_header(const char* what) {
+  std::printf("================================================================\n");
+  std::printf("miniWRF-SBM bench: %s\n", what);
+  std::printf("configuration (paper Table II analogue):\n");
+  std::printf("  device        : %s\n",
+              gpu::DeviceSpec::a100_40gb().name.c_str());
+  std::printf("  stack limit   : 65536 B  (NV_ACC_CUDA_STACKSIZE)\n");
+  std::printf("  heap limit    : 64 MB    (NV_ACC_CUDA_HEAPSIZE)\n");
+  std::printf("  CPU model     : AMD EPYC 7763 (Milan), 2.45 GHz\n");
+  std::printf("================================================================\n\n");
+}
+
+/// The scaled-down CONUS case used for functional measurements.
+inline model::RunConfig bench_case(fsbm::Version v, int nsteps = 2) {
+  model::RunConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 48;
+  cfg.nz = 24;
+  cfg.npx = 2;
+  cfg.npy = 2;
+  cfg.nsteps = nsteps;
+  cfg.version = v;
+  return cfg;
+}
+
+/// One rank's patch at the paper's full CONUS-12km scale (425x300x50
+/// over 16 ranks), used for the device-model benches.  Functional
+/// execution of this patch is feasible (a few seconds per step).
+inline model::RunConfig conus_rank_patch(fsbm::Version v, int nsteps = 1) {
+  model::RunConfig cfg;
+  cfg.nx = 107;  // ~425/4
+  cfg.ny = 75;   // 300/4
+  cfg.nz = 50;
+  cfg.npx = 1;
+  cfg.npy = 1;
+  cfg.nsteps = nsteps;
+  cfg.version = v;
+  return cfg;
+}
+
+/// Build a per-rank-step WorkProfile (16-rank CONUS equivalent) from a
+/// functional run of the scaled case.
+inline perfmodel::WorkProfile profile_from_run(const model::RunResult& res,
+                                               const model::RunConfig& cfg) {
+  perfmodel::WorkProfile w;
+  const double rank_steps =
+      static_cast<double>(cfg.nranks()) * cfg.nsteps;
+  const auto& f = res.totals.fsbm;
+  w.cells = static_cast<double>(cfg.domain().cells()) / cfg.nranks();
+  w.coal_flops = f.coal_flops / rank_steps;
+  w.coal_flops_v0 = w.coal_flops;  // caller overrides from a v0 run
+  w.cond_nucl_flops = (f.cond_flops + f.nucl_flops) / rank_steps;
+  w.sed_flops = f.sed_flops / rank_steps;
+  w.adv_flops =
+      (res.totals.dyn.tend.flops + res.totals.dyn.update.flops) / rank_steps;
+  w.halo_bytes =
+      static_cast<double>(res.comm.total_bytes()) / rank_steps;
+  w.halo_messages =
+      static_cast<double>(res.comm.total_messages()) / rank_steps;
+  // Scale per-cell work up to the CONUS-12km per-rank patch.
+  const double cell_ratio = (425.0 * 300.0 * 50.0 / 16.0) / w.cells;
+  w = w.scaled_to(cell_ratio);
+  w.cells = 425.0 * 300.0 * 50.0 / 16.0;
+  return w;
+}
+
+struct PaperRow {
+  const char* name;
+  double paper;
+  double ours;
+};
+
+inline void print_rows(const char* title, const PaperRow* rows, int n) {
+  std::printf("%s\n", title);
+  std::printf("  %-34s %10s %10s\n", "quantity", "paper", "ours");
+  for (int i = 0; i < n; ++i) {
+    std::printf("  %-34s %10.3g %10.3g\n", rows[i].name, rows[i].paper,
+                rows[i].ours);
+  }
+  std::printf("\n");
+}
+
+}  // namespace wrf::bench

@@ -1,0 +1,97 @@
+// Figure 2 context: bin vs bulk microphysics on the same parcel.
+//
+// The paper's Figure 2 is a schematic; we realize it as a box-model
+// experiment: a rising saturated parcel, integrated with (a) the FSBM
+// bin scheme (explicit 33-bin spectrum) and (b) the Kessler bulk scheme
+// (qc/qr moments).  The bench prints the time series of cloud vs rain
+// partition and the rain-onset times, showing the structural difference
+// the figure illustrates: the bin scheme broadens its spectrum
+// continuously, while the bulk scheme switches categories through an
+// autoconversion threshold.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "bulk/kessler.hpp"
+#include "util/constants.hpp"
+#include "fsbm/coal_bott.hpp"
+#include "fsbm/nucleation.hpp"
+#include "fsbm/onecond.hpp"
+
+using namespace wrf;
+
+int main() {
+  bench::print_config_header("Figure 2 — bin vs bulk rain formation");
+
+  const fsbm::BinGrid bins(33);
+  const fsbm::KernelTables tables(bins);
+  const double pres = 85000.0;
+  const double dt = 5.0;
+  const int nsteps = 240;  // 20 minutes
+  const double cooling = -0.004;  // K/s adiabatic cooling (steady updraft)
+
+  // --- bin scheme parcel ---
+  float buf[(4 + fsbm::kIceMax) * fsbm::kMaxNkr] = {};
+  fsbm::CoalWorkspace w;
+  w.fl1 = buf;
+  w.g2 = buf + 33;
+  w.g3 = buf + 33 * (1 + fsbm::kIceMax);
+  w.g4 = buf + 33 * (2 + fsbm::kIceMax);
+  w.g5 = buf + 33 * (3 + fsbm::kIceMax);
+  double t_bin = 288.0;
+  double qv_bin = 0.995 * wrf::constants::qsat_liquid(t_bin, pres);
+
+  // --- bulk scheme parcel ---
+  bulk::KesslerCell cell;
+  double t_blk = t_bin, qv_blk = qv_bin;
+
+  // Rain threshold: drops > ~80 um radius <-> bin >= 16.
+  const int rain_bin = 16;
+  double bin_rain_onset = -1, blk_rain_onset = -1;
+
+  std::printf("%8s | %12s %12s | %12s %12s\n", "t(s)", "bin qc", "bin qr",
+              "bulk qc", "bulk qr");
+  for (int s = 0; s <= nsteps; ++s) {
+    const double t_now = s * dt;
+    if (s % 24 == 0) {
+      double qc = 0, qr = 0;
+      for (int k = 0; k < 33; ++k) {
+        (k < rain_bin ? qc : qr) += w.fl1[k];
+      }
+      std::printf("%8.0f | %12.3e %12.3e | %12.3e %12.3e\n", t_now, qc, qr,
+                  cell.qc, cell.qr);
+      if (bin_rain_onset < 0 && qr > 1e-5) bin_rain_onset = t_now;
+      if (blk_rain_onset < 0 && cell.qr > 1e-5) blk_rain_onset = t_now;
+    }
+    // Adiabatic cooling drives supersaturation in both parcels.
+    t_bin += cooling * dt;
+    t_blk += cooling * dt;
+    // Bin: nucleation + condensation + collision (the full FSBM chain).
+    fsbm::NuclConfig ncfg;
+    ncfg.dt = dt;
+    fsbm::jernucl01_ks(bins, t_bin, qv_bin, pres, w, ncfg);
+    fsbm::CondConfig ccfg;
+    ccfg.dt = dt;
+    fsbm::onecond1(bins, t_bin, qv_bin, pres, w, ccfg);
+    const fsbm::KernelSource ks(tables, pres);
+    fsbm::CoalConfig kcfg;
+    kcfg.dt = dt;
+    fsbm::collect_pair(bins, fsbm::CollisionPair::kLL, ks, w.fl1, w.fl1,
+                       w.fl1, kcfg);
+    // Bulk: Kessler.
+    bulk::kessler_cell(t_blk, qv_blk, pres, cell, dt);
+  }
+
+  std::printf("\nrain onset (first qr > 1e-5 kg/kg): bin %.0f s, bulk %.0f "
+              "s\n",
+              bin_rain_onset, blk_rain_onset);
+  std::printf("\nstructural contrast (Figure 2): the bin scheme's %d "
+              "explicit bins evolve\na continuous spectrum (collision "
+              "kernel, no thresholds); the bulk scheme\ncarries 2 moments "
+              "and converts qc->qr only above the autoconversion\n"
+              "threshold of %.1e kg/kg.\n",
+              bins.nkr(), bulk::KesslerParams{}.autoconv_threshold);
+  std::printf("cost contrast per cell-step: bin O(20*nkr^2) kernel "
+              "evaluations vs bulk O(1)\n");
+  return 0;
+}

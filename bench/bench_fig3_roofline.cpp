@@ -1,0 +1,65 @@
+// Figure 3 reproduction: roofline placement of the collision kernel,
+// collapse(2) vs collapse(3).
+//
+// The paper's plot shows: SP and DP rooflines; the two collapse(2)
+// points low and left, the collapse(3) pair higher and closer to the
+// memory roofline, with the full collapse *reducing* arithmetic
+// intensity (more DRAM traffic from the pooled arrays) while greatly
+// increasing achieved throughput.
+
+#include <cmath>
+
+#include "offload_runner.hpp"
+
+using namespace wrf;
+
+int main() {
+  bench::print_config_header("Figure 3 — collision-kernel roofline");
+
+  const gpu::DeviceSpec dev = gpu::DeviceSpec::a100_40gb();
+  std::printf("roofline curves (GFLOP/s attainable vs arithmetic "
+              "intensity):\n");
+  std::printf("%12s %16s %16s\n", "AI(F/B)", "single-prec", "double-prec");
+  for (double e = -3.0; e <= 3.01; e += 0.5) {
+    const double ai = std::pow(10.0, e);
+    std::printf("%12.4f %16.1f %16.1f\n", ai,
+                gpu::roofline_gflops(dev, ai, false),
+                gpu::roofline_gflops(dev, ai, true));
+  }
+  std::printf("ridge points: SP %.2f F/B, DP %.2f F/B\n\n",
+              dev.peak_sp_gflops / dev.dram_bw_gbs,
+              dev.peak_dp_gflops / dev.dram_bw_gbs);
+
+  const auto v2 = bench::run_conus_rank(fsbm::Version::kV2Offload2);
+  const auto v3 = bench::run_conus_rank(fsbm::Version::kV3Offload3);
+  const gpu::KernelStats& k2 = *v2.kernel;
+  const gpu::KernelStats& k3 = *v3.kernel;
+
+  std::printf("measured kernel points (modeled by gpusim):\n");
+  std::printf("%-28s %10s %12s %14s\n", "kernel", "AI(F/B)", "GFLOP/s",
+              "bound");
+  std::printf("%-28s %10.4f %12.2f %14s\n", "coal_bott_new collapse(2)",
+              k2.arithmetic_intensity, k2.gflops_achieved, k2.bound);
+  std::printf("%-28s %10.4f %12.2f %14s\n", "coal_bott_new collapse(3)",
+              k3.arithmetic_intensity, k3.gflops_achieved, k3.bound);
+
+  const double frac2 =
+      k2.gflops_achieved /
+      gpu::roofline_gflops(dev, k2.arithmetic_intensity, false);
+  const double frac3 =
+      k3.gflops_achieved /
+      gpu::roofline_gflops(dev, k3.arithmetic_intensity, false);
+  std::printf("\nfraction of SP roofline reached: c2 %.3f, c3 %.3f\n", frac2,
+              frac3);
+  std::printf("\nshape checks (paper's reading of the plot):\n");
+  std::printf("  both points far below peak (low AI)  : %s\n",
+              (k2.arithmetic_intensity < 10 && k3.arithmetic_intensity < 10)
+                  ? "yes"
+                  : "NO");
+  std::printf("  full collapse closer to the roofline : %s\n",
+              frac3 > frac2 ? "yes" : "NO");
+  std::printf("  full collapse lowers AI (more traffic): %s\n",
+              k3.arithmetic_intensity < k2.arithmetic_intensity ? "yes"
+                                                                : "NO");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table IV reproduction: offloading the isolated collision loop with
+// collapse(2) (v1 -> v2).
+//
+// Paper:                       current   cumulative
+//   coal_bott_new loop          6.47x      6.47x
+//   fast_sbm                    1.54x      2.67x
+//   overall                     1.33x      2.09x
+//
+// Times for the GPU side come from the gpusim device model (occupancy +
+// cache + roofline) applied to the real per-step work of a full-size
+// CONUS-12km rank patch; CPU-side physics is priced with the Milan core
+// model.  "Cumulative" compares against v0 for fast_sbm/overall and
+// against v1 for the collision loop, as in the paper.
+
+#include "offload_runner.hpp"
+
+using namespace wrf;
+using bench::OffloadMeasurement;
+
+int main() {
+  bench::print_config_header(
+      "Table IV — collapse(2) offload of coal_bott_new");
+
+  const OffloadMeasurement v1 =
+      bench::run_conus_rank(fsbm::Version::kV1LookupOnDemand);
+  const OffloadMeasurement v2 =
+      bench::run_conus_rank(fsbm::Version::kV2Offload2);
+
+  // v0's modeled times: v1 scaled by the measured v0/v1 wall ratio.
+  const bench::V0V1Ratio r01 = bench::measure_v0_v1_ratio();
+  const double v0_fast = v1.fast_sbm_sec * r01.fast_sbm;
+  const double v0_overall = v1.overall_sec * r01.overall;
+
+  std::printf("modeled Perlmutter times per step (1 rank of 16, CONUS):\n");
+  std::printf("  %-18s %10s %10s\n", "", "v1 (CPU)", "v2 (GPU)");
+  std::printf("  %-18s %10.4f %10.4f  s\n", "coal loop", v1.coal_loop_sec,
+              v2.coal_loop_sec);
+  std::printf("  %-18s %10.4f %10.4f  s\n", "fast_sbm", v1.fast_sbm_sec,
+              v2.fast_sbm_sec);
+  std::printf("  %-18s %10.4f %10.4f  s\n", "overall", v1.overall_sec,
+              v2.overall_sec);
+  std::printf("  v2 kernel %.2f ms + H2D %.2f ms + D2H %.2f ms; occupancy "
+              "%.2f%% (%s-limited)\n\n",
+              v2.kernel_ms, v2.h2d_ms, v2.d2h_ms,
+              100.0 * v2.kernel->occupancy.achieved,
+              v2.kernel->occupancy.limiter);
+
+  const bench::PaperRow rows[] = {
+      {"coal loop speedup (current)", 6.47,
+       v1.coal_loop_sec / v2.coal_loop_sec},
+      {"fast_sbm speedup (current)", 1.54, v1.fast_sbm_sec / v2.fast_sbm_sec},
+      {"fast_sbm speedup (cumulative)", 2.67, v0_fast / v2.fast_sbm_sec},
+      {"overall speedup (current)", 1.33, v1.overall_sec / v2.overall_sec},
+      {"overall speedup (cumulative)", 2.09, v0_overall / v2.overall_sec},
+  };
+  bench::print_rows("Table IV (modeled):", rows, 5);
+
+  std::printf("functional wall per step on this host: v1 %.2fs, v2 %.2fs\n",
+              v1.wall_step_sec, v2.wall_step_sec);
+  std::printf("shape check: GPU wins the loop by >3x (%s); occupancy is "
+              "grid-limited single-digit (%s)\n",
+              v1.coal_loop_sec / v2.coal_loop_sec > 3 ? "yes" : "NO",
+              v2.kernel->occupancy.achieved < 0.10 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// The paper's Section V/VI workflow, end to end, on the embedded
+// mini-Fortran renditions of the WRF listings:
+//
+//   1. `screening`: find loops and their parallelizability,
+//   2. `checks`: Open-Catalog findings (global state, map(from:),
+//      automatic arrays on the device, modernization),
+//   3. dependency-analysis insight: the cw** arrays are write-first
+//      => delete them and compute entries on demand (the v1 refactor),
+//   4. `rewrite --offload omp`: insert the Listing-4 directives.
+//
+// Run: ./build/examples/codee_workflow
+
+#include <cstdio>
+
+#include "analyzer/checks.hpp"
+#include "analyzer/embedded_sources.hpp"
+#include "analyzer/parser.hpp"
+#include "analyzer/rewrite.hpp"
+
+using namespace wrf::analyzer;
+
+namespace {
+
+void banner(const char* s) {
+  std::printf("\n=== %s "
+              "=========================================================\n",
+              s);
+}
+
+int line_of(const std::string& src, const char* needle) {
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos < src.size()) {
+    std::size_t eol = src.find('\n', pos);
+    if (eol == std::string::npos) eol = src.size();
+    if (src.substr(pos, eol - pos).find(needle) != std::string::npos) {
+      return line;
+    }
+    pos = eol + 1;
+    ++line;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  const std::string& src = sources::kernals_ks();
+
+  banner("1. screening: loop nests in module_mp_fast_sbm");
+  const ProgramUnit unit = parse(src);
+  const SemanticModel model(unit);
+  for (const auto& mod : unit.modules) {
+    for (const auto& proc : mod.procs) {
+      for (const Stmt* loop : outer_loops(proc)) {
+        const LoopAnalysis la = analyze_loop(model, proc, *loop);
+        std::printf("%s:%d  do-nest depth %d over (", proc.name.c_str(),
+                    loop->line, la.nest_depth);
+        for (std::size_t i = 0; i < la.loop_vars.size(); ++i) {
+          std::printf("%s%s", i ? "," : "", la.loop_vars[i].c_str());
+        }
+        std::printf(")  => %s\n",
+                    la.parallelizable ? "PARALLELIZABLE" : "blocked");
+        for (const auto& b : la.blockers) std::printf("    blocker: %s\n",
+                                                      b.c_str());
+      }
+    }
+  }
+
+  banner("2. checks: Open-Catalog findings");
+  std::printf("%s", run_checks(unit).format().c_str());
+  std::printf("\n-- and on coal_bott_new's declaration (Listing 7):\n%s",
+              run_checks(parse(sources::coal_bott_decl())).format().c_str());
+  std::printf("\n-- and on legacy onecond (modernization checks):\n%s",
+              run_checks(parse(sources::legacy_onecond())).format().c_str());
+
+  banner("3. dependency insight behind the v1 refactor");
+  const Procedure* kk = model.find_procedure("kernals_ks");
+  const LoopAnalysis la = analyze_loop(model, *kk, *outer_loops(*kk)[0]);
+  for (const auto& v : la.vars) {
+    const char* role = "";
+    switch (v.role) {
+      case VarClass::kReadOnly: role = "read-only"; break;
+      case VarClass::kPrivate: role = "private"; break;
+      case VarClass::kWriteFirst: role = "write-first (map(from:))"; break;
+      case VarClass::kReduction: role = "reduction"; break;
+      default: role = "other"; break;
+    }
+    std::printf("  %-12s %-26s %s\n", v.name.c_str(), role,
+                v.reason.c_str());
+  }
+  std::printf("\n=> every cw** array is overwritten and never read: prior\n"
+              "   values are dead, so the arrays can be deleted and their\n"
+              "   entries computed on demand (pure get_cw** functions) —\n"
+              "   removing the shared state that blocked parallelizing the\n"
+              "   grid loops (Section VI-A).\n");
+
+  banner("4. rewrite --offload omp (Listing 4)");
+  const int line = line_of(src, "do j = 1, nkr");
+  const RewriteResult res = rewrite_offload(src, line, /*collapse_limit=*/1);
+  for (const auto& n : res.notes) std::printf("note: %s\n", n.c_str());
+  std::printf("\n%s\n", res.source.c_str());
+
+  banner("5. negative control: genuinely sequential loop is refused");
+  const std::string& bad = sources::carried_dep_loop();
+  const RewriteResult refused =
+      rewrite_offload(bad, line_of(bad, "do i = 2, n"));
+  for (const auto& n : refused.notes) std::printf("note: %s\n", n.c_str());
+  return 0;
+}

@@ -1,0 +1,507 @@
+#include "analyzer/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace wrf::analyzer {
+
+namespace {
+
+/// Intrinsics never treated as array references.
+const std::set<std::string>& intrinsics() {
+  static const std::set<std::string> s = {
+      "abs",  "min",  "max",  "sqrt", "exp",  "log",  "sin", "cos",
+      "mod",  "sign", "real", "int",  "nint", "floor", "merge", "sum",
+      "size", "dble", "tiny", "huge", "epsilon"};
+  return s;
+}
+
+/// Affine subscript c0 + coeff*var (coeff 0 => constant-ish).
+struct Affine {
+  bool affine = false;
+  std::string var;   ///< empty when constant
+  long long offset = 0;
+  std::string text;  ///< canonical text for exact comparison
+};
+
+bool to_int(const Expr& e, long long* out) {
+  if (e.kind == Expr::kNum) {
+    try {
+      *out = std::stoll(e.name);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+  return false;
+}
+
+Affine affine_of(const Expr& e) {
+  Affine a;
+  a.text = expr_text(e);
+  if (e.kind == Expr::kVar) {
+    a.affine = true;
+    a.var = e.name;
+    return a;
+  }
+  long long c;
+  if (to_int(e, &c)) {
+    a.affine = true;
+    a.offset = c;
+    return a;
+  }
+  if (e.kind == Expr::kBin && (e.name == "+" || e.name == "-")) {
+    const Expr& l = e.args[0];
+    const Expr& r = e.args[1];
+    long long rc;
+    if (l.kind == Expr::kVar && to_int(r, &rc)) {
+      a.affine = true;
+      a.var = l.name;
+      a.offset = e.name == "+" ? rc : -rc;
+      return a;
+    }
+    long long lc;
+    if (e.name == "+" && r.kind == Expr::kVar && to_int(l, &lc)) {
+      a.affine = true;
+      a.var = r.name;
+      a.offset = lc;
+      return a;
+    }
+  }
+  return a;  // not affine
+}
+
+struct Access {
+  bool write = false;
+  std::vector<Expr> subs;  ///< empty for scalars
+  int line = 0;
+  int seq = 0;  ///< program order within one iteration (approximate)
+};
+
+struct Collector {
+  std::map<std::string, std::vector<Access>> acc;
+  std::set<std::string> called;  ///< procedures invoked in the body
+  /// Scalars seen in `s = s <op> expr` statements (reduction shape).
+  std::set<std::string> reduction_shaped;
+  int seq = 0;
+
+  void note(const std::string& name, bool write,
+            const std::vector<Expr>& subs, int line) {
+    acc[name].push_back(Access{write, subs, line, seq++});
+  }
+
+  void expr(const Expr& e, bool write_root = false) {
+    switch (e.kind) {
+      case Expr::kVar:
+        note(e.name, write_root, {}, e.line);
+        break;
+      case Expr::kArrayRef:
+        note(e.name, write_root, e.args, e.line);
+        for (const auto& s : e.args) expr(s, false);
+        break;
+      case Expr::kCall:
+        if (intrinsics().count(e.name) == 0) {
+          // Unknown call inside an expression: could be an array ref to
+          // an undeclared (use-associated) array or a function.  Record
+          // as a read of the name so globals get flagged.
+          note(e.name, false, e.args, e.line);
+          called.insert(e.name);
+        }
+        for (const auto& s : e.args) expr(s, false);
+        break;
+      case Expr::kBin:
+      case Expr::kUn:
+      case Expr::kRange:
+        for (const auto& s : e.args) expr(s, false);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::kAssign:
+      case Stmt::kPointerAssign:
+        // Recognize the reduction statement shape v = v <op> ... (or
+        // v = ... <op> v) for scalar targets before recording accesses.
+        if (s.kind == Stmt::kAssign && s.exprs[0].kind == Expr::kVar &&
+            s.exprs[1].kind == Expr::kBin &&
+            (s.exprs[1].name == "+" || s.exprs[1].name == "*" ||
+             s.exprs[1].name == "-")) {
+          const std::string& v = s.exprs[0].name;
+          for (const Expr& side : s.exprs[1].args) {
+            if (side.kind == Expr::kVar && side.name == v) {
+              reduction_shaped.insert(v);
+            }
+          }
+        }
+        // RHS reads happen before the LHS write in program order.
+        expr(s.exprs[1], false);
+        expr(s.exprs[0], true);
+        break;
+      case Stmt::kIf:
+        for (const auto& c : s.exprs) expr(c, false);
+        for (const auto& b : s.blocks) {
+          for (const auto& st : b) stmt(st);
+        }
+        break;
+      case Stmt::kDo:
+        // Inner (sequential) loop: bounds are reads; loop var is
+        // per-iteration private by construction.
+        for (const auto& c : s.exprs) expr(c, false);
+        note(s.text, true, {}, s.line);
+        for (const auto& st : s.blocks[0]) stmt(st);
+        break;
+      case Stmt::kCall:
+        called.insert(s.text);
+        // Conservatively: every argument is read and (if a name) written.
+        for (const auto& a : s.exprs) {
+          expr(a, false);
+          if (a.kind == Expr::kVar || a.kind == Expr::kArrayRef) {
+            note(a.name, true, a.kind == Expr::kArrayRef ? a.args
+                                                         : std::vector<Expr>{},
+                 a.line);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::string expr_text(const Expr& e) {
+  switch (e.kind) {
+    case Expr::kNum:
+    case Expr::kStr:
+    case Expr::kVar:
+      return e.name;
+    case Expr::kRange: {
+      std::string t;
+      if (!e.args.empty()) t += expr_text(e.args[0]);
+      t += ":";
+      if (e.args.size() > 1) t += expr_text(e.args[1]);
+      return t;
+    }
+    case Expr::kArrayRef:
+    case Expr::kCall: {
+      std::string t = e.name + "(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) t += ",";
+        t += expr_text(e.args[i]);
+      }
+      return t + ")";
+    }
+    case Expr::kUn:
+      return e.name + expr_text(e.args[0]);
+    case Expr::kBin:
+      return "(" + expr_text(e.args[0]) + e.name + expr_text(e.args[1]) + ")";
+  }
+  return "?";
+}
+
+SemanticModel::SemanticModel(const ProgramUnit& unit) : unit_(&unit) {
+  for (const auto& m : unit.modules) {
+    for (const auto& p : m.procs) module_of_proc_[p.name] = &m;
+  }
+}
+
+const Procedure* SemanticModel::find_procedure(const std::string& name) const {
+  for (const auto& m : unit_->modules) {
+    for (const auto& p : m.procs) {
+      if (p.name == name) return &p;
+    }
+  }
+  for (const auto& p : unit_->procs) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const Decl* SemanticModel::find_decl(const Procedure& proc,
+                                     const std::string& name) const {
+  for (const auto& d : proc.decls) {
+    if (d.name == name) return &d;
+  }
+  for (const Decl* g : visible_globals(proc)) {
+    if (g->name == name) return g;
+  }
+  return nullptr;
+}
+
+std::vector<const Decl*> SemanticModel::visible_globals(
+    const Procedure& proc) const {
+  std::vector<const Decl*> out;
+  auto it = module_of_proc_.find(proc.name);
+  if (it != module_of_proc_.end()) {
+    for (const auto& d : it->second->globals) out.push_back(&d);
+  }
+  for (const auto& used : proc.uses) {
+    for (const auto& m : unit_->modules) {
+      if (m.name == used) {
+        for (const auto& d : m.globals) out.push_back(&d);
+      }
+    }
+  }
+  return out;
+}
+
+SymbolScope SemanticModel::resolve(const Procedure& proc,
+                                   const std::string& name) const {
+  for (const auto& a : proc.args) {
+    if (a == name) return SymbolScope::kArgument;
+  }
+  for (const auto& d : proc.decls) {
+    if (d.name == name) return SymbolScope::kLocal;
+  }
+  auto it = module_of_proc_.find(proc.name);
+  if (it != module_of_proc_.end()) {
+    for (const auto& d : it->second->globals) {
+      if (d.name == name) return SymbolScope::kGlobal;
+    }
+  }
+  for (const auto& used : proc.uses) {
+    for (const auto& m : unit_->modules) {
+      if (m.name == used) {
+        for (const auto& d : m.globals) {
+          if (d.name == name) return SymbolScope::kGlobal;
+        }
+      }
+    }
+  }
+  return SymbolScope::kUnknown;
+}
+
+std::vector<const Stmt*> outer_loops(const Procedure& proc) {
+  std::vector<const Stmt*> out;
+  for (const auto& s : proc.body) {
+    if (s.kind == Stmt::kDo) out.push_back(&s);
+  }
+  return out;
+}
+
+LoopAnalysis analyze_loop(const SemanticModel& model, const Procedure& proc,
+                          const Stmt& outer) {
+  LoopAnalysis la;
+  // Walk the perfect nest: while the body is (directives +) exactly one
+  // do statement, descend.
+  const Stmt* cur = &outer;
+  const Block* body = nullptr;
+  for (;;) {
+    la.loop_vars.push_back(cur->text);
+    body = &cur->blocks[0];
+    const Stmt* only_do = nullptr;
+    int real_stmts = 0;
+    for (const auto& s : *body) {
+      if (s.kind == Stmt::kDirective) continue;
+      ++real_stmts;
+      if (s.kind == Stmt::kDo) only_do = &s;
+    }
+    if (real_stmts == 1 && only_do != nullptr) {
+      cur = only_do;
+      continue;
+    }
+    break;
+  }
+  la.nest_depth = static_cast<int>(la.loop_vars.size());
+
+  Collector col;
+  for (const auto& s : *body) col.stmt(s);
+
+  const std::set<std::string> loop_vars(la.loop_vars.begin(),
+                                        la.loop_vars.end());
+  bool ok = true;
+
+  for (const auto& [name, accesses] : col.acc) {
+    if (loop_vars.count(name)) continue;  // the indices themselves
+    VarClass vc;
+    vc.name = name;
+    vc.scope = model.resolve(proc, name);
+    const Decl* decl = model.find_decl(proc, name);
+    const bool treat_as_array =
+        (decl != nullptr && decl->is_array()) ||
+        (decl == nullptr && !accesses.empty() && !accesses[0].subs.empty());
+    vc.is_array = treat_as_array;
+    // Skip pure function calls that are not array accesses.
+    if (decl == nullptr && col.called.count(name) &&
+        model.find_procedure(name) != nullptr) {
+      const Procedure* callee = model.find_procedure(name);
+      if (callee->pure) continue;  // pure callee: no dependence hazard
+    }
+
+    bool any_write = false, any_read = false;
+    for (const auto& a : accesses) {
+      any_write |= a.write;
+      any_read |= !a.write;
+    }
+
+    if (!any_write) {
+      vc.role = VarClass::kReadOnly;
+      vc.reason = "only read inside the nest";
+      la.vars.push_back(std::move(vc));
+      continue;
+    }
+
+    if (!treat_as_array) {
+      // --- scalar ---
+      // Reduction pattern: the first read and first write share a
+      // statement of the form s = s op expr; approximate: the very first
+      // access in program order is a read that is immediately followed
+      // by a write at the same seq+1.
+      const Access* first = &accesses.front();
+      for (const auto& a : accesses) {
+        if (a.seq < first->seq) first = &a;
+      }
+      if (!first->write) {
+        if (col.reduction_shaped.count(name)) {
+          vc.role = VarClass::kReduction;
+          vc.reduction_op = "+";
+          vc.reason = "read-modify-write accumulation (s = s op ...)";
+          la.vars.push_back(std::move(vc));
+          continue;
+        }
+        vc.role = VarClass::kLoopCarried;
+        vc.reason = "scalar read before it is written in the iteration";
+        la.blockers.push_back(name + ": " + vc.reason);
+        ok = false;
+        la.vars.push_back(std::move(vc));
+        continue;
+      }
+      vc.role = VarClass::kPrivate;
+      vc.reason = "scalar written before any read (privatizable)";
+      la.vars.push_back(std::move(vc));
+      continue;
+    }
+
+    // --- array ---
+    // Gather canonical subscript tuples.
+    auto tuple_text = [](const Access& a) {
+      std::string t;
+      for (const auto& s : a.subs) t += expr_text(s) + ",";
+      return t;
+    };
+    std::set<std::string> write_tuples, read_tuples;
+    bool write_first = true;
+    int first_write_seq = 1 << 30;
+    for (const auto& a : accesses) {
+      if (a.write) {
+        write_tuples.insert(tuple_text(a));
+        first_write_seq = std::min(first_write_seq, a.seq);
+      }
+    }
+    for (const auto& a : accesses) {
+      if (!a.write) {
+        read_tuples.insert(tuple_text(a));
+        if (a.seq < first_write_seq) write_first = false;
+      }
+    }
+
+    // Disjointness: every write tuple must index every loop variable
+    // with a plain affine subscript (var + c), each var in some dim.
+    bool disjoint = true;
+    std::string why;
+    for (const auto& a : accesses) {
+      if (!a.write) continue;
+      std::set<std::string> covered;
+      for (const auto& s : a.subs) {
+        const Affine af = affine_of(s);
+        if (af.affine && !af.var.empty() && loop_vars.count(af.var)) {
+          covered.insert(af.var);
+        }
+      }
+      for (const auto& lv : la.loop_vars) {
+        if (!covered.count(lv)) {
+          disjoint = false;
+          why = "write " + name + "(" + tuple_text(a) +
+                ") does not index loop variable '" + lv + "'";
+        }
+      }
+    }
+
+    // Cross-iteration read: a read tuple that differs from every write
+    // tuple while involving a loop variable with an offset.
+    bool offset_read = false;
+    for (const auto& a : accesses) {
+      if (a.write) continue;
+      const std::string rt = tuple_text(a);
+      if (write_tuples.count(rt)) continue;
+      for (const auto& s : a.subs) {
+        const Affine af = affine_of(s);
+        if (af.affine && !af.var.empty() && loop_vars.count(af.var) &&
+            af.offset != 0) {
+          offset_read = true;
+          why = "read " + name + "(" + rt + ") reaches a neighboring "
+                "iteration's element";
+        }
+      }
+      if (!offset_read && !write_tuples.empty()) {
+        // Different tuple with same vars, or unanalyzable subscript:
+        // conservative.
+        offset_read = true;
+        why = "read " + name + "(" + rt +
+              ") cannot be proven independent of other iterations' writes";
+      }
+    }
+
+    if (disjoint && !any_read) {
+      vc.role = VarClass::kWriteFirst;
+      vc.reason =
+          "every element written, none read: the nest overwrites it "
+          "(map(from:) candidate; prior values are dead)";
+      la.vars.push_back(std::move(vc));
+      continue;
+    }
+    if (disjoint && !offset_read && write_first) {
+      vc.role = VarClass::kWriteFirst;
+      vc.reason = "written before read at the same element (map(from:))";
+      la.vars.push_back(std::move(vc));
+      continue;
+    }
+    if (disjoint && !offset_read) {
+      vc.role = VarClass::kSharedWrite;
+      vc.reason = "iteration-disjoint writes; reads match writes";
+      la.vars.push_back(std::move(vc));
+      continue;
+    }
+    if (!disjoint && write_tuples.size() == 1 &&
+        read_tuples.count(*write_tuples.begin())) {
+      vc.role = VarClass::kReduction;
+      vc.reduction_op = "+";
+      vc.reason = "array element accumulated across iterations (" + why + ")";
+      la.blockers.push_back(name + ": array reduction; needs atomic or "
+                            "reduction clause");
+      ok = false;
+      la.vars.push_back(std::move(vc));
+      continue;
+    }
+    vc.role = VarClass::kLoopCarried;
+    vc.reason = why.empty() ? "unanalyzable access pattern" : why;
+    la.blockers.push_back(name + ": " + vc.reason);
+    ok = false;
+    la.vars.push_back(std::move(vc));
+  }
+
+  // Calls to non-pure procedures we cannot see through block
+  // parallelization (unless they are known pure).
+  for (const auto& callee : col.called) {
+    if (intrinsics().count(callee)) continue;
+    const Procedure* p = model.find_procedure(callee);
+    if (p == nullptr) {
+      if (model.find_decl(proc, callee) != nullptr) continue;  // array ref
+      la.blockers.push_back("call to unknown procedure '" + callee + "'");
+      ok = false;
+    } else if (!p->pure && !p->declares_target) {
+      la.blockers.push_back("call to impure procedure '" + callee +
+                            "' (side effects unprovable)");
+      ok = false;
+    }
+  }
+
+  la.parallelizable = ok;
+  return la;
+}
+
+}  // namespace wrf::analyzer

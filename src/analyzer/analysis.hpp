@@ -1,0 +1,108 @@
+#pragma once
+// Semantic model and loop dependency analysis.
+//
+// This is the piece of Codee the paper actually leans on: "the
+// dependency analysis functionality of Codee enabled a quick
+// restructuring of the collision arrays in kernals_ks by confirming the
+// lack of dependencies between grid points".  Given a do-loop nest, the
+// analysis classifies every variable touched inside:
+//
+//   * read-only            -> safe to share / map(to:)
+//   * private              -> written before read each iteration
+//   * write-first array    -> fully overwritten, never read:
+//                             map(from:) candidate (the cw** arrays!)
+//   * reduction            -> s = s + expr patterns
+//   * loop-carried         -> genuine dependence; blocks parallelization
+//
+// Subscripts are analyzed as affine forms (c0 + var + c); anything more
+// exotic is treated conservatively as a dependence.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyzer/ast.hpp"
+
+namespace wrf::analyzer {
+
+/// Where a name resolves inside a procedure.
+enum class SymbolScope {
+  kLocal,     ///< declared in the procedure
+  kArgument,  ///< dummy argument
+  kGlobal,    ///< module-level (host module or use-associated)
+  kLoopVar,   ///< do-loop index
+  kUnknown,   ///< intrinsic / external function / undeclared
+};
+
+/// One variable's classification within an analyzed loop nest.
+struct VarClass {
+  enum Role {
+    kReadOnly,
+    kPrivate,      ///< scalar written before read in every iteration
+    kWriteFirst,   ///< array fully overwritten before any read: map(from:)
+    kReduction,    ///< s = s <op> ... accumulation
+    kLoopCarried,  ///< dependence across iterations
+    kSharedWrite,  ///< written without per-iteration disjointness proof
+  };
+  std::string name;
+  Role role = kReadOnly;
+  SymbolScope scope = SymbolScope::kUnknown;
+  bool is_array = false;
+  std::string reduction_op;  ///< for kReduction
+  std::string reason;        ///< human-readable justification
+};
+
+/// Result of analyzing one loop nest.
+struct LoopAnalysis {
+  std::vector<std::string> loop_vars;  ///< outer..inner perfect nest
+  int nest_depth = 0;
+  bool parallelizable = false;
+  std::vector<VarClass> vars;
+  std::vector<std::string> blockers;  ///< messages for carried deps
+
+  const VarClass* find(const std::string& name) const {
+    for (const auto& v : vars) {
+      if (v.name == name) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Cross-procedure symbol knowledge for one parsed file.
+class SemanticModel {
+ public:
+  explicit SemanticModel(const ProgramUnit& unit);
+
+  const ProgramUnit& unit() const noexcept { return *unit_; }
+
+  /// Find a procedure anywhere in the file (module or bare).
+  const Procedure* find_procedure(const std::string& name) const;
+
+  /// Resolve `name` inside `proc`; loop vars must be supplied by the
+  /// analysis driver since they are context-dependent.
+  SymbolScope resolve(const Procedure& proc, const std::string& name) const;
+
+  /// Declaration for `name` visible in `proc` (local, arg, or global).
+  const Decl* find_decl(const Procedure& proc, const std::string& name) const;
+
+  /// Module globals visible to `proc` (containment + use association).
+  std::vector<const Decl*> visible_globals(const Procedure& proc) const;
+
+ private:
+  const ProgramUnit* unit_;
+  std::map<std::string, const ModuleUnit*> module_of_proc_;
+};
+
+/// Analyze the perfect do-nest rooted at `outer` inside `proc`.
+LoopAnalysis analyze_loop(const SemanticModel& model, const Procedure& proc,
+                          const Stmt& outer);
+
+/// Find every outermost do statement in a procedure (analysis targets).
+std::vector<const Stmt*> outer_loops(const Procedure& proc);
+
+/// Canonical text of an expression (for diagnostics and subscript
+/// comparison).
+std::string expr_text(const Expr& e);
+
+}  // namespace wrf::analyzer

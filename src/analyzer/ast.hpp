@@ -1,0 +1,96 @@
+#pragma once
+// Abstract syntax for the mini-Fortran subset loopcheck analyzes.
+//
+// The subset covers what FSBM's hot loops use: modules with global
+// arrays, subroutines/functions with intents, nested do loops, if/else,
+// assignments (incl. pointer assignment), calls, and arithmetic/logical
+// expressions with array references.  Everything else in real WRF
+// Fortran is out of scope and rejected with a clear ParseError.
+
+#include <string>
+#include <vector>
+
+namespace wrf::analyzer {
+
+struct Expr {
+  enum Kind {
+    kNum,       ///< numeric or logical literal (text in `name`)
+    kStr,       ///< string literal
+    kVar,       ///< scalar variable reference
+    kArrayRef,  ///< name(args...) where name is a declared array
+    kCall,      ///< name(args...) where name is not a known array
+    kBin,       ///< binary op; op text in `name`, operands in args[0..1]
+    kUn,        ///< unary op; operand in args[0]
+    kRange,     ///< lo:hi array section; empty args = ':'
+  };
+  Kind kind = kNum;
+  std::string name;
+  std::vector<Expr> args;
+  int line = 0;
+};
+
+struct Stmt;
+using Block = std::vector<Stmt>;
+
+struct Stmt {
+  enum Kind {
+    kAssign,        ///< exprs[0] = exprs[1]
+    kPointerAssign, ///< exprs[0] => exprs[1]
+    kIf,            ///< exprs[b] is branch b's condition (absent for else);
+                    ///< blocks[b] the branch body
+    kDo,            ///< text = loop var; exprs = {lo, hi[, step]};
+                    ///< blocks[0] = body
+    kCall,          ///< text = callee; exprs = args
+    kSimple,        ///< return/exit/cycle (text)
+    kDirective,     ///< preserved !$omp line (text)
+  };
+  Kind kind = kAssign;
+  std::string text;
+  std::vector<Expr> exprs;
+  std::vector<Block> blocks;
+  bool else_present = false;  ///< for kIf: last block is an else branch
+  int line = 0;
+};
+
+struct Decl {
+  std::string name;
+  std::string type;               ///< real / integer / logical
+  std::vector<std::string> dims;  ///< textual extents; "*" assumed-size,
+                                  ///< ":" deferred shape
+  std::string intent;             ///< "", "in", "out", "inout"
+  bool pointer = false;
+  bool parameter = false;
+  bool allocatable = false;
+  bool is_arg = false;  ///< filled during semantic analysis
+  int line = 0;
+
+  bool is_array() const { return !dims.empty(); }
+};
+
+struct Procedure {
+  std::string name;
+  bool is_function = false;
+  bool pure = false;
+  std::string result_type;  ///< for functions
+  std::vector<std::string> args;
+  std::vector<std::string> uses;  ///< `use <module>` imports
+  std::vector<Decl> decls;
+  bool declares_target = false;   ///< had a `!$omp declare target`
+  Block body;
+  int line = 0;
+};
+
+struct ModuleUnit {
+  std::string name;
+  std::vector<Decl> globals;
+  std::vector<Procedure> procs;
+  int line = 0;
+};
+
+/// Result of parsing one source file.
+struct ProgramUnit {
+  std::vector<ModuleUnit> modules;
+  std::vector<Procedure> procs;  ///< bare (non-module) procedures
+};
+
+}  // namespace wrf::analyzer

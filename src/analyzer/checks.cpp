@@ -1,0 +1,211 @@
+#include "analyzer/checks.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace wrf::analyzer {
+
+namespace {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+/// Apply `fn` to every procedure in the unit.
+template <class Fn>
+void for_each_proc(const SemanticModel& m, Fn&& fn) {
+  for (const auto& mod : m.unit().modules) {
+    for (const auto& p : mod.procs) fn(p);
+  }
+  for (const auto& p : m.unit().procs) fn(p);
+}
+
+}  // namespace
+
+int Report::count(const std::string& id) const {
+  int n = 0;
+  for (const auto& f : findings) {
+    if (f.id == id) ++n;
+  }
+  return n;
+}
+
+std::string Report::format() const {
+  std::string out;
+  char buf[512];
+  for (const auto& f : findings) {
+    std::snprintf(buf, sizeof(buf), "[%s] %-8s %s:%d  %s\n",
+                  severity_name(f.severity), f.id.c_str(),
+                  f.procedure.c_str(), f.line, f.message.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%zu finding(s)\n", findings.size());
+  out += buf;
+  return out;
+}
+
+std::vector<Finding> check_global_write_in_loop(const SemanticModel& m) {
+  std::vector<Finding> out;
+  for_each_proc(m, [&](const Procedure& p) {
+    for (const Stmt* loop : outer_loops(p)) {
+      const LoopAnalysis la = analyze_loop(m, p, *loop);
+      for (const auto& v : la.vars) {
+        const bool writes = v.role == VarClass::kWriteFirst ||
+                            v.role == VarClass::kSharedWrite ||
+                            v.role == VarClass::kReduction ||
+                            v.role == VarClass::kLoopCarried ||
+                            v.role == VarClass::kPrivate;
+        if (writes && v.scope == SymbolScope::kGlobal) {
+          out.push_back(Finding{
+              "PWR010", Severity::kWarning, p.name, loop->line,
+              "global variable '" + v.name +
+                  "' is written inside the loop nest; shared module state "
+                  "defeats parallelization of enclosing grid loops"});
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<Finding> check_offloadable_loops(const SemanticModel& m) {
+  std::vector<Finding> out;
+  for_each_proc(m, [&](const Procedure& p) {
+    for (const Stmt* loop : outer_loops(p)) {
+      const LoopAnalysis la = analyze_loop(m, p, *loop);
+      if (la.parallelizable) {
+        std::string vars;
+        for (const auto& lv : la.loop_vars) {
+          if (!vars.empty()) vars += ",";
+          vars += lv;
+        }
+        out.push_back(Finding{
+            "PWR015", Severity::kInfo, p.name, loop->line,
+            "loop nest over (" + vars + ") has no loop-carried "
+                "dependencies; offload candidate "
+                "(collapse(" + std::to_string(la.nest_depth) + "))"});
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<Finding> check_write_first_arrays(const SemanticModel& m) {
+  std::vector<Finding> out;
+  for_each_proc(m, [&](const Procedure& p) {
+    for (const Stmt* loop : outer_loops(p)) {
+      const LoopAnalysis la = analyze_loop(m, p, *loop);
+      for (const auto& v : la.vars) {
+        if (v.role == VarClass::kWriteFirst && v.is_array) {
+          out.push_back(Finding{
+              "PWR020", Severity::kInfo, p.name, loop->line,
+              "array '" + v.name + "' is overwritten by the nest and its "
+                  "previous contents are never used: map(from:) candidate; "
+                  "values could instead be computed on demand"});
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<Finding> check_automatic_arrays(const SemanticModel& m) {
+  std::vector<Finding> out;
+  for_each_proc(m, [&](const Procedure& p) {
+    if (!p.declares_target) return;
+    for (const auto& d : p.decls) {
+      const bool is_arg =
+          std::find(p.args.begin(), p.args.end(), d.name) != p.args.end();
+      if (is_arg || !d.is_array() || d.pointer || d.allocatable ||
+          d.parameter) {
+        continue;
+      }
+      out.push_back(Finding{
+          "PWR025", Severity::kCritical, p.name, d.line,
+          "automatic array '" + d.name + "' in device procedure: "
+              "allocated per device thread at kernel entry; large thread "
+              "counts overflow the device stack/heap "
+              "(raise NV_ACC_CUDA_STACKSIZE/HEAPSIZE or hoist into a "
+              "persistent module pool)"});
+    }
+  });
+  return out;
+}
+
+std::vector<Finding> check_missing_intent(const SemanticModel& m) {
+  std::vector<Finding> out;
+  for_each_proc(m, [&](const Procedure& p) {
+    for (const auto& arg : p.args) {
+      const Decl* d = nullptr;
+      for (const auto& dd : p.decls) {
+        if (dd.name == arg) d = &dd;
+      }
+      if (d == nullptr) continue;  // undeclared (implicit) — other check
+      if (d->intent.empty()) {
+        out.push_back(Finding{
+            "MOD001", Severity::kWarning, p.name, d->line,
+            "dummy argument '" + arg + "' has no declared intent"});
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<Finding> check_assumed_size(const SemanticModel& m) {
+  std::vector<Finding> out;
+  for_each_proc(m, [&](const Procedure& p) {
+    for (const auto& d : p.decls) {
+      for (const auto& dim : d.dims) {
+        if (dim == "*") {
+          out.push_back(Finding{
+              "MOD002", Severity::kWarning, p.name, d.line,
+              "assumed-size array '" + d.name +
+                  "(*)': defeats shape checking and device mapping; use "
+                  "assumed-shape or explicit extents"});
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<Finding> check_loop_carried(const SemanticModel& m) {
+  std::vector<Finding> out;
+  for_each_proc(m, [&](const Procedure& p) {
+    for (const Stmt* loop : outer_loops(p)) {
+      const LoopAnalysis la = analyze_loop(m, p, *loop);
+      if (!la.parallelizable) {
+        for (const auto& b : la.blockers) {
+          out.push_back(Finding{"PWR030", Severity::kWarning, p.name,
+                                loop->line,
+                                "loop nest not parallelizable: " + b});
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Report run_checks(const ProgramUnit& unit) {
+  const SemanticModel m(unit);
+  Report r;
+  auto add = [&](std::vector<Finding> v) {
+    for (auto& f : v) r.findings.push_back(std::move(f));
+  };
+  add(check_global_write_in_loop(m));
+  add(check_offloadable_loops(m));
+  add(check_write_first_arrays(m));
+  add(check_automatic_arrays(m));
+  add(check_missing_intent(m));
+  add(check_assumed_size(m));
+  add(check_loop_carried(m));
+  return r;
+}
+
+}  // namespace wrf::analyzer

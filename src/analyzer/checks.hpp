@@ -1,0 +1,56 @@
+#pragma once
+// Open-Catalog-style checkers (the paper's `codee checks` report).
+//
+// Checker ids follow the Open Catalog naming style: PWRxxx are
+// performance/parallelization rules, MODxxx modernization rules (the
+// paper mentions using Codee's modernization checks to find legacy
+// constructs like missing intents and assumed-size arrays in onecond).
+
+#include <string>
+#include <vector>
+
+#include "analyzer/analysis.hpp"
+
+namespace wrf::analyzer {
+
+enum class Severity { kInfo, kWarning, kCritical };
+
+struct Finding {
+  std::string id;        ///< e.g. "PWR015"
+  Severity severity = Severity::kInfo;
+  std::string procedure;
+  int line = 0;
+  std::string message;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::string format() const;
+  int count(const std::string& id) const;
+};
+
+/// Run every checker over a parsed file.
+Report run_checks(const ProgramUnit& unit);
+
+/// Individual checkers (exposed for unit tests).
+/// PWR010: global (module) variable written inside a parallelizable-
+///         looking loop nest — shared state that blocks parallelization
+///         (the cw** arrays of kernals_ks).
+std::vector<Finding> check_global_write_in_loop(const SemanticModel& m);
+/// PWR015: loop nest is parallelizable -> offload candidate.
+std::vector<Finding> check_offloadable_loops(const SemanticModel& m);
+/// PWR020: array is fully overwritten (write-first) in the nest ->
+///         map(from:) candidate; prior values dead.
+std::vector<Finding> check_write_first_arrays(const SemanticModel& m);
+/// PWR025: automatic (stack) arrays in a device-marked procedure ->
+///         device stack/heap hazard (coal_bott_new's failure mode).
+std::vector<Finding> check_automatic_arrays(const SemanticModel& m);
+/// MOD001: dummy argument without declared intent.
+std::vector<Finding> check_missing_intent(const SemanticModel& m);
+/// MOD002: assumed-size array dummy argument a(*).
+std::vector<Finding> check_assumed_size(const SemanticModel& m);
+/// PWR030: loop-carried dependence diagnosis for non-parallelizable
+///         nests (explains *why*, as Codee's screening does).
+std::vector<Finding> check_loop_carried(const SemanticModel& m);
+
+}  // namespace wrf::analyzer

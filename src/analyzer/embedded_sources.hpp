@@ -1,0 +1,40 @@
+#pragma once
+// Embedded mini-Fortran renditions of the paper's listings, used by the
+// examples, tests, and the codee_workflow demonstration.  These are the
+// actual loop shapes the paper analyzes: kernals_ks with its 20 global
+// collision arrays (Listing 3), the grid-level physics loop (Listing 1),
+// the isolated collision loop (Listing 6), the automatic-array
+// declaration of coal_bott_new (Listing 7), and negative controls with
+// real loop-carried dependencies.
+
+#include <string>
+
+namespace wrf::analyzer::sources {
+
+/// module_mp_fast_sbm extract: kernals_ks filling the global cw**
+/// arrays from the two pressure-level tables (Listing 3 shape).
+const std::string& kernals_ks();
+
+/// The grid-level j/k/i loop calling nucleation/condensation/collision
+/// subroutines (Listing 1 shape).
+const std::string& grid_loop();
+
+/// The isolated collision loop behind the predicate array (Listing 6).
+const std::string& coal_isolated_loop();
+
+/// coal_bott_new's declaration with automatic arrays on a device
+/// procedure (Listing 7 shape) — PWR025 target.
+const std::string& coal_bott_decl();
+
+/// Negative control: prefix-sum loop with a genuine loop-carried
+/// dependence.
+const std::string& carried_dep_loop();
+
+/// Negative control: scalar accumulation (reduction) loop.
+const std::string& reduction_loop();
+
+/// Modernization target: missing intents and an assumed-size dummy
+/// (what the paper found in onecond).
+const std::string& legacy_onecond();
+
+}  // namespace wrf::analyzer::sources

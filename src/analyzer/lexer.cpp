@@ -1,0 +1,187 @@
+#include "analyzer/lexer.hpp"
+
+#include <cctype>
+
+namespace wrf::analyzer {
+
+namespace {
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t p = 0;
+  int line = 1, col = 1;
+  bool continuation = false;  // previous line ended with '&'
+
+  auto push = [&](Tok k, std::string text) {
+    out.push_back(Token{k, std::move(text), line, col});
+  };
+  auto advance = [&](std::size_t by) {
+    p += by;
+    col += static_cast<int>(by);
+  };
+
+  while (p < n) {
+    const char c = src[p];
+    if (c == '\n') {
+      if (!continuation) {
+        // Collapse repeated newlines.
+        if (!out.empty() && out.back().kind != Tok::kNewline) {
+          push(Tok::kNewline, "\n");
+        }
+      }
+      continuation = false;
+      ++p;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance(1);
+      continue;
+    }
+    if (c == '&') {
+      continuation = true;
+      advance(1);
+      continue;
+    }
+    if (c == '!') {
+      // Comment to end of line; preserve OpenMP sentinels.
+      std::size_t e = p;
+      while (e < n && src[e] != '\n') ++e;
+      std::string text = src.substr(p, e - p);
+      std::string low;
+      for (char ch : text) low += lower(ch);
+      if (low.rfind("!$omp", 0) == 0) {
+        push(Tok::kDirective, text);
+        // A trailing '&' in a directive continues onto the next
+        // directive line; the parser glues kDirective runs.
+      }
+      p = e;
+      continue;
+    }
+    continuation = false;
+    if (ident_start(c)) {
+      std::size_t e = p;
+      std::string text;
+      while (e < n && ident_char(src[e])) {
+        text += lower(src[e]);
+        ++e;
+      }
+      push(Tok::kIdent, text);
+      advance(e - p);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && p + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[p + 1])))) {
+      std::size_t e = p;
+      std::string text;
+      bool seen_dot = false, seen_exp = false;
+      while (e < n) {
+        const char d = src[e];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          text += d;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          // Don't swallow `.and.` after e.g. `1.and.` — peek: digit or
+          // exponent must follow, else stop.
+          if (e + 1 < n && ident_start(src[e + 1])) {
+            const char x = lower(src[e + 1]);
+            if (x != 'e' && x != 'd') break;
+          }
+          seen_dot = true;
+          text += '.';
+        } else if ((d == 'e' || d == 'E' || d == 'd' || d == 'D') &&
+                   !seen_exp && e + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(src[e + 1])) ||
+                    src[e + 1] == '+' || src[e + 1] == '-')) {
+          seen_exp = true;
+          text += 'e';
+          ++e;
+          text += src[e];
+        } else {
+          break;
+        }
+        ++e;
+      }
+      push(Tok::kNumber, text);
+      advance(e - p);
+      continue;
+    }
+    if (c == '.') {
+      // .and. / .or. / .not. / .true. / .false.
+      std::size_t e = p + 1;
+      std::string word;
+      while (e < n && ident_char(src[e])) {
+        word += lower(src[e]);
+        ++e;
+      }
+      if (e < n && src[e] == '.') {
+        ++e;
+        if (word == "and") push(Tok::kAnd, ".and.");
+        else if (word == "or") push(Tok::kOr, ".or.");
+        else if (word == "not") push(Tok::kNot, ".not.");
+        else if (word == "true" || word == "false") {
+          push(Tok::kNumber, "." + word + ".");
+        } else {
+          throw ParseError("unknown logical operator '." + word + ".'", line);
+        }
+        advance(e - p);
+        continue;
+      }
+      throw ParseError("stray '.'", line);
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::size_t e = p + 1;
+      std::string text;
+      while (e < n && src[e] != quote) {
+        text += src[e];
+        ++e;
+      }
+      if (e >= n) throw ParseError("unterminated string", line);
+      push(Tok::kString, text);
+      advance(e - p + 1);
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && p + 1 < n && src[p + 1] == b;
+    };
+    if (two(':', ':')) { push(Tok::kColonColon, "::"); advance(2); continue; }
+    if (two('=', '>')) { push(Tok::kArrow, "=>"); advance(2); continue; }
+    if (two('=', '=')) { push(Tok::kEq, "=="); advance(2); continue; }
+    if (two('/', '=')) { push(Tok::kNe, "/="); advance(2); continue; }
+    if (two('<', '=')) { push(Tok::kLe, "<="); advance(2); continue; }
+    if (two('>', '=')) { push(Tok::kGe, ">="); advance(2); continue; }
+    if (two('*', '*')) { push(Tok::kPower, "**"); advance(2); continue; }
+    switch (c) {
+      case '(': push(Tok::kLParen, "("); break;
+      case ')': push(Tok::kRParen, ")"); break;
+      case ',': push(Tok::kComma, ","); break;
+      case ':': push(Tok::kColon, ":"); break;
+      case '=': push(Tok::kAssign, "="); break;
+      case '+': push(Tok::kPlus, "+"); break;
+      case '-': push(Tok::kMinus, "-"); break;
+      case '*': push(Tok::kStar, "*"); break;
+      case '/': push(Tok::kSlash, "/"); break;
+      case '<': push(Tok::kLt, "<"); break;
+      case '>': push(Tok::kGt, ">"); break;
+      case '%': push(Tok::kPercent, "%"); break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line);
+    }
+    advance(1);
+  }
+  if (out.empty() || out.back().kind != Tok::kNewline) {
+    push(Tok::kNewline, "\n");
+  }
+  out.push_back(Token{Tok::kEof, "", line, col});
+  return out;
+}
+
+}  // namespace wrf::analyzer

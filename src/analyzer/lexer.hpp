@@ -1,0 +1,57 @@
+#pragma once
+// loopcheck: a static analyzer for the mini-Fortran subset FSBM's hot
+// loops are written in.  This is the reproduction's stand-in for Codee
+// (Section V-A): it parses loop nests, runs dependency analysis, emits
+// Open-Catalog-style checks, and rewrites loops with OpenMP offload
+// directives — the three capabilities the paper's workflow uses
+// (`codee screening`, `codee checks`, `codee rewrite --offload omp`).
+//
+// This header: the lexer.  Free-form Fortran, case-insensitive keywords,
+// `&` continuations, `!` comments (with `!$omp` sentinels preserved as
+// directive tokens so already-annotated code can be re-analyzed).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wrf::analyzer {
+
+enum class Tok : int {
+  kEof = 0,
+  kNewline,
+  kIdent,      ///< identifiers and keywords (keyword-ness decided later)
+  kNumber,
+  kString,
+  kDirective,  ///< a whole !$omp ... line
+  // punctuation / operators
+  kLParen, kRParen, kComma, kColon, kColonColon, kAssign, kArrow,  // = and =>
+  kPlus, kMinus, kStar, kSlash, kPower, kPercent,
+  kLt, kGt, kLe, kGe, kEq, kNe,  // < > <= >= == /=
+  kAnd, kOr, kNot,               // .and. .or. .not.
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;   ///< lower-cased for identifiers
+  int line = 0;
+  int col = 0;
+};
+
+/// Error with source position.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenize free-form source.  Newlines are significant (statement
+/// separators); `&` at end of line continues the statement.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace wrf::analyzer

@@ -1,0 +1,594 @@
+#include "analyzer/parser.hpp"
+
+#include <algorithm>
+
+namespace wrf::analyzer {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  ProgramUnit parse_unit() {
+    ProgramUnit unit;
+    skip_newlines();
+    while (!at(Tok::kEof)) {
+      if (is_kw("module") && peek_text(1) != "procedure") {
+        unit.modules.push_back(parse_module());
+      } else if (starts_procedure()) {
+        unit.procs.push_back(parse_procedure());
+      } else {
+        throw ParseError("expected module or procedure, got '" +
+                             cur().text + "'",
+                         cur().line);
+      }
+      skip_newlines();
+    }
+    return unit;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& la(std::size_t n) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  std::string peek_text(std::size_t n) const { return la(n).text; }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool is_kw(const char* kw) const {
+    return cur().kind == Tok::kIdent && cur().text == kw;
+  }
+  bool la_kw(std::size_t n, const char* kw) const {
+    return la(n).kind == Tok::kIdent && la(n).text == kw;
+  }
+  Token eat() { return toks_[pos_++]; }
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) {
+      throw ParseError(std::string("expected ") + what + ", got '" +
+                           cur().text + "'",
+                       cur().line);
+    }
+    return eat();
+  }
+  void expect_kw(const char* kw) {
+    if (!is_kw(kw)) {
+      throw ParseError(std::string("expected '") + kw + "', got '" +
+                           cur().text + "'",
+                       cur().line);
+    }
+    eat();
+  }
+  void end_stmt() {
+    if (at(Tok::kEof)) return;
+    expect(Tok::kNewline, "end of statement");
+    skip_newlines();
+  }
+  void skip_newlines() {
+    while (at(Tok::kNewline)) eat();
+  }
+
+  bool starts_procedure() const {
+    if (is_kw("subroutine") || is_kw("function")) return true;
+    // [pure] [elemental] [type] function/subroutine
+    std::size_t n = 0;
+    while (la(n).kind == Tok::kIdent &&
+           (la(n).text == "pure" || la(n).text == "elemental" ||
+            la(n).text == "real" || la(n).text == "integer" ||
+            la(n).text == "logical")) {
+      ++n;
+      if (la_kw(n, "function") || la_kw(n, "subroutine")) return true;
+    }
+    return false;
+  }
+
+  // --- grammar ---
+  ModuleUnit parse_module() {
+    ModuleUnit m;
+    m.line = cur().line;
+    expect_kw("module");
+    m.name = expect(Tok::kIdent, "module name").text;
+    end_stmt();
+    // Specification part: declarations until `contains` or `end`.
+    while (!is_kw("contains") && !is_kw("end")) {
+      if (is_kw("implicit")) {
+        eat();
+        expect_kw("none");
+        end_stmt();
+        continue;
+      }
+      if (at(Tok::kDirective)) {
+        eat();
+        skip_newlines();
+        continue;
+      }
+      if (is_kw("use")) {
+        eat();
+        expect(Tok::kIdent, "module name");
+        end_stmt();
+        continue;
+      }
+      parse_decl_into(m.globals);
+      end_stmt();
+    }
+    if (is_kw("contains")) {
+      eat();
+      end_stmt();
+      while (!is_kw("end")) {
+        m.procs.push_back(parse_procedure());
+        skip_newlines();
+      }
+    }
+    expect_kw("end");
+    if (is_kw("module")) {
+      eat();
+      if (at(Tok::kIdent)) eat();  // optional name
+    }
+    end_stmt();
+    return m;
+  }
+
+  Procedure parse_procedure() {
+    Procedure p;
+    p.line = cur().line;
+    while (is_kw("pure") || is_kw("elemental") || is_kw("real") ||
+           is_kw("integer") || is_kw("logical")) {
+      if (is_kw("pure")) p.pure = true;
+      else if (!is_kw("elemental")) p.result_type = cur().text;
+      eat();
+    }
+    if (is_kw("function")) {
+      p.is_function = true;
+      eat();
+    } else {
+      expect_kw("subroutine");
+    }
+    p.name = expect(Tok::kIdent, "procedure name").text;
+    if (at(Tok::kLParen)) {
+      eat();
+      while (!at(Tok::kRParen)) {
+        p.args.push_back(expect(Tok::kIdent, "dummy argument").text);
+        if (at(Tok::kComma)) eat();
+      }
+      eat();
+    }
+    if (is_kw("result")) {  // function ... result(name)
+      eat();
+      expect(Tok::kLParen, "(");
+      expect(Tok::kIdent, "result name");
+      expect(Tok::kRParen, ")");
+    }
+    end_stmt();
+
+    // Specification part.
+    for (;;) {
+      if (is_kw("use")) {
+        eat();
+        p.uses.push_back(expect(Tok::kIdent, "module name").text);
+        end_stmt();
+        continue;
+      }
+      if (is_kw("implicit")) {
+        eat();
+        expect_kw("none");
+        end_stmt();
+        continue;
+      }
+      if (at(Tok::kDirective)) {
+        std::string low = cur().text;
+        std::transform(low.begin(), low.end(), low.begin(), ::tolower);
+        if (low.find("declare target") != std::string::npos) {
+          p.declares_target = true;
+        }
+        eat();
+        skip_newlines();
+        continue;
+      }
+      if (is_kw("real") || is_kw("integer") || is_kw("logical")) {
+        parse_decl_into(p.decls);
+        end_stmt();
+        continue;
+      }
+      break;
+    }
+
+    p.body = parse_block();
+    expect_kw("end");
+    if (is_kw("subroutine") || is_kw("function")) {
+      eat();
+      if (at(Tok::kIdent)) eat();
+    }
+    end_stmt();
+    return p;
+  }
+
+  /// One type-declaration statement; may declare several entities.
+  void parse_decl_into(std::vector<Decl>& out) {
+    Decl proto;
+    proto.line = cur().line;
+    proto.type = expect(Tok::kIdent, "type name").text;
+    // Attribute list up to '::'.
+    std::vector<std::string> shared_dims;
+    while (at(Tok::kComma)) {
+      eat();
+      const std::string attr = expect(Tok::kIdent, "attribute").text;
+      if (attr == "dimension") {
+        expect(Tok::kLParen, "(");
+        shared_dims = parse_dim_list();
+      } else if (attr == "intent") {
+        expect(Tok::kLParen, "(");
+        std::string dir = expect(Tok::kIdent, "intent direction").text;
+        if (dir == "inout") proto.intent = "inout";
+        else if (dir == "in") {
+          if (is_kw("out")) { eat(); proto.intent = "inout"; }
+          else proto.intent = "in";
+        } else if (dir == "out") proto.intent = "out";
+        expect(Tok::kRParen, ")");
+      } else if (attr == "pointer") {
+        proto.pointer = true;
+      } else if (attr == "parameter") {
+        proto.parameter = true;
+      } else if (attr == "allocatable") {
+        proto.allocatable = true;
+      } else if (attr == "save" || attr == "target" || attr == "public" ||
+                 attr == "private") {
+        // accepted, no semantic effect here
+      } else {
+        throw ParseError("unknown attribute '" + attr + "'", proto.line);
+      }
+    }
+    expect(Tok::kColonColon, "'::'");
+    for (;;) {
+      Decl d = proto;
+      d.name = expect(Tok::kIdent, "entity name").text;
+      if (at(Tok::kLParen)) {
+        eat();
+        d.dims = parse_dim_list();
+      } else {
+        d.dims = shared_dims;
+      }
+      if (at(Tok::kAssign)) {  // initializer
+        eat();
+        parse_expr();
+      }
+      out.push_back(std::move(d));
+      if (at(Tok::kComma)) {
+        eat();
+        continue;
+      }
+      break;
+    }
+  }
+
+  /// Dim list after '(' — textual extents; consumes through ')'.
+  std::vector<std::string> parse_dim_list() {
+    std::vector<std::string> dims;
+    std::string curdim;
+    int depth = 1;
+    while (depth > 0) {
+      if (at(Tok::kEof)) throw ParseError("unterminated dims", cur().line);
+      if (at(Tok::kLParen)) ++depth;
+      if (at(Tok::kRParen)) {
+        --depth;
+        if (depth == 0) {
+          eat();
+          break;
+        }
+      }
+      if (at(Tok::kComma) && depth == 1) {
+        dims.push_back(curdim);
+        curdim.clear();
+        eat();
+        continue;
+      }
+      curdim += eat().text;
+    }
+    dims.push_back(curdim);
+    return dims;
+  }
+
+  Block parse_block() {
+    Block b;
+    skip_newlines();
+    while (!block_terminator()) {
+      b.push_back(parse_stmt());
+      skip_newlines();
+    }
+    return b;
+  }
+
+  bool block_terminator() const {
+    if (at(Tok::kEof)) return true;
+    if (is_kw("end")) return true;       // end / enddo / endif handled above
+    if (is_kw("enddo") || is_kw("endif")) return true;
+    if (is_kw("else") || is_kw("elseif")) return true;
+    if (is_kw("contains")) return true;
+    return false;
+  }
+
+  Stmt parse_stmt() {
+    Stmt s;
+    s.line = cur().line;
+    if (at(Tok::kDirective)) {
+      s.kind = Stmt::kDirective;
+      s.text = eat().text;
+      end_stmt();
+      return s;
+    }
+    if (is_kw("do")) return parse_do();
+    if (is_kw("if")) return parse_if();
+    if (is_kw("call")) {
+      eat();
+      s.kind = Stmt::kCall;
+      s.text = expect(Tok::kIdent, "subroutine name").text;
+      if (at(Tok::kLParen)) {
+        eat();
+        while (!at(Tok::kRParen)) {
+          s.exprs.push_back(parse_expr());
+          if (at(Tok::kComma)) eat();
+        }
+        eat();
+      }
+      end_stmt();
+      return s;
+    }
+    if (is_kw("return") || is_kw("exit") || is_kw("cycle") ||
+        is_kw("continue")) {
+      s.kind = Stmt::kSimple;
+      s.text = eat().text;
+      end_stmt();
+      return s;
+    }
+    // Assignment or pointer assignment.
+    Expr lhs = parse_primary();
+    if (lhs.kind != Expr::kVar && lhs.kind != Expr::kArrayRef &&
+        lhs.kind != Expr::kCall) {
+      throw ParseError("expected assignment target", s.line);
+    }
+    if (lhs.kind == Expr::kCall) lhs.kind = Expr::kArrayRef;
+    if (at(Tok::kArrow)) {
+      eat();
+      s.kind = Stmt::kPointerAssign;
+      s.exprs.push_back(std::move(lhs));
+      s.exprs.push_back(parse_expr());
+    } else {
+      expect(Tok::kAssign, "'='");
+      s.kind = Stmt::kAssign;
+      s.exprs.push_back(std::move(lhs));
+      s.exprs.push_back(parse_expr());
+    }
+    end_stmt();
+    return s;
+  }
+
+  Stmt parse_do() {
+    Stmt s;
+    s.line = cur().line;
+    s.kind = Stmt::kDo;
+    expect_kw("do");
+    s.text = expect(Tok::kIdent, "loop variable").text;
+    expect(Tok::kAssign, "'='");
+    s.exprs.push_back(parse_expr());
+    expect(Tok::kComma, "','");
+    s.exprs.push_back(parse_expr());
+    if (at(Tok::kComma)) {
+      eat();
+      s.exprs.push_back(parse_expr());
+    }
+    end_stmt();
+    s.blocks.push_back(parse_block());
+    if (is_kw("enddo")) {
+      eat();
+    } else {
+      expect_kw("end");
+      expect_kw("do");
+    }
+    end_stmt();
+    return s;
+  }
+
+  Stmt parse_if() {
+    Stmt s;
+    s.line = cur().line;
+    s.kind = Stmt::kIf;
+    expect_kw("if");
+    expect(Tok::kLParen, "(");
+    s.exprs.push_back(parse_expr());
+    expect(Tok::kRParen, ")");
+    if (!is_kw("then")) {
+      // One-line if: if (cond) <action>
+      Block b;
+      b.push_back(parse_stmt());
+      s.blocks.push_back(std::move(b));
+      return s;
+    }
+    eat();  // then
+    end_stmt();
+    s.blocks.push_back(parse_block());
+    while (is_kw("elseif") || (is_kw("else") && la_kw(1, "if"))) {
+      if (is_kw("elseif")) {
+        eat();
+      } else {
+        eat();
+        eat();
+      }
+      expect(Tok::kLParen, "(");
+      s.exprs.push_back(parse_expr());
+      expect(Tok::kRParen, ")");
+      expect_kw("then");
+      end_stmt();
+      s.blocks.push_back(parse_block());
+    }
+    if (is_kw("else")) {
+      eat();
+      end_stmt();
+      s.blocks.push_back(parse_block());
+      s.else_present = true;
+    }
+    if (is_kw("endif")) {
+      eat();
+    } else {
+      expect_kw("end");
+      expect_kw("if");
+    }
+    end_stmt();
+    return s;
+  }
+
+  // --- expressions (precedence climbing) ---
+  Expr parse_expr() { return parse_or(); }
+
+  Expr parse_or() {
+    Expr e = parse_and();
+    while (at(Tok::kOr)) {
+      eat();
+      Expr rhs = parse_and();
+      e = make_bin(".or.", std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+  Expr parse_and() {
+    Expr e = parse_not();
+    while (at(Tok::kAnd)) {
+      eat();
+      Expr rhs = parse_not();
+      e = make_bin(".and.", std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+  Expr parse_not() {
+    if (at(Tok::kNot)) {
+      const int line = eat().line;
+      Expr e;
+      e.kind = Expr::kUn;
+      e.name = ".not.";
+      e.line = line;
+      e.args.push_back(parse_not());
+      return e;
+    }
+    return parse_cmp();
+  }
+  Expr parse_cmp() {
+    Expr e = parse_add();
+    while (at(Tok::kLt) || at(Tok::kGt) || at(Tok::kLe) || at(Tok::kGe) ||
+           at(Tok::kEq) || at(Tok::kNe)) {
+      const std::string op = eat().text;
+      Expr rhs = parse_add();
+      e = make_bin(op, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+  Expr parse_add() {
+    Expr e = parse_mul();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const std::string op = eat().text;
+      Expr rhs = parse_mul();
+      e = make_bin(op, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+  Expr parse_mul() {
+    Expr e = parse_unary();
+    while (at(Tok::kStar) || at(Tok::kSlash)) {
+      const std::string op = eat().text;
+      Expr rhs = parse_unary();
+      e = make_bin(op, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+  Expr parse_unary() {
+    if (at(Tok::kMinus) || at(Tok::kPlus)) {
+      Expr e;
+      e.kind = Expr::kUn;
+      e.name = eat().text;
+      e.args.push_back(parse_unary());
+      return e;
+    }
+    return parse_power();
+  }
+  Expr parse_power() {
+    Expr e = parse_primary();
+    if (at(Tok::kPower)) {
+      eat();
+      Expr rhs = parse_unary();  // right associative
+      e = make_bin("**", std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+  Expr parse_primary() {
+    Expr e;
+    e.line = cur().line;
+    if (at(Tok::kNumber)) {
+      e.kind = Expr::kNum;
+      e.name = eat().text;
+      return e;
+    }
+    if (at(Tok::kString)) {
+      e.kind = Expr::kStr;
+      e.name = eat().text;
+      return e;
+    }
+    if (at(Tok::kLParen)) {
+      eat();
+      e = parse_expr();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (at(Tok::kColon)) {  // bare ':' section
+      eat();
+      e.kind = Expr::kRange;
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      e.name = eat().text;
+      if (at(Tok::kLParen)) {
+        e.kind = Expr::kCall;  // classified as array ref in analysis
+        eat();
+        while (!at(Tok::kRParen)) {
+          Expr arg = parse_expr();
+          if (at(Tok::kColon)) {  // lo:hi section
+            eat();
+            Expr range;
+            range.kind = Expr::kRange;
+            range.line = arg.line;
+            range.args.push_back(std::move(arg));
+            if (!at(Tok::kComma) && !at(Tok::kRParen)) {
+              range.args.push_back(parse_expr());
+            }
+            arg = std::move(range);
+          }
+          e.args.push_back(std::move(arg));
+          if (at(Tok::kComma)) eat();
+        }
+        eat();
+      } else {
+        e.kind = Expr::kVar;
+      }
+      return e;
+    }
+    throw ParseError("unexpected token '" + cur().text + "' in expression",
+                     cur().line);
+  }
+
+  static Expr make_bin(std::string op, Expr l, Expr r) {
+    Expr e;
+    e.kind = Expr::kBin;
+    e.name = std::move(op);
+    e.line = l.line;
+    e.args.push_back(std::move(l));
+    e.args.push_back(std::move(r));
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ProgramUnit parse(const std::string& source) {
+  Parser p(lex(source));
+  return p.parse_unit();
+}
+
+}  // namespace wrf::analyzer

@@ -1,0 +1,12 @@
+#pragma once
+// Recursive-descent parser for the mini-Fortran subset (see ast.hpp).
+
+#include "analyzer/ast.hpp"
+#include "analyzer/lexer.hpp"
+
+namespace wrf::analyzer {
+
+/// Parse a whole source file.  Throws ParseError with line numbers.
+ProgramUnit parse(const std::string& source);
+
+}  // namespace wrf::analyzer

@@ -1,0 +1,230 @@
+#include "analyzer/rewrite.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analyzer/parser.hpp"
+
+namespace wrf::analyzer {
+
+namespace {
+
+/// Locate the procedure and outer do-stmt at `line`.
+struct Located {
+  const Procedure* proc = nullptr;
+  const Stmt* loop = nullptr;
+};
+
+const Stmt* find_do_at(const Block& b, int line) {
+  for (const auto& s : b) {
+    if (s.kind == Stmt::kDo && s.line == line) return &s;
+    // Recurse into structured bodies to find non-top-level loops too.
+    for (const auto& blk : s.blocks) {
+      const Stmt* f = find_do_at(blk, line);
+      if (f != nullptr) return f;
+    }
+  }
+  return nullptr;
+}
+
+Located locate(const ProgramUnit& unit, int line) {
+  Located out;
+  auto scan_proc = [&](const Procedure& p) {
+    const Stmt* f = find_do_at(p.body, line);
+    if (f != nullptr) {
+      out.proc = &p;
+      out.loop = f;
+    }
+  };
+  for (const auto& m : unit.modules) {
+    for (const auto& p : m.procs) scan_proc(p);
+  }
+  for (const auto& p : unit.procs) scan_proc(p);
+  return out;
+}
+
+/// Innermost do-line of the perfect nest rooted at `outer`.
+int innermost_do_line(const Stmt& outer, int depth_limit) {
+  const Stmt* cur = &outer;
+  int depth = 1;
+  for (;;) {
+    if (depth_limit > 0 && depth >= depth_limit) break;
+    const Stmt* only_do = nullptr;
+    int real = 0;
+    for (const auto& s : cur->blocks[0]) {
+      if (s.kind == Stmt::kDirective) continue;
+      ++real;
+      if (s.kind == Stmt::kDo) only_do = &s;
+    }
+    if (real == 1 && only_do != nullptr) {
+      cur = only_do;
+      ++depth;
+      continue;
+    }
+    break;
+  }
+  return cur->line;
+}
+
+std::string indent_of(const std::string& line_text) {
+  std::string ind;
+  for (char c : line_text) {
+    if (c == ' ' || c == '\t') ind += c;
+    else break;
+  }
+  return ind;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ", ";
+    out += v[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+RewriteResult rewrite_offload(const std::string& source, int line,
+                              int collapse_limit) {
+  RewriteResult res;
+  res.source = source;
+
+  const ProgramUnit unit = parse(source);
+  const SemanticModel model(unit);
+  const Located loc = locate(unit, line);
+  if (loc.loop == nullptr) {
+    res.notes.push_back("no do-loop starts at line " + std::to_string(line));
+    return res;
+  }
+  const LoopAnalysis la = analyze_loop(model, *loc.proc, *loc.loop);
+  if (!la.parallelizable) {
+    res.notes.push_back("loop at line " + std::to_string(line) +
+                        " not parallelizable:");
+    for (const auto& b : la.blockers) res.notes.push_back("  " + b);
+    return res;
+  }
+
+  // Clause construction.
+  std::vector<std::string> privates, map_from, map_to, reductions;
+  for (const auto& v : la.vars) {
+    switch (v.role) {
+      case VarClass::kPrivate:
+        privates.push_back(v.name);
+        break;
+      case VarClass::kWriteFirst:
+        if (v.is_array) map_from.push_back(v.name);
+        else privates.push_back(v.name);
+        break;
+      case VarClass::kReadOnly:
+        if (v.is_array) map_to.push_back(v.name);
+        break;
+      case VarClass::kReduction:
+        reductions.push_back(v.reduction_op + ": " + v.name);
+        break;
+      default:
+        break;
+    }
+  }
+  const int collapse =
+      collapse_limit > 0 ? std::min(collapse_limit, la.nest_depth)
+                         : la.nest_depth;
+
+  // Build the directive block (continuation style, as Codee emits).
+  std::vector<std::string> dir;
+  dir.push_back("!$omp target teams distribute &");
+  {
+    std::string l = "!$omp parallel do";
+    if (collapse > 1) l += " collapse(" + std::to_string(collapse) + ")";
+    dir.push_back(l + " &");
+  }
+  if (!privates.empty()) {
+    dir.push_back("!$omp private(" + join(privates) + ") &");
+  }
+  if (!reductions.empty()) {
+    dir.push_back("!$omp reduction(" + join(reductions) + ") &");
+  }
+  if (!map_to.empty()) {
+    dir.push_back("!$omp map(to: " + join(map_to) + ") &");
+  }
+  if (!map_from.empty()) {
+    dir.push_back("!$omp map(from: " + join(map_from) + ") &");
+  }
+  // Last line must not continue.
+  std::string& last = dir.back();
+  if (last.size() >= 2 && last.substr(last.size() - 2) == " &") {
+    last = last.substr(0, last.size() - 2);
+  }
+
+  const int simd_line =
+      collapse < la.nest_depth ? innermost_do_line(*loc.loop, 0) : -1;
+
+  // Splice into the text.
+  std::vector<std::string> lines;
+  {
+    std::istringstream is(source);
+    std::string l;
+    while (std::getline(is, l)) lines.push_back(l);
+  }
+  if (line < 1 || line > static_cast<int>(lines.size())) {
+    res.notes.push_back("line out of range");
+    return res;
+  }
+  std::ostringstream os;
+  for (int n = 1; n <= static_cast<int>(lines.size()); ++n) {
+    if (n == line) {
+      const std::string ind = indent_of(lines[static_cast<std::size_t>(n - 1)]);
+      os << ind << "! loopcheck: loop modified\n";
+      for (const auto& d : dir) os << ind << d << "\n";
+    }
+    if (n == simd_line && simd_line != line) {
+      const std::string ind = indent_of(lines[static_cast<std::size_t>(n - 1)]);
+      os << ind << "! loopcheck: loop modified\n";
+      os << ind << "!$omp simd\n";
+    }
+    os << lines[static_cast<std::size_t>(n - 1)] << "\n";
+  }
+  res.applied = true;
+  res.source = os.str();
+  res.notes.push_back("annotated loop nest at line " + std::to_string(line) +
+                      " (collapse(" + std::to_string(collapse) + "))");
+  if (simd_line > 0) {
+    res.notes.push_back("applied simd to inner loop at line " +
+                        std::to_string(simd_line));
+  }
+  return res;
+}
+
+RewriteResult rewrite_all_offloadable(const std::string& source,
+                                      int collapse_limit) {
+  const ProgramUnit unit = parse(source);
+  const SemanticModel model(unit);
+  std::vector<int> targets;
+  auto scan = [&](const Procedure& p) {
+    for (const Stmt* loop : outer_loops(p)) {
+      const LoopAnalysis la = analyze_loop(model, p, *loop);
+      if (la.parallelizable) targets.push_back(loop->line);
+    }
+  };
+  for (const auto& m : unit.modules) {
+    for (const auto& p : m.procs) scan(p);
+  }
+  for (const auto& p : unit.procs) scan(p);
+
+  // Apply bottom-up so earlier insertions do not shift later targets.
+  std::sort(targets.rbegin(), targets.rend());
+  RewriteResult res;
+  res.source = source;
+  for (int line : targets) {
+    RewriteResult one = rewrite_offload(res.source, line, collapse_limit);
+    if (one.applied) {
+      res.source = one.source;
+      res.applied = true;
+    }
+    for (auto& n : one.notes) res.notes.push_back(std::move(n));
+  }
+  return res;
+}
+
+}  // namespace wrf::analyzer

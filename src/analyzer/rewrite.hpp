@@ -1,0 +1,41 @@
+#pragma once
+// Directive rewriter: the `codee rewrite --offload omp --in-place
+// file.f90:LINE` command of Listing 2, producing annotations like
+// Listing 4's.
+//
+// Given a source file and the line of an outer `do`, the rewriter runs
+// the dependency analysis and, when the nest is parallelizable, inserts
+//
+//   !$omp target teams distribute &
+//   !$omp parallel do [collapse(n)] &
+//   !$omp private(...) &
+//   !$omp map(from: ...) [map(to: ...)] [reduction(+: ...)]
+//
+// before the outer loop and `!$omp simd` before the innermost loop (the
+// vectorization clause Codee applied to kernals_ks).  Non-parallelizable
+// nests are left untouched and the blockers are reported.
+
+#include <string>
+#include <vector>
+
+#include "analyzer/analysis.hpp"
+
+namespace wrf::analyzer {
+
+struct RewriteResult {
+  bool applied = false;
+  std::string source;               ///< annotated (or original) text
+  std::vector<std::string> notes;   ///< what was inserted / why not
+};
+
+/// Annotate the do-loop starting at 1-based `line` of `source`.
+/// `collapse_limit` caps the collapse depth (the paper first had to
+/// limit collapse to 2; 0 means collapse the full nest).
+RewriteResult rewrite_offload(const std::string& source, int line,
+                              int collapse_limit = 0);
+
+/// Convenience: find all offloadable outer loops and annotate each.
+RewriteResult rewrite_all_offloadable(const std::string& source,
+                                      int collapse_limit = 0);
+
+}  // namespace wrf::analyzer

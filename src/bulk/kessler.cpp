@@ -1,0 +1,97 @@
+#include "bulk/kessler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace wrf::bulk {
+
+namespace c = wrf::constants;
+
+KesslerStats kessler_cell(double& temp_k, double& qv, double pres_pa,
+                          KesslerCell& cell, double dt,
+                          const KesslerParams& p) {
+  KesslerStats st;
+
+  // --- saturation adjustment: instantly condense/evaporate cloud water
+  // to bring the cell to (near) saturation, with latent-heat feedback
+  // folded in through the linearized qs(T) slope. ---
+  const double qs = c::qsat_liquid(temp_k, pres_pa);
+  const double dqs_dt =
+      qs * c::kLv / (c::kRv * temp_k * temp_k);  // Clausius-Clapeyron
+  double dq = (qv - qs) / (1.0 + c::kLv / c::kCp * dqs_dt);
+  if (dq < 0.0) dq = std::max(dq, -cell.qc);  // can only evaporate qc
+  qv -= dq;
+  cell.qc += dq;
+  temp_k += c::kLv / c::kCp * dq;
+  st.dq_cond = dq;
+
+  // --- autoconversion qc -> qr ---
+  const double auto_rate =
+      p.autoconv_rate * std::max(0.0, cell.qc - p.autoconv_threshold);
+  const double dauto = std::min(cell.qc, auto_rate * dt);
+  cell.qc -= dauto;
+  cell.qr += dauto;
+  st.dq_auto = dauto;
+
+  // --- accretion: rain collecting cloud water ---
+  if (cell.qr > 0.0 && cell.qc > 0.0) {
+    const double daccr =
+        std::min(cell.qc, p.accretion_rate * cell.qc *
+                              std::pow(cell.qr, 0.875) * dt);
+    cell.qc -= daccr;
+    cell.qr += daccr;
+    st.dq_accr = daccr;
+  }
+
+  // --- rain evaporation in subsaturated air ---
+  if (cell.qr > 0.0 && qv < qs) {
+    const double sub = 1.0 - qv / qs;
+    const double evap_rate =
+        sub * (p.vent_a + p.vent_b * std::pow(cell.qr, 0.65)) *
+        std::pow(cell.qr, 0.5) * 1.0e-3;
+    const double devp = std::min({cell.qr, evap_rate * dt, qs - qv});
+    cell.qr -= devp;
+    qv += devp;
+    temp_k -= c::kLv / c::kCp * devp;
+    st.dq_revp = devp;
+  }
+  st.flops = 60.0;
+  return st;
+}
+
+double rain_fall_speed(double qr, double rho_air) {
+  if (qr <= 0.0) return 0.0;
+  // Kessler's mass-weighted fall speed for a Marshall-Palmer spectrum.
+  const double v = 36.34 * std::pow(rho_air * qr * 1.0e-3, 0.1364) *
+                   std::sqrt(1.225 / std::max(rho_air, 0.05));
+  return std::min(v, 10.0);
+}
+
+double kessler_sediment_column(double* qr_col, const double* rho, int nz,
+                               double dz, double dt) {
+  if (nz <= 0) return 0.0;
+  double vmax = 0.0;
+  for (int iz = 0; iz < nz; ++iz) {
+    vmax = std::max(vmax, rain_fall_speed(qr_col[iz], rho[iz]));
+  }
+  if (vmax <= 0.0) return 0.0;
+  const int nsub = std::max(1, static_cast<int>(std::ceil(vmax * dt / dz)));
+  const double dts = dt / nsub;
+  double precip = 0.0;
+  for (int s = 0; s < nsub; ++s) {
+    double flux_in = 0.0;
+    for (int iz = nz - 1; iz >= 0; --iz) {
+      const double v = rain_fall_speed(qr_col[iz], rho[iz]);
+      const double courant = std::min(1.0, v * dts / dz);
+      const double out = rho[iz] * qr_col[iz] * courant;
+      qr_col[iz] = (rho[iz] * qr_col[iz] - out + flux_in) / rho[iz];
+      flux_in = out;
+    }
+    precip += flux_in / rho[0];
+  }
+  return precip;
+}
+
+}  // namespace wrf::bulk

@@ -1,0 +1,52 @@
+#pragma once
+// One-moment warm-rain bulk scheme (Kessler 1969), the conceptual
+// counterpart of Figure 2's "bulk" panel.
+//
+// Where FSBM evolves an explicit 33-bin spectrum, a bulk scheme carries
+// two scalar moments — cloud water qc and rain water qr — and closes the
+// process rates with an assumed (Marshall-Palmer) size distribution.
+// Implemented as the paper-style comparator: same cell-level interface
+// as the bin scheme so the bin_vs_bulk example and bench can time and
+// compare both on identical soundings.
+
+#include <cstdint>
+
+namespace wrf::bulk {
+
+struct KesslerParams {
+  double autoconv_threshold = 5.0e-4;  ///< qc above this converts, kg/kg
+  double autoconv_rate = 1.0e-3;       ///< 1/s
+  double accretion_rate = 2.2;         ///< Kessler k2
+  double vent_a = 1.6;                 ///< rain evaporation ventilation
+  double vent_b = 124.9;
+};
+
+struct KesslerCell {
+  double qc = 0.0;  ///< cloud water, kg/kg
+  double qr = 0.0;  ///< rain water, kg/kg
+};
+
+struct KesslerStats {
+  double dq_cond = 0.0;
+  double dq_auto = 0.0;
+  double dq_accr = 0.0;
+  double dq_revp = 0.0;
+  double flops = 0.0;
+};
+
+/// Advance one cell by dt: saturation adjustment, autoconversion,
+/// accretion, rain evaporation.  Updates temp/qv/cell in place.
+KesslerStats kessler_cell(double& temp_k, double& qv, double pres_pa,
+                          KesslerCell& cell, double dt,
+                          const KesslerParams& p = {});
+
+/// Mass-weighted rain fall speed (Kessler/Marshall-Palmer), m/s.
+double rain_fall_speed(double qr, double rho_air);
+
+/// Column sedimentation of qr with surface accumulation; `qr_col` has nz
+/// levels, level 0 at the surface.  Returns precipitation (kg/kg at
+/// level 0 equivalents).
+double kessler_sediment_column(double* qr_col, const double* rho, int nz,
+                               double dz, double dt);
+
+}  // namespace wrf::bulk

@@ -1,0 +1,274 @@
+#include "dyn/advection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace wrf::dyn {
+
+double AnalyticWinds::w(int i, int k, int j) const {
+  // Gaussian updraft core with a half-sine vertical profile: zero at the
+  // surface and model top, max mid-troposphere.
+  const double nx = domain.i.size();
+  const double ny = domain.j.size();
+  const double nz = domain.k.size();
+  const double x = (i - domain.i.lo + 0.5) / nx;
+  const double y = (j - domain.j.lo + 0.5) / ny;
+  const double z = (k - domain.k.lo + 0.5) / nz;
+  const double r2 = ((x - xc) * (x - xc) + (y - yc) * (y - yc)) /
+                    (radius * radius);
+  if (r2 > 9.0) return 0.0;
+  return w_max * std::exp(-r2) * std::sin(constants::kPi * z);
+}
+
+namespace {
+
+/// WRF 5th-order upwind interface flux given the 6-point stencil
+/// q[-2..3] around the interface and the advecting velocity.
+inline double flux5(double vel, const double q[6]) {
+  const double f_c = (37.0 * (q[2] + q[3]) - 8.0 * (q[1] + q[4]) +
+                      (q[0] + q[5])) /
+                     60.0;
+  const double f_u = ((q[5] - q[0]) - 5.0 * (q[4] - q[1]) +
+                      10.0 * (q[3] - q[2])) /
+                     60.0;
+  return vel * f_c - std::abs(vel) * f_u;
+}
+
+/// WRF 3rd-order upwind interface flux from the 4-point stencil
+/// q[-1..2].
+inline double flux3(double vel, const double q[4]) {
+  const double f_c = (7.0 * (q[1] + q[2]) - (q[0] + q[3])) / 12.0;
+  const double f_u = ((q[3] - q[0]) - 3.0 * (q[2] - q[1])) / 12.0;
+  return vel * f_c - std::abs(vel) * f_u;
+}
+
+constexpr double kFlopsPerCell = 66.0;  // 2x flux5 + flux3 + divergence
+
+}  // namespace
+
+AdvStats rk_scalar_tend(const grid::Patch& patch, const Field3D<float>& q,
+                        const AnalyticWinds& winds, const AdvConfig& cfg,
+                        Field3D<float>& tend) {
+  AdvStats st;
+  const int klo = patch.k.lo;
+  const int khi = patch.k.hi;
+  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
+    for (int k = klo; k <= khi; ++k) {
+      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+        // --- x fluxes at i-1/2 and i+1/2 ---
+        double s[6];
+        for (int m = 0; m < 6; ++m) s[m] = q(i - 3 + m, k, j);
+        const double fxm = flux5(winds.u(i, k, j), s);
+        for (int m = 0; m < 6; ++m) s[m] = q(i - 2 + m, k, j);
+        const double fxp = flux5(winds.u(i, k, j), s);
+        // --- y fluxes ---
+        for (int m = 0; m < 6; ++m) s[m] = q(i, k, j - 3 + m);
+        const double fym = flux5(winds.v(i, k, j), s);
+        for (int m = 0; m < 6; ++m) s[m] = q(i, k, j - 2 + m);
+        const double fyp = flux5(winds.v(i, k, j), s);
+        // --- z fluxes (3rd order, zero through domain top/bottom) ---
+        double fzm = 0.0, fzp = 0.0;
+        if (k > klo + 1 && k < khi - 1) {
+          double t4[4];
+          for (int m = 0; m < 4; ++m) t4[m] = q(i, k - 2 + m, j);
+          fzm = flux3(winds.w(i, k, j), t4);
+          for (int m = 0; m < 4; ++m) t4[m] = q(i, k - 1 + m, j);
+          fzp = flux3(winds.w(i, k + 1, j), t4);
+        } else if (k > klo && k < khi) {
+          // 1st-order upwind near the vertical boundaries.
+          const double wm = winds.w(i, k, j);
+          fzm = wm > 0 ? wm * q(i, k - 1, j) : wm * q(i, k, j);
+          const double wp = winds.w(i, k + 1, j);
+          fzp = wp > 0 ? wp * q(i, k, j) : wp * q(i, k + 1, j);
+        }
+        tend(i, k, j) = static_cast<float>(-(fxp - fxm) / cfg.dx -
+                                           (fyp - fym) / cfg.dy -
+                                           (fzp - fzm) / cfg.dz);
+        ++st.cells;
+      }
+    }
+  }
+  st.flops = static_cast<double>(st.cells) * kFlopsPerCell;
+  return st;
+}
+
+AdvStats rk_scalar_tend_bins(const grid::Patch& patch,
+                             const Field4D<float>& q,
+                             const AnalyticWinds& winds,
+                             const AdvConfig& cfg, Field4D<float>& tend) {
+  AdvStats st;
+  const int n = q.n();
+  const int klo = patch.k.lo;
+  const int khi = patch.k.hi;
+  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
+    for (int k = klo; k <= khi; ++k) {
+      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+        const double uu = winds.u(i, k, j);
+        const double vv = winds.v(i, k, j);
+        const double wm = winds.w(i, k, j);
+        const double wp = winds.w(i, k + 1, j);
+        const bool z_full = (k > klo + 1 && k < khi - 1);
+        const bool z_edge = (k > klo && k < khi);
+        // Slices for the stencil neighborhoods (bin-fastest layout).
+        const float* xs[6];
+        const float* xs1[6];
+        const float* ys[6];
+        const float* ys1[6];
+        for (int m = 0; m < 6; ++m) {
+          xs[m] = q.slice(i - 3 + m, k, j);
+          xs1[m] = q.slice(i - 2 + m, k, j);
+          ys[m] = q.slice(i, k, j - 3 + m);
+          ys1[m] = q.slice(i, k, j - 2 + m);
+        }
+        const float* zs[4] = {nullptr, nullptr, nullptr, nullptr};
+        const float* zs1[4] = {nullptr, nullptr, nullptr, nullptr};
+        if (z_full) {
+          for (int m = 0; m < 4; ++m) {
+            zs[m] = q.slice(i, k - 2 + m, j);
+            zs1[m] = q.slice(i, k - 1 + m, j);
+          }
+        }
+        float* out = tend.slice(i, k, j);
+        for (int b = 0; b < n; ++b) {
+          double s[6];
+          for (int m = 0; m < 6; ++m) s[m] = xs[m][b];
+          const double fxm = flux5(uu, s);
+          for (int m = 0; m < 6; ++m) s[m] = xs1[m][b];
+          const double fxp = flux5(uu, s);
+          for (int m = 0; m < 6; ++m) s[m] = ys[m][b];
+          const double fym = flux5(vv, s);
+          for (int m = 0; m < 6; ++m) s[m] = ys1[m][b];
+          const double fyp = flux5(vv, s);
+          double fzm = 0.0, fzp = 0.0;
+          if (z_full) {
+            double t4[4];
+            for (int m = 0; m < 4; ++m) t4[m] = zs[m][b];
+            fzm = flux3(wm, t4);
+            for (int m = 0; m < 4; ++m) t4[m] = zs1[m][b];
+            fzp = flux3(wp, t4);
+          } else if (z_edge) {
+            fzm = wm > 0 ? wm * q(b, i, k - 1, j) : wm * q(b, i, k, j);
+            fzp = wp > 0 ? wp * q(b, i, k, j) : wp * q(b, i, k + 1, j);
+          }
+          out[b] = static_cast<float>(-(fxp - fxm) / cfg.dx -
+                                      (fyp - fym) / cfg.dy -
+                                      (fzp - fzm) / cfg.dz);
+        }
+        st.cells += static_cast<std::uint64_t>(n);
+      }
+    }
+  }
+  st.flops = static_cast<double>(st.cells) * kFlopsPerCell;
+  return st;
+}
+
+AdvStats rk_update_scalar(const grid::Patch& patch, const Field3D<float>& q0,
+                          const Field3D<float>& tend, double dt_stage,
+                          Field3D<float>& q) {
+  AdvStats st;
+  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
+    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+        const double v =
+            static_cast<double>(q0(i, k, j)) + dt_stage * tend(i, k, j);
+        q(i, k, j) = static_cast<float>(v > 0.0 ? v : 0.0);
+        ++st.cells;
+      }
+    }
+  }
+  st.flops = static_cast<double>(st.cells) * 3.0;
+  return st;
+}
+
+AdvStats rk_update_scalar_bins(const grid::Patch& patch,
+                               const Field4D<float>& q0,
+                               const Field4D<float>& tend, double dt_stage,
+                               Field4D<float>& q) {
+  AdvStats st;
+  const int n = q.n();
+  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
+    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+        const float* s0 = q0.slice(i, k, j);
+        const float* tn = tend.slice(i, k, j);
+        float* out = q.slice(i, k, j);
+        for (int b = 0; b < n; ++b) {
+          const double v = static_cast<double>(s0[b]) + dt_stage * tn[b];
+          out[b] = static_cast<float>(v > 0.0 ? v : 0.0);
+        }
+        st.cells += static_cast<std::uint64_t>(n);
+      }
+    }
+  }
+  st.flops = static_cast<double>(st.cells) * 3.0;
+  return st;
+}
+
+void fill_domain_boundaries(const grid::Patch& patch, Field3D<float>& q) {
+  using grid::Side;
+  const int h = patch.halo;
+  if (patch.at_domain_edge(Side::kWest)) {
+    for (int j = patch.jm.lo; j <= patch.jm.hi; ++j)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          q(patch.ip.lo - g, k, j) = q(patch.ip.lo, k, j);
+  }
+  if (patch.at_domain_edge(Side::kEast)) {
+    for (int j = patch.jm.lo; j <= patch.jm.hi; ++j)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          q(patch.ip.hi + g, k, j) = q(patch.ip.hi, k, j);
+  }
+  if (patch.at_domain_edge(Side::kSouth)) {
+    for (int i = patch.im.lo; i <= patch.im.hi; ++i)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          q(i, k, patch.jp.lo - g) = q(i, k, patch.jp.lo);
+  }
+  if (patch.at_domain_edge(Side::kNorth)) {
+    for (int i = patch.im.lo; i <= patch.im.hi; ++i)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          q(i, k, patch.jp.hi + g) = q(i, k, patch.jp.hi);
+  }
+}
+
+void fill_domain_boundaries_bins(const grid::Patch& patch,
+                                 Field4D<float>& q) {
+  using grid::Side;
+  const int h = patch.halo;
+  const int n = q.n();
+  auto copy_slice = [&](int di, int dk, int dj, int si, int sk, int sj) {
+    float* dst = q.slice(di, dk, dj);
+    const float* src = q.slice(si, sk, sj);
+    for (int b = 0; b < n; ++b) dst[b] = src[b];
+  };
+  if (patch.at_domain_edge(Side::kWest)) {
+    for (int j = patch.jm.lo; j <= patch.jm.hi; ++j)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          copy_slice(patch.ip.lo - g, k, j, patch.ip.lo, k, j);
+  }
+  if (patch.at_domain_edge(Side::kEast)) {
+    for (int j = patch.jm.lo; j <= patch.jm.hi; ++j)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          copy_slice(patch.ip.hi + g, k, j, patch.ip.hi, k, j);
+  }
+  if (patch.at_domain_edge(Side::kSouth)) {
+    for (int i = patch.im.lo; i <= patch.im.hi; ++i)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          copy_slice(i, k, patch.jp.lo - g, i, k, patch.jp.lo);
+  }
+  if (patch.at_domain_edge(Side::kNorth)) {
+    for (int i = patch.im.lo; i <= patch.im.hi; ++i)
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k)
+        for (int g = 1; g <= h; ++g)
+          copy_slice(i, k, patch.jp.hi + g, i, k, patch.jp.hi);
+  }
+}
+
+}  // namespace wrf::dyn

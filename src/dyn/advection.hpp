@@ -1,0 +1,89 @@
+#pragma once
+// Scalar advection: WRF's rk_scalar_tend / rk_update_scalar pair.
+//
+// Flux-form advection with WRF's default stencils — 5th-order upwind in
+// the two horizontal dimensions, 3rd-order upwind in the vertical — and
+// the 3-stage Runge-Kutta driver of the ARW solver.  These are the #2
+// and #3 hotspots of the paper's Table I; in WRF every FSBM bin is an
+// advected scalar, which is why rk_scalar_tend is expensive.  The
+// stencils need a 3-cell halo, which fixes the patch halo width.
+//
+// The routines operate on one patch with halos already filled (by
+// src/model's exchange for interior edges and by zero-gradient boundary
+// fill at domain edges).  The vertical stencil degrades to 1st order at
+// the top/bottom boundaries and vertical flux through them is zero.
+
+#include <cstdint>
+
+#include "fsbm/state.hpp"
+#include "grid/decomp.hpp"
+#include "util/field.hpp"
+
+namespace wrf::dyn {
+
+/// Analytic, divergence-shaped wind field driving the test cases: a
+/// uniform zonal flow plus a stationary mesoscale updraft core (a proxy
+/// for the squall-line circulation of the CONUS-12km thunderstorm case).
+struct AnalyticWinds {
+  double u0 = 12.0;     ///< background zonal wind, m/s
+  double v0 = 3.0;      ///< background meridional wind, m/s
+  double w_max = 8.0;   ///< updraft core strength, m/s
+  double xc = 0.5;      ///< updraft center, fraction of domain x
+  double yc = 0.5;      ///< updraft center, fraction of domain y
+  double radius = 0.18; ///< updraft core radius, fraction of domain x
+  grid::Domain domain;
+  double dx = 12000.0;
+  double dz = 400.0;
+
+  double u(int /*i*/, int /*k*/, int /*j*/) const { return u0; }
+  double v(int /*i*/, int /*k*/, int /*j*/) const { return v0; }
+  double w(int i, int k, int j) const;
+};
+
+struct AdvConfig {
+  double dx = 12000.0;
+  double dy = 12000.0;
+  double dz = 400.0;
+};
+
+/// Work counters for the perf model.
+struct AdvStats {
+  std::uint64_t cells = 0;
+  double flops = 0.0;
+};
+
+/// Advective tendency of one 3-D scalar over the patch computational
+/// range: tend = -div(V q), 5th-order horizontal / 3rd-order vertical
+/// upwind fluxes.  `q` must have valid halos.
+AdvStats rk_scalar_tend(const grid::Patch& patch, const Field3D<float>& q,
+                        const AnalyticWinds& winds, const AdvConfig& cfg,
+                        Field3D<float>& tend);
+
+/// Same tendency for every bin of a 4-D distribution (bin-fastest);
+/// the inner bin loop amortizes stencil index math as WRF's chem loop
+/// does.
+AdvStats rk_scalar_tend_bins(const grid::Patch& patch,
+                             const Field4D<float>& q,
+                             const AnalyticWinds& winds,
+                             const AdvConfig& cfg, Field4D<float>& tend);
+
+/// RK stage update: q = max(0, q0 + dt_stage * tend) over the
+/// computational range (positive-definite clip, as WRF's PD limiter
+/// guarantees for moisture scalars).
+AdvStats rk_update_scalar(const grid::Patch& patch,
+                          const Field3D<float>& q0,
+                          const Field3D<float>& tend, double dt_stage,
+                          Field3D<float>& q);
+
+/// 4-D variant of the stage update.
+AdvStats rk_update_scalar_bins(const grid::Patch& patch,
+                               const Field4D<float>& q0,
+                               const Field4D<float>& tend, double dt_stage,
+                               Field4D<float>& q);
+
+/// Zero-gradient fill of halo cells on sides where the patch touches the
+/// global domain boundary (interior sides come from halo exchange).
+void fill_domain_boundaries(const grid::Patch& patch, Field3D<float>& q);
+void fill_domain_boundaries_bins(const grid::Patch& patch, Field4D<float>& q);
+
+}  // namespace wrf::dyn

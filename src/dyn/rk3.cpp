@@ -1,0 +1,64 @@
+#include "dyn/rk3.hpp"
+
+namespace wrf::dyn {
+
+Rk3::Rk3(const grid::Patch& patch, int nkr, AdvConfig cfg, double dt)
+    : patch_(patch),
+      cfg_(cfg),
+      dt_(dt),
+      qv0_(patch.im, patch.k, patch.jm),
+      qv_tend_(patch.im, patch.k, patch.jm) {
+  for (auto& f : ff0_) f = Field4D<float>(nkr, patch.im, patch.k, patch.jm);
+  for (auto& f : ff_tend_) {
+    f = Field4D<float>(nkr, patch.im, patch.k, patch.jm);
+  }
+}
+
+Rk3Stats Rk3::step(fsbm::MicroState& state, const AnalyticWinds& winds,
+                   const std::function<void(fsbm::MicroState&)>& halo_fill,
+                   prof::Profiler& prof) {
+  Rk3Stats st;
+  // Stage-0 snapshot (copy the whole memory extent: halos included so
+  // updates into q can be re-based on q0 without re-exchange).
+  qv0_ = state.qv;
+  for (int s = 0; s < fsbm::kNumSpecies; ++s) {
+    ff0_[static_cast<std::size_t>(s)] = state.ff[static_cast<std::size_t>(s)];
+  }
+
+  const double stage_dt[3] = {dt_ / 3.0, dt_ / 2.0, dt_};
+  for (int stage = 0; stage < 3; ++stage) {
+    halo_fill(state);
+    {
+      prof::ScopedRange r(prof, "rk_scalar_tend");
+      const AdvStats a =
+          rk_scalar_tend(patch_, state.qv, winds, cfg_, qv_tend_);
+      st.tend.cells += a.cells;
+      st.tend.flops += a.flops;
+      for (int s = 0; s < fsbm::kNumSpecies; ++s) {
+        const AdvStats b = rk_scalar_tend_bins(
+            patch_, state.ff[static_cast<std::size_t>(s)], winds, cfg_,
+            ff_tend_[static_cast<std::size_t>(s)]);
+        st.tend.cells += b.cells;
+        st.tend.flops += b.flops;
+      }
+    }
+    {
+      prof::ScopedRange r(prof, "rk_update_scalar");
+      const AdvStats a = rk_update_scalar(patch_, qv0_, qv_tend_,
+                                          stage_dt[stage], state.qv);
+      st.update.cells += a.cells;
+      st.update.flops += a.flops;
+      for (int s = 0; s < fsbm::kNumSpecies; ++s) {
+        const AdvStats b = rk_update_scalar_bins(
+            patch_, ff0_[static_cast<std::size_t>(s)],
+            ff_tend_[static_cast<std::size_t>(s)], stage_dt[stage],
+            state.ff[static_cast<std::size_t>(s)]);
+        st.update.cells += b.cells;
+        st.update.flops += b.flops;
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace wrf::dyn

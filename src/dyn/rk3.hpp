@@ -1,0 +1,45 @@
+#pragma once
+// WRF's 3-stage Runge-Kutta scalar transport driver.
+//
+// Each model step advects vapor and all nkr x species bin distributions
+// with the ARW staging: q1 = q0 + dt/3 L(q0); q2 = q0 + dt/2 L(q1);
+// q(t+dt) = q0 + dt L(q2).  Halos must be refreshed before every stage's
+// tendency evaluation; the caller supplies that as a callback (halo
+// exchange between ranks, zero-gradient fill at domain edges).
+
+#include <array>
+#include <functional>
+
+#include "dyn/advection.hpp"
+#include "fsbm/state.hpp"
+#include "prof/prof.hpp"
+
+namespace wrf::dyn {
+
+struct Rk3Stats {
+  AdvStats tend;    ///< accumulated rk_scalar_tend work
+  AdvStats update;  ///< accumulated rk_update_scalar work
+};
+
+/// Per-patch RK3 transport.  Owns the stage-0 copies and tendency
+/// buffers (sized once; a rank reuses them every step).
+class Rk3 {
+ public:
+  Rk3(const grid::Patch& patch, int nkr, AdvConfig cfg, double dt);
+
+  /// Advance qv and all bin fields one step.  `halo_fill(state)` must
+  /// leave all advected fields with valid halos; it is invoked before
+  /// each of the three stages.
+  Rk3Stats step(fsbm::MicroState& state, const AnalyticWinds& winds,
+                const std::function<void(fsbm::MicroState&)>& halo_fill,
+                prof::Profiler& prof);
+
+ private:
+  grid::Patch patch_;
+  AdvConfig cfg_;
+  double dt_;
+  Field3D<float> qv0_, qv_tend_;
+  std::array<Field4D<float>, fsbm::kNumSpecies> ff0_, ff_tend_;
+};
+
+}  // namespace wrf::dyn

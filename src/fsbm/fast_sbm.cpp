@@ -1,0 +1,570 @@
+#include "fsbm/fast_sbm.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/constants.hpp"
+
+namespace wrf::fsbm {
+
+namespace c = wrf::constants;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Stack-resident workspace buffer: the C++ analogue of the Fortran
+/// automatic arrays fl1(33), g2(33,icemax), g3(33), ... of Listing 7.
+struct StackWorkspace {
+  float buf[(4 + kIceMax) * kMaxNkr];
+
+  CoalWorkspace view(int nkr) {
+    CoalWorkspace w;
+    w.fl1 = buf;
+    w.g2 = buf + nkr;
+    w.g3 = buf + nkr * (1 + kIceMax);
+    w.g4 = buf + nkr * (2 + kIceMax);
+    w.g5 = buf + nkr * (3 + kIceMax);
+    return w;
+  }
+};
+
+}  // namespace
+
+const char* version_name(Version v) {
+  switch (v) {
+    case Version::kV0Baseline: return "v0-baseline";
+    case Version::kV1LookupOnDemand: return "v1-lookup-on-demand";
+    case Version::kV2Offload2: return "v2-offload-collapse2";
+    case Version::kV3Offload3: return "v3-offload-collapse3";
+    case Version::kV3NaiveCollapse3: return "v3-naive-collapse3";
+  }
+  return "?";
+}
+
+void FsbmStats::merge(const FsbmStats& o) {
+  cells_active += o.cells_active;
+  cells_coal += o.cells_coal;
+  kernel_table_fills += o.kernel_table_fills;
+  kernel_entries += o.kernel_entries;
+  coal_interactions += o.coal_interactions;
+  coal_flops += o.coal_flops;
+  cond_flops += o.cond_flops;
+  nucl_flops += o.nucl_flops;
+  sed_flops += o.sed_flops;
+  surface_precip += o.surface_precip;
+  wall_total_sec += o.wall_total_sec;
+  wall_coal_sec += o.wall_coal_sec;
+  h2d_ms += o.h2d_ms;
+  d2h_ms += o.d2h_ms;
+  if (o.coal_kernel) coal_kernel = o.coal_kernel;
+  if (o.cond_kernel) cond_kernel = o.cond_kernel;
+}
+
+FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
+                 FsbmParams params, gpu::Device* device)
+    : patch_(patch),
+      version_(version),
+      params_(params),
+      device_(device),
+      bins_(nkr),
+      tables_(bins_),
+      call_coal_(patch.im, patch.k, patch.jm, std::uint8_t{0}) {
+  if (nkr > kMaxNkr) {
+    throw ConfigError("FastSbm: nkr exceeds kMaxNkr stack workspace bound");
+  }
+  const bool offloaded = version_ == Version::kV2Offload2 ||
+                         version_ == Version::kV3Offload3 ||
+                         version_ == Version::kV3NaiveCollapse3;
+  if (offloaded && device_ == nullptr) {
+    throw ConfigError("FastSbm: offloaded versions need a gpu::Device");
+  }
+  if (version_ == Version::kV0Baseline) {
+    global_cw_ = std::make_unique<CollisionArrays>(nkr);
+  }
+  if (version_ == Version::kV3Offload3) {
+    // The temp_arrays module: one pooled slab per automatic array,
+    // spanning every grid point of the patch, allocated on the device
+    // once via `target enter data map(alloc:)` (Listing 8).
+    pool_fl1_ = std::make_unique<Field4D<float>>(nkr, patch.ip, patch.k,
+                                                 patch.jp);
+    pool_g2_ = std::make_unique<Field4D<float>>(nkr * kIceMax, patch.ip,
+                                                patch.k, patch.jp);
+    pool_g3_ = std::make_unique<Field4D<float>>(nkr, patch.ip, patch.k,
+                                                patch.jp);
+    pool_g4_ = std::make_unique<Field4D<float>>(nkr, patch.ip, patch.k,
+                                                patch.jp);
+    pool_g5_ = std::make_unique<Field4D<float>>(nkr, patch.ip, patch.k,
+                                                patch.jp);
+    pool_bytes_ = pool_fl1_->bytes() + pool_g2_->bytes() + pool_g3_->bytes() +
+                  pool_g4_->bytes() + pool_g5_->bytes();
+    device_->enter_data_alloc(pool_bytes_);
+  }
+}
+
+void FastSbm::load_workspace(const MicroState& s, int i, int k, int j,
+                             const CoalWorkspace& w) {
+  const int nkr = s.bins.nkr();
+  const auto sz = static_cast<std::size_t>(nkr) * sizeof(float);
+  std::memcpy(w.fl1, s.ff[0].slice(i, k, j), sz);
+  std::memcpy(w.g2, s.ff[1].slice(i, k, j), sz);
+  std::memcpy(w.g2 + nkr, s.ff[2].slice(i, k, j), sz);
+  std::memcpy(w.g2 + 2 * nkr, s.ff[3].slice(i, k, j), sz);
+  std::memcpy(w.g3, s.ff[4].slice(i, k, j), sz);
+  std::memcpy(w.g4, s.ff[5].slice(i, k, j), sz);
+  std::memcpy(w.g5, s.ff[6].slice(i, k, j), sz);
+}
+
+void FastSbm::store_workspace(MicroState& s, int i, int k, int j,
+                              const CoalWorkspace& w) {
+  const int nkr = s.bins.nkr();
+  const auto sz = static_cast<std::size_t>(nkr) * sizeof(float);
+  std::memcpy(s.ff[0].slice(i, k, j), w.fl1, sz);
+  std::memcpy(s.ff[1].slice(i, k, j), w.g2, sz);
+  std::memcpy(s.ff[2].slice(i, k, j), w.g2 + nkr, sz);
+  std::memcpy(s.ff[3].slice(i, k, j), w.g2 + 2 * nkr, sz);
+  std::memcpy(s.ff[4].slice(i, k, j), w.g3, sz);
+  std::memcpy(s.ff[5].slice(i, k, j), w.g4, sz);
+  std::memcpy(s.ff[6].slice(i, k, j), w.g5, sz);
+}
+
+void FastSbm::coal_cell_stack(MicroState& state, int i, int k, int j,
+                              const KernelSource& ks, CoalStats& cst) {
+  StackWorkspace sw;
+  const CoalWorkspace w = sw.view(bins_.nkr());
+  load_workspace(state, i, k, j, w);
+  CoalConfig cfg = params_.coal;
+  cfg.dt = params_.dt;
+  const CoalStats one =
+      coal_bott_new(bins_, state.temp(i, k, j), ks, w, cfg);
+  store_workspace(state, i, k, j, w);
+  cst.kernel_lookups += one.kernel_lookups;
+  cst.interactions += one.interactions;
+  cst.pairs_active += one.pairs_active;
+  cst.flops += one.flops;
+}
+
+void FastSbm::coal_cell_pooled(MicroState& state, int i, int k, int j,
+                               const KernelSource& ks, CoalStats& cst) {
+  // Listing 8: pointers into pooled slabs indexed by the grid point.
+  CoalWorkspace w;
+  w.fl1 = pool_fl1_->slice(i, k, j);
+  w.g2 = pool_g2_->slice(i, k, j);
+  w.g3 = pool_g3_->slice(i, k, j);
+  w.g4 = pool_g4_->slice(i, k, j);
+  w.g5 = pool_g5_->slice(i, k, j);
+  load_workspace(state, i, k, j, w);
+  CoalConfig cfg = params_.coal;
+  cfg.dt = params_.dt;
+  const CoalStats one =
+      coal_bott_new(bins_, state.temp(i, k, j), ks, w, cfg);
+  store_workspace(state, i, k, j, w);
+  cst.kernel_lookups += one.kernel_lookups;
+  cst.interactions += one.interactions;
+  cst.pairs_active += one.pairs_active;
+  cst.flops += one.flops;
+}
+
+void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
+                                prof::Profiler& prof) {
+  // §VIII: the condensation loops offloaded "using a similar approach" —
+  // loop fission with a per-cell predicate, one device lane per cell,
+  // stack workspaces (condensation's automatic arrays are smaller than
+  // coal_bott_new's, so no pooled variant is needed).
+  prof::ScopedRange cr(prof, "onecond_loop");
+  const int ni = patch_.ip.size();
+  const int nk = patch_.k.size();
+  const int nj = patch_.jp.size();
+
+  CondConfig cond_cfg = params_.cond;
+  cond_cfg.dt = params_.dt;
+  NuclConfig nucl_cfg = params_.nucl;
+  nucl_cfg.dt = params_.dt;
+
+  std::atomic<std::uint64_t> active{0};
+  std::atomic<std::uint64_t> coal_cells{0};
+  std::atomic<std::uint64_t> flops_milli{0};
+
+  gpu::KernelDesc desc;
+  desc.name = "onecond_loop";
+  desc.collapse = 3;
+  desc.iterations = static_cast<std::int64_t>(ni) * nk * nj;
+  desc.regs_per_thread = params_.cond_regs_per_thread;
+  desc.workspace_bytes_per_thread = 0;  // fits in registers/stack budget
+  desc.body = [&](std::int64_t it) {
+    const int i = patch_.ip.lo + static_cast<int>(it % ni);
+    const int k = patch_.k.lo + static_cast<int>((it / ni) % nk);
+    const int j =
+        patch_.jp.lo +
+        static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
+    call_coal_(i, k, j) = 0;
+    if (state.temp(i, k, j) <= params_.t_active) return;
+    active.fetch_add(1, std::memory_order_relaxed);
+    StackWorkspace sw;
+    const CoalWorkspace w = sw.view(bins_.nkr());
+    double temp = state.temp(i, k, j);
+    double qv = state.qv(i, k, j);
+    const double pres = state.pres(i, k, j);
+    load_workspace(state, i, k, j, w);
+    const NuclStats ns = jernucl01_ks(bins_, temp, qv, pres, w, nucl_cfg);
+    const CondStats cs = temp >= c::kT0
+                             ? onecond1(bins_, temp, qv, pres, w, cond_cfg)
+                             : onecond2(bins_, temp, qv, pres, w, cond_cfg);
+    state.temp(i, k, j) = static_cast<float>(temp);
+    state.qv(i, k, j) = static_cast<float>(qv);
+    store_workspace(state, i, k, j, w);
+    flops_milli.fetch_add(
+        static_cast<std::uint64_t>((ns.flops + cs.flops) * 1000.0),
+        std::memory_order_relaxed);
+    if (temp > params_.t_coal) {
+      call_coal_(i, k, j) = 1;
+      coal_cells.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  desc.flops_total = [&]() {
+    return static_cast<double>(flops_milli.load()) / 1000.0;
+  };
+  desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
+    const int i = patch_.ip.lo + static_cast<int>(it % ni);
+    const int k = patch_.k.lo + static_cast<int>((it / ni) % nk);
+    const int j =
+        patch_.jp.lo +
+        static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
+    auto addr = [](const void* p) {
+      return reinterpret_cast<std::uint64_t>(p);
+    };
+    out.push_back({addr(&state.temp(i, k, j)), 4, false});
+    if (state.temp(i, k, j) <= params_.t_active) return;
+    out.push_back({addr(&state.qv(i, k, j)), 4, true});
+    for (int s = 0; s < kNumSpecies; ++s) {
+      const float* sl = state.ff[static_cast<std::size_t>(s)].slice(i, k, j);
+      for (int n = 0; n < bins_.nkr(); n += 2) {
+        out.push_back({addr(sl + n), 4, false});
+        out.push_back({addr(sl + n), 4, true});
+      }
+    }
+  };
+  st.cond_kernel = device_->launch(desc);
+  st.cells_active += active.load();
+  st.cells_coal += coal_cells.load();
+  st.cond_flops += desc.flops_total();
+}
+
+void FastSbm::pass_physics(MicroState& state, FsbmStats& st,
+                           prof::Profiler& prof) {
+  const bool inline_coal = version_ == Version::kV0Baseline ||
+                           version_ == Version::kV1LookupOnDemand;
+  StackWorkspace sw;
+  const int nkr = bins_.nkr();
+  const CoalWorkspace w = sw.view(nkr);
+
+  CondConfig cond_cfg = params_.cond;
+  cond_cfg.dt = params_.dt;
+  NuclConfig nucl_cfg = params_.nucl;
+  nucl_cfg.dt = params_.dt;
+
+  // Listing 1's j/k/i loop.  WRF runs one OpenMP thread per MPI task in
+  // the paper's configuration, so this pass is serial within a rank.
+  for (int j = patch_.jp.lo; j <= patch_.jp.hi; ++j) {
+    for (int k = patch_.k.lo; k <= patch_.k.hi; ++k) {
+      for (int i = patch_.ip.lo; i <= patch_.ip.hi; ++i) {
+        call_coal_(i, k, j) = 0;
+        if (state.temp(i, k, j) <= params_.t_active) continue;
+        ++st.cells_active;
+
+        double temp = state.temp(i, k, j);
+        double qv = state.qv(i, k, j);
+        const double pres = state.pres(i, k, j);
+        load_workspace(state, i, k, j, w);
+
+        // Nucleation.
+        const NuclStats ns =
+            jernucl01_ks(bins_, temp, qv, pres, w, nucl_cfg);
+        st.nucl_flops += ns.flops;
+
+        // Condensation: warm path above freezing, mixed-phase below.
+        const CondStats cs =
+            temp >= c::kT0
+                ? onecond1(bins_, temp, qv, pres, w, cond_cfg)
+                : onecond2(bins_, temp, qv, pres, w, cond_cfg);
+        st.cond_flops += cs.flops;
+
+        state.temp(i, k, j) = static_cast<float>(temp);
+        state.qv(i, k, j) = static_cast<float>(qv);
+        store_workspace(state, i, k, j, w);
+
+        // Collision gate (TT > 223.15 in Listing 1).
+        if (temp <= params_.t_coal) continue;
+        if (inline_coal) {
+          prof::ScopedRange cr(prof, "coal_bott_new_loop");
+          const auto t0 = Clock::now();
+          CoalStats cst;
+          if (version_ == Version::kV0Baseline) {
+            // kernals_ks refills the *global* collision arrays for this
+            // cell; every entry of all 20 arrays is interpolated whether
+            // used or not.
+            st.kernel_entries += tables_.kernals_ks(pres, *global_cw_);
+            ++st.kernel_table_fills;
+            const KernelSource ks(*global_cw_);
+            coal_cell_stack(state, i, k, j, ks, cst);
+          } else {
+            const KernelSource ks(tables_, pres);
+            coal_cell_stack(state, i, k, j, ks, cst);
+            st.kernel_entries += cst.kernel_lookups;
+          }
+          st.coal_interactions += cst.interactions;
+          st.coal_flops +=
+              cst.flops +
+              (version_ == Version::kV0Baseline
+                   ? 4.0 * kNumPairs * nkr * nkr  // table fill flops
+                   : 4.0 * static_cast<double>(cst.kernel_lookups));
+          ++st.cells_coal;
+          st.wall_coal_sec += seconds_since(t0);
+        } else {
+          call_coal_(i, k, j) = 1;
+          ++st.cells_coal;
+        }
+      }
+    }
+  }
+}
+
+void FastSbm::emit_coal_trace(const MicroState& state, int i, int k, int j,
+                              bool pooled,
+                              std::vector<gpu::AccessEvent>& out) const {
+  auto addr = [](const void* p) {
+    return reinterpret_cast<std::uint64_t>(p);
+  };
+  out.push_back({addr(&call_coal_(i, k, j)), 1, false});
+  if (call_coal_(i, k, j) == 0) return;
+  out.push_back({addr(&state.temp(i, k, j)), 4, false});
+  out.push_back({addr(&state.pres(i, k, j)), 4, false});
+
+  const int nkr = bins_.nkr();
+  // Workspace copy-in: bin-strided reads of the ff slices; pooled runs
+  // also write the pool slabs (global memory), stack runs keep the
+  // workspace in thread-local storage invisible to the DRAM counters.
+  const float* pool_base[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
+  if (pooled) {
+    pool_base[0] = pool_fl1_->slice(i, k, j);
+    pool_base[1] = pool_g2_->slice(i, k, j);
+    pool_base[2] = pool_g3_->slice(i, k, j);
+    pool_base[3] = pool_g4_->slice(i, k, j);
+    pool_base[4] = pool_g5_->slice(i, k, j);
+  }
+  for (int s = 0; s < kNumSpecies; ++s) {
+    const float* src = state.ff[static_cast<std::size_t>(s)].slice(i, k, j);
+    for (int n = 0; n < nkr; ++n) {
+      out.push_back({addr(src + n), 4, false});
+      if (pooled) {
+        // Species -> pool slab mapping (ice habits share g2).
+        const int slab = s == 0 ? 0 : (s <= 3 ? 1 : s - 2);
+        const int off = (s >= 1 && s <= 3) ? (s - 1) * nkr + n : n;
+        out.push_back({addr(pool_base[slab] + off), 4, true});
+      }
+    }
+  }
+
+  // Workspace copy-out at the end of the lane: the updated bin
+  // distributions are written back to the ff arrays in global memory.
+  for (int s = 0; s < kNumSpecies; ++s) {
+    const float* dst = state.ff[static_cast<std::size_t>(s)].slice(i, k, j);
+    for (int n = 0; n < nkr; n += 2) {
+      out.push_back({addr(dst + n), 4, true});
+    }
+  }
+
+  // Collision sweeps: table reads (+ pooled workspace read/write) per
+  // active (i2, j2) pair.  Pair activity mirrors coal_bott_new's gates.
+  const bool cold = state.temp(i, k, j) < c::kT0;
+  const int npairs = cold ? kNumPairs : 1;
+  for (int p = 0; p < npairs; ++p) {
+    const auto pair = static_cast<CollisionPair>(p);
+    const float* t750 = tables_.table_ptr(pair, true);
+    const float* t500 = tables_.table_ptr(pair, false);
+    const bool self = pair_a(pair) == pair_b(pair);
+    for (int j2 = 0; j2 < nkr; j2 += 2) {      // sampled rows
+      const int imax = self ? j2 : nkr - 1;
+      for (int i2 = 0; i2 <= imax; i2 += 2) {  // sampled columns
+        const std::size_t idx = static_cast<std::size_t>(i2) * nkr + j2;
+        out.push_back({addr(t750 + idx), 4, false});
+        out.push_back({addr(t500 + idx), 4, false});
+        if (pooled) {
+          out.push_back({addr(pool_base[0] + i2), 4, false});
+          out.push_back({addr(pool_base[0] + i2), 4, true});
+        }
+      }
+    }
+  }
+}
+
+void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
+                                prof::Profiler& prof) {
+  prof::ScopedRange cr(prof, "coal_bott_new_loop");
+  const auto t0 = Clock::now();
+
+  const int nkr = bins_.nkr();
+  const int ni = patch_.ip.size();
+  const int nk = patch_.k.size();
+  const int nj = patch_.jp.size();
+  const bool pooled = version_ == Version::kV3Offload3;
+  const bool collapse3 = version_ != Version::kV2Offload2;
+
+  // Host -> device: bin distributions, thermodynamic fields, predicate.
+  std::uint64_t h2d = call_coal_.size();
+  for (const auto& f : state.ff) h2d += f.bytes();
+  h2d += state.temp.bytes() + state.pres.bytes();
+  const double xfer_before = device_->transfers().modeled_time_ms;
+  device_->map_to(h2d);
+  st.h2d_ms += device_->transfers().modeled_time_ms - xfer_before;
+
+  std::atomic<std::uint64_t> interactions{0};
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> cells{0};
+
+  gpu::KernelDesc desc;
+  desc.name = "coal_bott_new_loop";
+  desc.collapse = collapse3 ? 3 : 2;
+  desc.iterations = collapse3 ? static_cast<std::int64_t>(ni) * nk * nj
+                              : static_cast<std::int64_t>(nk) * nj;
+  desc.regs_per_thread = params_.coal_regs_per_thread;
+  desc.workspace_bytes_per_thread =
+      pooled ? 0
+             : static_cast<std::uint64_t>(params_.automatic_array_count) *
+                   static_cast<std::uint64_t>(nkr) * sizeof(float);
+  desc.double_precision = false;
+
+  auto run_cell = [&](int i, int k, int j) {
+    if (call_coal_(i, k, j) == 0) return;
+    // Device code path: nvfortran-style FMA contraction (see get_cw_device).
+    const KernelSource ks(tables_, state.pres(i, k, j), /*device_fma=*/true);
+    CoalStats cst;
+    if (pooled) {
+      coal_cell_pooled(state, i, k, j, ks, cst);
+    } else {
+      coal_cell_stack(state, i, k, j, ks, cst);
+    }
+    interactions.fetch_add(cst.interactions, std::memory_order_relaxed);
+    lookups.fetch_add(cst.kernel_lookups, std::memory_order_relaxed);
+    cells.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  if (collapse3) {
+    // Listing 6 with full collapse: one device lane per grid cell.
+    desc.body = [&](std::int64_t it) {
+      const int i = patch_.ip.lo + static_cast<int>(it % ni);
+      const int k = patch_.k.lo + static_cast<int>((it / ni) % nk);
+      const int j = patch_.jp.lo + static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
+      run_cell(i, k, j);
+    };
+  } else {
+    // collapse(2): lanes over (k, j); the i loop stays inside the lane.
+    desc.body = [&](std::int64_t it) {
+      const int k = patch_.k.lo + static_cast<int>(it % nk);
+      const int j = patch_.jp.lo + static_cast<int>(it / nk);
+      for (int i = patch_.ip.lo; i <= patch_.ip.hi; ++i) run_cell(i, k, j);
+    };
+  }
+  desc.flops_total = [&]() {
+    return 24.0 * static_cast<double>(interactions.load()) +
+           4.0 * static_cast<double>(lookups.load());
+  };
+  desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
+    if (collapse3) {
+      const int i = patch_.ip.lo + static_cast<int>(it % ni);
+      const int k = patch_.k.lo + static_cast<int>((it / ni) % nk);
+      const int j = patch_.jp.lo + static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
+      emit_coal_trace(state, i, k, j, pooled, out);
+    } else {
+      const int k = patch_.k.lo + static_cast<int>(it % nk);
+      const int j = patch_.jp.lo + static_cast<int>(it / nk);
+      for (int i = patch_.ip.lo; i <= patch_.ip.hi; ++i) {
+        emit_coal_trace(state, i, k, j, pooled, out);
+      }
+    }
+  };
+
+  st.coal_kernel = device_->launch(desc);
+
+  // Device -> host: updated distributions.
+  std::uint64_t d2h = 0;
+  for (const auto& f : state.ff) d2h += f.bytes();
+  const double xfer_before2 = device_->transfers().modeled_time_ms;
+  device_->map_from(d2h);
+  st.d2h_ms += device_->transfers().modeled_time_ms - xfer_before2;
+
+  st.coal_interactions += interactions.load();
+  st.kernel_entries += lookups.load();
+  st.coal_flops += desc.flops_total();
+  st.wall_coal_sec += seconds_since(t0);
+}
+
+void FastSbm::pass_sedimentation(MicroState& state, FsbmStats& st,
+                                 prof::Profiler& prof) {
+  prof::ScopedRange sr(prof, "sedimentation");
+  const int nkr = bins_.nkr();
+  const int nz = patch_.k.size();
+  SedConfig cfg = params_.sed;
+  cfg.dt = params_.dt;
+
+  std::vector<float> col(static_cast<std::size_t>(nz) * nkr);
+  std::vector<double> rho_col(static_cast<std::size_t>(nz));
+  for (int j = patch_.jp.lo; j <= patch_.jp.hi; ++j) {
+    for (int i = patch_.ip.lo; i <= patch_.ip.hi; ++i) {
+      for (int iz = 0; iz < nz; ++iz) {
+        rho_col[static_cast<std::size_t>(iz)] =
+            state.rho(i, patch_.k.lo + iz, j);
+      }
+      for (int s = 0; s < kNumSpecies; ++s) {
+        auto& f = state.ff[static_cast<std::size_t>(s)];
+        // Gather the column (bin-fastest slices per level).
+        for (int iz = 0; iz < nz; ++iz) {
+          std::memcpy(&col[static_cast<std::size_t>(iz) * nkr],
+                      f.slice(i, patch_.k.lo + iz, j),
+                      static_cast<std::size_t>(nkr) * sizeof(float));
+        }
+        const SedStats ss =
+            sediment_column(bins_, static_cast<Species>(s), col.data(),
+                            rho_col.data(), nz, cfg);
+        for (int iz = 0; iz < nz; ++iz) {
+          std::memcpy(f.slice(i, patch_.k.lo + iz, j),
+                      &col[static_cast<std::size_t>(iz) * nkr],
+                      static_cast<std::size_t>(nkr) * sizeof(float));
+        }
+        state.precip(i, 0, j) =
+            static_cast<float>(state.precip(i, 0, j) + ss.surface_precip);
+        st.surface_precip += ss.surface_precip;
+        st.sed_flops += ss.flops;
+      }
+    }
+  }
+}
+
+FsbmStats FastSbm::step(MicroState& state, prof::Profiler& prof) {
+  prof::ScopedRange r(prof, "fast_sbm");
+  const auto t0 = Clock::now();
+  FsbmStats st;
+  const bool offloaded = version_ == Version::kV2Offload2 ||
+                         version_ == Version::kV3Offload3 ||
+                         version_ == Version::kV3NaiveCollapse3;
+  if (offloaded && params_.offload_condensation) {
+    pass_cond_offload(state, st, prof);
+  } else {
+    pass_physics(state, st, prof);
+  }
+  if (offloaded) {
+    pass_coal_offload(state, st, prof);
+  }
+  pass_sedimentation(state, st, prof);
+  st.wall_total_sec = seconds_since(t0);
+  return st;
+}
+
+}  // namespace wrf::fsbm

@@ -1,0 +1,183 @@
+#pragma once
+// The fast_sbm driver: FSBM's per-step entry point, in the paper's four
+// optimization stages.
+//
+//   kV0Baseline       — Listing 1 as found: one serial i/k/j loop doing
+//                       nucleation, condensation, and collisions per
+//                       cell, with `kernals_ks` refilling all 20 global
+//                       collision arrays for every cell.
+//   kV1LookupOnDemand — Section VI-A: kernals_ks and the global arrays
+//                       deleted; collision code calls get_cw on demand.
+//   kV2Offload2       — Section VI-B: loop fission isolates the
+//                       collision call behind a predicate array
+//                       (`call_coal_bott_new`), and the outer 2 loops are
+//                       offloaded (`collapse(2)`); coal_bott_new keeps
+//                       its automatic arrays (device-heap workspace).
+//   kV3Offload3       — Section VI-C: automatic arrays hoisted into
+//                       persistent device pools (`temp_arrays` module),
+//                       enabling collapse(3).
+//
+// All versions compute the same physics; v2/v3 run their collision pass
+// through a gpu::Device (functional execution + performance model).
+// A fifth mode, kV3NaiveCollapse3, offloads collapse(3) while keeping
+// automatic arrays — it exists to reproduce the CUDA memory error the
+// paper hit before introducing the pools.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "fsbm/coal_bott.hpp"
+#include "fsbm/kernels.hpp"
+#include "fsbm/nucleation.hpp"
+#include "fsbm/onecond.hpp"
+#include "fsbm/sedimentation.hpp"
+#include "fsbm/state.hpp"
+#include "gpu/device.hpp"
+#include "prof/prof.hpp"
+
+namespace wrf::fsbm {
+
+enum class Version : int {
+  kV0Baseline = 0,
+  kV1LookupOnDemand = 1,
+  kV2Offload2 = 2,
+  kV3Offload3 = 3,
+  kV3NaiveCollapse3 = 4,  ///< reproduces the §VI-B memory error
+};
+
+const char* version_name(Version v);
+
+/// Tunable parameters of the scheme (paper values as defaults).
+struct FsbmParams {
+  double dt = 5.0;               ///< CONUS-12km time step, s
+  double t_active = 193.15;      ///< Listing 1: cells colder than this skip
+  double t_coal = 223.15;        ///< Listing 1: collision gate (TT >)
+  CoalConfig coal;
+  CondConfig cond;
+  NuclConfig nucl;
+  SedConfig sed;
+  /// Registers/thread of the offloaded collision kernel; limits
+  /// occupancy at full collapse (Table VI's 35.67%).
+  int coal_regs_per_thread = 90;
+  /// The Fortran routine declares ~30 automatic bin arrays (Listing 7
+  /// shows the first few); this inventory sets the per-thread device
+  /// workspace for the heap check.
+  int automatic_array_count = 30;
+
+  /// §VIII extension ("the loops calling condensation routines are
+  /// currently being offloaded using a similar approach"): when true,
+  /// the offloaded versions also run nucleation+condensation as a
+  /// second device kernel (fissioned behind its own predicate), leaving
+  /// only sedimentation on the host.
+  bool offload_condensation = false;
+  int cond_regs_per_thread = 72;
+};
+
+/// Per-call statistics (work counters drive src/perfmodel).
+struct FsbmStats {
+  std::uint64_t cells_active = 0;      ///< passed the 193.15 K gate
+  std::uint64_t cells_coal = 0;        ///< called coal_bott_new
+  std::uint64_t kernel_table_fills = 0;///< v0: kernals_ks invocations
+  std::uint64_t kernel_entries = 0;    ///< cw entries computed (any path)
+  std::uint64_t coal_interactions = 0;
+  double coal_flops = 0.0;
+  double cond_flops = 0.0;
+  double nucl_flops = 0.0;
+  double sed_flops = 0.0;
+  double surface_precip = 0.0;
+  /// Host wall seconds of the whole call and of the collision section.
+  double wall_total_sec = 0.0;
+  double wall_coal_sec = 0.0;
+  /// Device-side numbers (v2/v3 only).
+  std::optional<gpu::KernelStats> coal_kernel;
+  std::optional<gpu::KernelStats> cond_kernel;  ///< §VIII extension
+  double h2d_ms = 0.0;
+  double d2h_ms = 0.0;
+
+  void merge(const FsbmStats& o);
+};
+
+/// One rank's FSBM scheme instance.  Owns the kernel tables, the v0
+/// global collision arrays, and the v3 device pools.
+class FastSbm {
+ public:
+  /// `device` is required for the offloaded versions and ignored
+  /// otherwise.  The device's heap/stack limits control whether the
+  /// naive collapse(3) reproduction throws (as on Perlmutter before
+  /// NV_ACC_CUDA_HEAPSIZE was raised).
+  FastSbm(const grid::Patch& patch, int nkr, Version version,
+          FsbmParams params = {}, gpu::Device* device = nullptr);
+
+  /// Advance microphysics one step over the patch's computational range.
+  /// Profiler ranges: "fast_sbm" (whole call), "coal_bott_new_loop"
+  /// (collision section), matching the paper's NVTX annotation points.
+  FsbmStats step(MicroState& state, prof::Profiler& prof);
+
+  Version version() const noexcept { return version_; }
+  const KernelTables& tables() const noexcept { return tables_; }
+  const FsbmParams& params() const noexcept { return params_; }
+
+  /// Device bytes the v3 pools occupy (0 for host versions); used by the
+  /// perfmodel's ranks-per-GPU memory analysis.
+  std::uint64_t pool_bytes() const noexcept { return pool_bytes_; }
+
+ private:
+  struct CellRef {
+    int i, k, j;
+  };
+
+  /// Pass 1: nucleation + condensation per cell; fills the coal
+  /// predicate for v2/v3 or runs collisions inline for v0/v1.
+  void pass_physics(MicroState& state, FsbmStats& st, prof::Profiler& prof);
+
+  /// Pass 2 (v2/v3): the isolated, offloaded collision loop (Listing 6).
+  void pass_coal_offload(MicroState& state, FsbmStats& st,
+                         prof::Profiler& prof);
+
+  /// §VIII extension: nucleation+condensation as a device kernel.
+  void pass_cond_offload(MicroState& state, FsbmStats& st,
+                         prof::Profiler& prof);
+
+  void pass_sedimentation(MicroState& state, FsbmStats& st,
+                          prof::Profiler& prof);
+
+  /// Run collisions for one cell with a stack workspace (v0-v2 path).
+  void coal_cell_stack(MicroState& state, int i, int k, int j,
+                       const KernelSource& ks, CoalStats& cst);
+
+  /// Run collisions for one cell with pooled workspace slices (v3 path).
+  void coal_cell_pooled(MicroState& state, int i, int k, int j,
+                        const KernelSource& ks, CoalStats& cst);
+
+  /// Copy state bins into a workspace / back.
+  static void load_workspace(const MicroState& s, int i, int k, int j,
+                             const CoalWorkspace& w);
+  static void store_workspace(MicroState& s, int i, int k, int j,
+                              const CoalWorkspace& w);
+
+  /// Emit the memory-access trace one collision iteration generates
+  /// (for the device cache model).  `pooled` decides whether workspace
+  /// traffic hits global memory.
+  void emit_coal_trace(const MicroState& state, int i, int k, int j,
+                       bool pooled, std::vector<gpu::AccessEvent>& out) const;
+
+  grid::Patch patch_;
+  Version version_;
+  FsbmParams params_;
+  gpu::Device* device_;
+  BinGrid bins_;
+  KernelTables tables_;
+  /// v0's "global variables": one block per rank, reused for every cell,
+  /// which is exactly the shared state Codee flagged as blocking
+  /// parallelization.
+  std::unique_ptr<CollisionArrays> global_cw_;
+  /// v3's temp_arrays module: pooled per-cell workspaces on the device.
+  std::unique_ptr<Field4D<float>> pool_fl1_, pool_g2_, pool_g3_, pool_g4_,
+      pool_g5_;
+  Field3D<std::uint8_t> call_coal_;  ///< the predicate array of Listing 6
+  std::uint64_t pool_bytes_ = 0;
+  std::mutex coal_stats_mu_;
+};
+
+}  // namespace wrf::fsbm

@@ -1,0 +1,99 @@
+#include "fsbm/nucleation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace wrf::fsbm {
+
+namespace c = wrf::constants;
+
+namespace {
+/// Total number concentration (per kg) in a bin distribution.
+double number_in(const BinGrid& bins, const float* g, double gmin) {
+  double n = 0.0;
+  for (int k = 0; k < bins.nkr(); ++k) {
+    if (g[k] > gmin) n += g[k] / bins.mass(k);
+  }
+  return n;
+}
+}  // namespace
+
+NuclStats jernucl01_ks(const BinGrid& bins, double& temp_k, double& qv,
+                       double pres_pa, const CoalWorkspace& w,
+                       const NuclConfig& cfg) {
+  NuclStats st;
+  const int nkr = bins.nkr();
+  const double m0 = bins.mass(0);
+
+  // --- CCN activation (homogeneous drop freezing limit at -40 C) ---
+  const double qs_w = c::qsat_liquid(temp_k, pres_pa);
+  const double s_w = qv / qs_w - 1.0;
+  if (s_w > 0.0 && temp_k > 233.15) {
+    // Twomey spectrum: cumulative activated CCN at supersaturation s_w
+    // (expressed in percent, as activation spectra conventionally are).
+    const double n_act =
+        cfg.n_ccn * std::min(1.0, std::pow(100.0 * s_w, cfg.kappa));
+    const double n_have = number_in(bins, w.fl1, cfg.gmin);
+    double n_new = n_act - n_have;
+    // Ignore float-roundoff residuals of an already-saturated spectrum.
+    if (n_new > 1.0e-6 * n_act) {
+      double dq = n_new * m0;
+      // Activation cannot consume more than the available excess vapor.
+      const double avail = std::max(0.0, 0.5 * (qv - qs_w));
+      if (dq > avail) {
+        dq = avail;
+        n_new = dq / m0;
+      }
+      if (dq > 0.0) {
+        w.fl1[0] = static_cast<float>(w.fl1[0] + dq);
+        qv -= dq;
+        temp_k += c::kLv / c::kCp * dq;
+        st.dq_activated += dq;
+        ++st.events;
+      }
+    }
+    st.flops += 25.0;
+  }
+
+  // --- Meyers deposition-condensation ice nucleation ---
+  const double qs_i = c::qsat_ice(temp_k, pres_pa);
+  const double s_i = qv / qs_i - 1.0;
+  if (s_i > 0.0 && temp_k < 268.15) {
+    double n_in =
+        1.0e3 * std::exp(cfg.meyers_a + cfg.meyers_b * std::min(s_i, 0.25));
+    n_in = std::min(n_in, cfg.n_in_max);
+    // Habit selection by temperature band (Magono-Lee morphology):
+    // -5..-10 C columns, -10..-20 C plates, colder: dendrites.
+    const double tc = temp_k - c::kT0;
+    float* target;
+    if (tc > -10.0) {
+      target = w.g2;                    // columns
+    } else if (tc > -20.0) {
+      target = w.g2 + nkr;              // plates
+    } else {
+      target = w.g2 + 2 * nkr;          // dendrites
+    }
+    const double n_have = number_in(bins, w.g2, cfg.gmin) +
+                          number_in(bins, w.g2 + nkr, cfg.gmin) +
+                          number_in(bins, w.g2 + 2 * nkr, cfg.gmin);
+    double n_new = n_in - n_have;
+    if (n_new > 1.0e-6 * n_in) {
+      double dq = n_new * m0;
+      const double avail = std::max(0.0, 0.5 * (qv - qs_i));
+      if (dq > avail) dq = avail;
+      if (dq > 0.0) {
+        target[0] = static_cast<float>(target[0] + dq);
+        qv -= dq;
+        temp_k += c::kLs / c::kCp * dq;
+        st.dq_ice_nucl += dq;
+        ++st.events;
+      }
+    }
+    st.flops += 40.0;
+  }
+  return st;
+}
+
+}  // namespace wrf::fsbm

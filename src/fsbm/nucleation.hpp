@@ -1,0 +1,41 @@
+#pragma once
+// Drop activation and ice nucleation: FSBM's jernucl01_ks.
+//
+// Liquid: Twomey-type CCN activation N_act = N_ccn * S^kappa; newly
+// activated droplets enter the smallest liquid bin.  Ice: Meyers-type
+// deposition nucleation N_in = N0 * exp(a + b * S_ice) for T < -5 C,
+// with the crystal habit selected by temperature band (columns, plates,
+// dendrites), entering the smallest bin of that habit.  Both paths
+// conserve water and apply latent heating.
+
+#include <cstdint>
+
+#include "fsbm/bins.hpp"
+#include "fsbm/coal_bott.hpp"
+
+namespace wrf::fsbm {
+
+struct NuclConfig {
+  double dt = 5.0;
+  double n_ccn = 1.2e8;     ///< available CCN, per kg of air (continental)
+  double kappa = 0.5;       ///< activation-spectrum exponent
+  double meyers_a = -0.639; ///< Meyers et al. (1992) intercept
+  double meyers_b = 12.96;  ///< Meyers slope on ice supersaturation
+  double n_in_max = 1.0e5;  ///< cap on ice nuclei, per kg
+  double gmin = 1.0e-14;
+};
+
+struct NuclStats {
+  double dq_activated = 0.0;   ///< vapor -> new droplets, kg/kg
+  double dq_ice_nucl = 0.0;    ///< vapor -> new crystals, kg/kg
+  std::uint64_t events = 0;
+  double flops = 0.0;
+};
+
+/// Nucleate new particles in one cell; updates temp, qv, and the
+/// workspace distributions.
+NuclStats jernucl01_ks(const BinGrid& bins, double& temp_k, double& qv,
+                       double pres_pa, const CoalWorkspace& w,
+                       const NuclConfig& cfg);
+
+}  // namespace wrf::fsbm

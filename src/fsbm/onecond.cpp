@@ -1,0 +1,177 @@
+#include "fsbm/onecond.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace wrf::fsbm {
+
+namespace c = wrf::constants;
+
+double grow_and_remap(const BinGrid& bins, float* g, const double* dm,
+                      double gmin) {
+  const int nkr = bins.nkr();
+  // Scratch on the stack: remap targets a clean array, then copies back.
+  float gnew[kMaxNkr] = {};
+  double dq = 0.0;  // vapor consumed (positive = condensation)
+
+  for (int k = 0; k < nkr; ++k) {
+    const float gk = g[k];
+    if (gk <= gmin) {
+      // Numerical dust still carries mass; keep it in place.
+      gnew[k] += gk;
+      continue;
+    }
+    const double m = bins.mass(k);
+    const double n = gk / m;
+    double m_new = m + dm[k];
+    if (m_new <= 0.5 * bins.mass(0)) {
+      // Shrunk below the grid: complete evaporation of this bin.
+      dq -= gk;
+      continue;
+    }
+    const double m_top = bins.mass(nkr - 1);
+    if (m_new >= m_top) {
+      // Clamp growth at the top bin (mass beyond the grid is truncated;
+      // vapor budget sees only the realized growth).
+      gnew[nkr - 1] += static_cast<float>(n * m_top);
+      dq += n * (m_top - m);
+      continue;
+    }
+    const int kd = bins.bin_floor(m_new);
+    const double mk = bins.mass(kd);
+    const double mk1 = bins.mass(kd + 1);
+    const double f = (m_new - mk) / (mk1 - mk);
+    gnew[kd] += static_cast<float>(n * (1.0 - f) * mk);
+    gnew[kd + 1] += static_cast<float>(n * f * mk1);
+    dq += n * (m_new - m);
+  }
+  for (int k = 0; k < nkr; ++k) g[k] = gnew[k];
+  return dq;
+}
+
+namespace {
+
+/// Thermodynamic growth factor 1/(Fk + Fd) pieces for one phase.
+struct GrowthEnv {
+  double inv_fk_fd;  ///< 1/(Fk+Fd): kg m^-1 s^-1 scale of dm/dt = 4 pi r S * this
+  double qs;         ///< saturation mixing ratio for this phase
+  double latent;     ///< heating per kg condensed
+};
+
+GrowthEnv growth_env(double temp_k, double pres_pa, bool over_ice) {
+  const double es = over_ice ? c::esat_ice(temp_k) : c::esat_liquid(temp_k);
+  const double lat = over_ice ? c::kLs : c::kLv;
+  const double dv =
+      2.11e-5 * std::pow(temp_k / 273.15, 1.94) * (101325.0 / pres_pa);
+  const double ka = 0.0243;
+  const double fk = (lat / (c::kRv * temp_k) - 1.0) * lat / (ka * temp_k);
+  const double fd = c::kRv * temp_k / (dv * es);
+  GrowthEnv env;
+  env.inv_fk_fd = 1.0 / (fk + fd);
+  env.qs = over_ice ? c::qsat_ice(temp_k, pres_pa)
+                    : c::qsat_liquid(temp_k, pres_pa);
+  env.latent = lat;
+  return env;
+}
+
+/// One growth substep for one distribution.  Computes per-bin particle
+/// growth, clamps the aggregate against the vapor budget, remaps, and
+/// applies vapor/temperature feedback.  Returns condensed mass.
+double substep_one(const BinGrid& bins, Species sp, float* g, double& temp_k,
+                   double& qv, double pres_pa, bool over_ice, double dt,
+                   double gmin, CondStats& st) {
+  const GrowthEnv env = growth_env(temp_k, pres_pa, over_ice);
+  const double s_super = qv / env.qs - 1.0;
+  if (std::abs(s_super) < 1.0e-8) return 0.0;
+
+  const int nkr = bins.nkr();
+  double dm[kMaxNkr];
+  double dq_request = 0.0;
+  for (int k = 0; k < nkr; ++k) {
+    if (g[k] <= gmin) {
+      dm[k] = 0.0;
+      continue;
+    }
+    const double r = bins.radius(sp, k);
+    dm[k] = 4.0 * c::kPi * r * s_super * env.inv_fk_fd * dt;
+    // A particle cannot more than double or lose more than half its mass
+    // in one substep (stability of the explicit scheme).
+    const double m = bins.mass(k);
+    dm[k] = std::clamp(dm[k], -0.5 * m, m);
+    dq_request += g[k] / m * dm[k];
+    ++st.bins_active;
+    st.flops += 30.0;
+  }
+  if (dq_request == 0.0) return 0.0;
+
+  // Vapor budget clamp: condensation cannot overshoot saturation
+  // (relaxation limit), evaporation cannot push qv above saturation.
+  double allow;
+  if (dq_request > 0.0) {
+    allow = std::max(0.0, 0.9 * (qv - env.qs));
+  } else {
+    allow = std::min(0.0, -0.9 * (env.qs - qv));
+  }
+  double scale = 1.0;
+  if (std::abs(dq_request) > std::abs(allow)) {
+    scale = std::abs(allow) / std::abs(dq_request);
+  }
+  if (scale < 1.0) {
+    for (int k = 0; k < nkr; ++k) dm[k] *= scale;
+  }
+
+  const double dq = grow_and_remap(bins, g, dm, gmin);
+  qv -= dq;
+  temp_k += env.latent / c::kCp * dq;
+  return dq;
+}
+
+}  // namespace
+
+CondStats onecond1(const BinGrid& bins, double& temp_k, double& qv,
+                   double pres_pa, const CoalWorkspace& w,
+                   const CondConfig& cfg) {
+  CondStats st;
+  const double dt_sub = cfg.dt / cfg.substeps;
+  for (int s = 0; s < cfg.substeps; ++s) {
+    st.dq_liquid += substep_one(bins, Species::kLiquid, w.fl1, temp_k, qv,
+                                pres_pa, /*over_ice=*/false, dt_sub, cfg.gmin,
+                                st);
+  }
+  return st;
+}
+
+CondStats onecond2(const BinGrid& bins, double& temp_k, double& qv,
+                   double pres_pa, const CoalWorkspace& w,
+                   const CondConfig& cfg) {
+  CondStats st;
+  const int nkr = bins.nkr();
+  const double dt_sub = cfg.dt / cfg.substeps;
+  for (int s = 0; s < cfg.substeps; ++s) {
+    // Liquid equilibrates against water saturation...
+    st.dq_liquid += substep_one(bins, Species::kLiquid, w.fl1, temp_k, qv,
+                                pres_pa, /*over_ice=*/false, dt_sub, cfg.gmin,
+                                st);
+    // ...while every ice class grows against (lower) ice saturation:
+    // between the two saturation curves, ice grows at liquid's expense.
+    float* const ice_arrays[3] = {w.g2, w.g2 + nkr, w.g2 + 2 * nkr};
+    const Species ice_species[3] = {Species::kIceColumn, Species::kIcePlate,
+                                    Species::kIceDendrite};
+    for (int h = 0; h < kIceMax; ++h) {
+      st.dq_ice += substep_one(bins, ice_species[h], ice_arrays[h], temp_k,
+                               qv, pres_pa, /*over_ice=*/true, dt_sub,
+                               cfg.gmin, st);
+    }
+    st.dq_ice += substep_one(bins, Species::kSnow, w.g3, temp_k, qv, pres_pa,
+                             /*over_ice=*/true, dt_sub, cfg.gmin, st);
+    st.dq_ice += substep_one(bins, Species::kGraupel, w.g4, temp_k, qv,
+                             pres_pa, /*over_ice=*/true, dt_sub, cfg.gmin, st);
+    st.dq_ice += substep_one(bins, Species::kHail, w.g5, temp_k, qv, pres_pa,
+                             /*over_ice=*/true, dt_sub, cfg.gmin, st);
+  }
+  return st;
+}
+
+}  // namespace wrf::fsbm

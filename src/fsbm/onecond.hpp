@@ -1,0 +1,54 @@
+#pragma once
+// Bin condensation / evaporation / deposition: FSBM's onecond1/onecond2.
+//
+// `onecond1` handles warm cells (liquid only); `onecond2` handles
+// mixed-phase cells where supercooled liquid and the ice classes compete
+// for vapor (the Wegener-Bergeron-Findeisen mechanism emerges because
+// saturation over ice is lower than over liquid).  Growth follows the
+// classic diffusional equation dm/dt = 4*pi*r*S / (Fk + Fd) per bin, with
+// explicit sub-stepping, vapor-budget clamping, and a number-and-mass
+// conserving remap of grown/shrunk particles back onto the fixed
+// mass-doubling grid.  Latent heating updates the cell temperature.
+//
+// These routines run on the host in every code version — the paper lists
+// offloading them as ongoing work (Section VIII).
+
+#include <cstdint>
+
+#include "fsbm/bins.hpp"
+#include "fsbm/coal_bott.hpp"
+
+namespace wrf::fsbm {
+
+struct CondConfig {
+  double dt = 5.0;
+  int substeps = 2;       ///< explicit growth substeps per call
+  double gmin = 1.0e-14;  ///< empty-bin threshold, kg/kg
+};
+
+struct CondStats {
+  double dq_liquid = 0.0;  ///< net vapor -> liquid this call, kg/kg
+  double dq_ice = 0.0;     ///< net vapor -> ice this call, kg/kg
+  std::uint64_t bins_active = 0;
+  double flops = 0.0;
+};
+
+/// Warm-cell condensation/evaporation on the liquid spectrum only.
+/// Updates `temp_k`, `qv`, and the workspace liquid distribution.
+CondStats onecond1(const BinGrid& bins, double& temp_k, double& qv,
+                   double pres_pa, const CoalWorkspace& w,
+                   const CondConfig& cfg);
+
+/// Mixed-phase condensation/deposition on liquid + ice classes.
+CondStats onecond2(const BinGrid& bins, double& temp_k, double& qv,
+                   double pres_pa, const CoalWorkspace& w,
+                   const CondConfig& cfg);
+
+/// Shared helper: grow every bin of `g` by per-particle mass change
+/// `dm[k]`, remapping onto the fixed grid; returns net condensate mass
+/// change (kg/kg).  Negative growth below the smallest bin evaporates
+/// mass to vapor entirely.  Exposed for property tests.
+double grow_and_remap(const BinGrid& bins, float* g, const double* dm,
+                      double gmin);
+
+}  // namespace wrf::fsbm

@@ -1,0 +1,34 @@
+#pragma once
+// Bin sedimentation: gravitational fallout of every bin of every class.
+//
+// First-order upwind transport in the vertical with per-bin terminal
+// velocities and CFL sub-stepping; the flux through the lowest level
+// accumulates as surface precipitation.  Operates on one column at a
+// time, which is how FSBM's fall-speed loops are structured.
+
+#include <cstdint>
+
+#include "fsbm/bins.hpp"
+
+namespace wrf::fsbm {
+
+struct SedConfig {
+  double dt = 5.0;
+  double dz = 400.0;       ///< uniform layer thickness, m
+  double gmin = 1.0e-14;
+};
+
+struct SedStats {
+  double surface_precip = 0.0;  ///< kg/kg column-equivalent mass removed
+  std::uint64_t substeps = 0;
+  double flops = 0.0;
+};
+
+/// Sediment one species' column.  `g_col` holds nz levels of nkr bins,
+/// level-major: g_col[iz * nkr + k], iz = 0 at the surface.  `rho` is the
+/// per-level air density (nz entries).  Returns mass delivered to the
+/// surface (sum over bins of rho-weighted flux, normalized by level 0).
+SedStats sediment_column(const BinGrid& bins, Species sp, float* g_col,
+                         const double* rho, int nz, const SedConfig& cfg);
+
+}  // namespace wrf::fsbm

@@ -1,0 +1,85 @@
+#pragma once
+// Per-patch microphysics state in WRF memory layout.
+//
+// Thermodynamic fields are Field3D (i fastest); bin distributions are
+// Field4D with the bin index fastest, matching FSBM's ff(1:nkr,i,k,j)
+// arrays — the layout whose bin-strided GPU accesses the paper's
+// roofline discussion analyzes.
+
+#include <array>
+
+#include "fsbm/bins.hpp"
+#include "grid/decomp.hpp"
+#include "util/field.hpp"
+
+namespace wrf::fsbm {
+
+/// All microphysics state owned by one rank's patch.
+struct MicroState {
+  explicit MicroState(const grid::Patch& patch, int nkr = 33)
+      : patch(patch),
+        bins(nkr),
+        temp(patch.im, patch.k, patch.jm),
+        qv(patch.im, patch.k, patch.jm),
+        pres(patch.im, patch.k, patch.jm),
+        rho(patch.im, patch.k, patch.jm) {
+    for (auto& f : ff) {
+      f = Field4D<float>(nkr, patch.im, patch.k, patch.jm);
+    }
+    precip = Field3D<float>(patch.im, Range{0, 0}, patch.jm);
+  }
+
+  /// Sum of all condensate (every bin of every class) at one cell, kg/kg.
+  double total_condensate(int i, int k, int j) const {
+    double q = 0.0;
+    for (const auto& f : ff) {
+      for (int n = 0; n < bins.nkr(); ++n) q += f(n, i, k, j);
+    }
+    return q;
+  }
+
+  /// Column-integrated mass of one species over the whole patch
+  /// computational region (diagnostic; kg/kg summed over cells).
+  double species_mass(Species s) const {
+    const auto& f = ff[static_cast<std::size_t>(s)];
+    double q = 0.0;
+    for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+        for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+          for (int n = 0; n < bins.nkr(); ++n) q += f(n, i, k, j);
+        }
+      }
+    }
+    return q;
+  }
+
+  /// Water-budget invariant: vapor + all condensate summed over the
+  /// computational region (sedimentation adds surface precip).
+  double total_water() const {
+    double q = 0.0;
+    for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
+      for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+        for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+          q += qv(i, k, j) + total_condensate(i, k, j);
+        }
+      }
+    }
+    for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
+      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+        q += precip(i, 0, j);
+      }
+    }
+    return q;
+  }
+
+  grid::Patch patch;
+  BinGrid bins;
+  Field3D<float> temp;   ///< air temperature, K (the paper's T_OLD)
+  Field3D<float> qv;     ///< water-vapor mixing ratio, kg/kg
+  Field3D<float> pres;   ///< pressure, Pa
+  Field3D<float> rho;    ///< dry-air density, kg/m^3
+  std::array<Field4D<float>, kNumSpecies> ff;  ///< bin distributions
+  Field3D<float> precip; ///< accumulated surface precipitation (2-D)
+};
+
+}  // namespace wrf::fsbm

@@ -1,0 +1,121 @@
+#include "gpu/cache.hpp"
+
+namespace wrf::gpu {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheSim::CacheSim(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+                   std::uint32_t ways)
+    : capacity_(capacity_bytes), line_bytes_(line_bytes), ways_(ways) {
+  if (!is_pow2(line_bytes)) {
+    throw ConfigError("CacheSim: line size must be a power of 2");
+  }
+  if (ways == 0 || capacity_bytes <
+                       static_cast<std::uint64_t>(line_bytes) * ways ||
+      capacity_bytes % (static_cast<std::uint64_t>(line_bytes) * ways) != 0) {
+    throw ConfigError("CacheSim: ways must divide capacity/line");
+  }
+  num_sets_ = capacity_bytes / line_bytes / ways;
+  sets_.assign(num_sets_ * ways_, Way{});
+}
+
+void CacheSim::reset() {
+  sets_.assign(num_sets_ * ways_, Way{});
+  stats_ = CacheStats{};
+  tick_ = 0;
+}
+
+bool CacheSim::access_line(std::uint64_t line_addr, bool write) {
+  const std::uint64_t set = line_addr % num_sets_;
+  const std::uint64_t tag = line_addr / num_sets_;
+  Way* base = &sets_[set * ways_];
+  ++tick_;
+  ++stats_.accesses;
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = tick_;
+      if (write) base[w].dirty = true;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  // Miss: fill into LRU victim (invalid ways are oldest by construction).
+  ++stats_.misses;
+  std::uint32_t victim = 0;
+  std::uint64_t oldest = ~0ull;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      oldest = 0;
+      break;
+    }
+    if (base[w].lru < oldest) {
+      oldest = base[w].lru;
+      victim = w;
+    }
+  }
+  if (base[victim].valid && base[victim].dirty) ++stats_.writebacks;
+  base[victim] = Way{tag, true, write, tick_};
+  return false;
+}
+
+std::uint32_t CacheSim::access(std::uint64_t addr, std::uint32_t bytes,
+                               bool write) {
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / line_bytes_;
+  std::uint32_t misses = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!access_line(line, write)) ++misses;
+  }
+  return misses;
+}
+
+Hierarchy::Hierarchy(int nl1, std::uint64_t l1_bytes, std::uint32_t l1_ways,
+                     std::uint64_t l2_bytes, std::uint32_t l2_ways,
+                     std::uint32_t line_bytes)
+    : l2_(l2_bytes, line_bytes, l2_ways), line_bytes_(line_bytes) {
+  if (nl1 <= 0) throw ConfigError("Hierarchy: need at least one L1 slice");
+  l1_.reserve(static_cast<std::size_t>(nl1));
+  for (int i = 0; i < nl1; ++i) l1_.emplace_back(l1_bytes, line_bytes, l1_ways);
+}
+
+void Hierarchy::access(int sm, std::uint64_t addr, std::uint32_t bytes,
+                       bool write) {
+  CacheSim& l1 = l1_[static_cast<std::size_t>(sm) % l1_.size()];
+  const std::uint64_t first = addr / line_bytes_;
+  const std::uint64_t last =
+      (addr + (bytes == 0 ? 0 : bytes - 1)) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (!l1.access_line(line, write)) {
+      // L1 miss goes to L2; L2 miss goes to DRAM.  Write misses allocate
+      // (fetch-on-write), and dirty evictions are priced as DRAM writes
+      // at the L2 boundary, which is what Nsight's DRAM counters see.
+      if (!l2_.access_line(line, write)) {
+        dram_read_ += line_bytes_;
+      }
+    }
+  }
+}
+
+CacheStats Hierarchy::l1_stats() const {
+  CacheStats agg;
+  for (const auto& c : l1_) {
+    agg.accesses += c.stats().accesses;
+    agg.hits += c.stats().hits;
+    agg.misses += c.stats().misses;
+    agg.writebacks += c.stats().writebacks;
+  }
+  return agg;
+}
+
+void Hierarchy::reset() {
+  for (auto& c : l1_) c.reset();
+  l2_.reset();
+  dram_read_ = 0;
+}
+
+}  // namespace wrf::gpu

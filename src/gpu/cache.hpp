@@ -1,0 +1,104 @@
+#pragma once
+// Set-associative LRU cache simulator for the gpusim memory hierarchy.
+//
+// The device model replays sampled per-thread access traces through a
+// two-level hierarchy (per-SM L1, device-wide L2) to estimate the hit
+// rates and DRAM traffic that Nsight Compute reports in the paper's
+// Table VI.  The simulator is trace-driven and exact for the trace it is
+// given; sampling and interleaving policy live in the device model.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wrf::gpu {
+
+/// One memory access as seen by the cache (already coalesced or not —
+/// the caller decides; FSBM's bin-strided accesses do not coalesce,
+/// which the paper's roofline discussion calls out).
+struct AccessEvent {
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 4;
+  bool write = false;
+};
+
+/// Results of replaying a trace through one cache level.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  double hit_rate() const noexcept {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / accesses;
+  }
+};
+
+/// A single set-associative write-back, write-allocate LRU cache.
+class CacheSim {
+ public:
+  /// capacity_bytes and line_bytes must be powers of two;
+  /// ways must divide capacity/line.
+  CacheSim(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+           std::uint32_t ways);
+
+  /// Access one address range; large/straddling accesses touch every
+  /// line they cover.  Returns the number of line misses incurred.
+  std::uint32_t access(std::uint64_t addr, std::uint32_t bytes, bool write);
+
+  /// Line-granular probe used by the hierarchy glue: access exactly one
+  /// line; returns true on hit.
+  bool access_line(std::uint64_t line_addr, bool write);
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  std::uint32_t line_bytes() const noexcept { return line_bytes_; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  void reset();
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  std::uint64_t capacity_;
+  std::uint32_t line_bytes_;
+  std::uint32_t ways_;
+  std::uint64_t num_sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> sets_;  // num_sets * ways, row-major
+  CacheStats stats_;
+};
+
+/// Two-level hierarchy: `nl1` private L1 slices in front of a shared L2.
+/// Each access names the L1 slice (the SM) it originates from.
+class Hierarchy {
+ public:
+  Hierarchy(int nl1, std::uint64_t l1_bytes, std::uint32_t l1_ways,
+            std::uint64_t l2_bytes, std::uint32_t l2_ways,
+            std::uint32_t line_bytes);
+
+  /// Replay one access from SM `sm`; updates L1/L2 stats and DRAM bytes.
+  void access(int sm, std::uint64_t addr, std::uint32_t bytes, bool write);
+
+  /// Aggregate stats over all L1 slices.
+  CacheStats l1_stats() const;
+  const CacheStats& l2_stats() const noexcept { return l2_.stats(); }
+  std::uint64_t dram_read_bytes() const noexcept { return dram_read_; }
+  /// DRAM writes are dirty L2 evictions (write-back at the last level).
+  std::uint64_t dram_write_bytes() const noexcept {
+    return l2_.stats().writebacks * line_bytes_;
+  }
+  void reset();
+
+ private:
+  std::vector<CacheSim> l1_;
+  CacheSim l2_;
+  std::uint32_t line_bytes_;
+  std::uint64_t dram_read_ = 0;
+};
+
+}  // namespace wrf::gpu

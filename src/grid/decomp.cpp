@@ -1,0 +1,146 @@
+#include "grid/decomp.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wrf::grid {
+
+Side opposite(Side s) noexcept {
+  switch (s) {
+    case Side::kWest: return Side::kEast;
+    case Side::kEast: return Side::kWest;
+    case Side::kSouth: return Side::kNorth;
+    case Side::kNorth: return Side::kSouth;
+  }
+  return Side::kWest;  // unreachable
+}
+
+namespace {
+
+/// Balanced split of inclusive range `r` into `n` pieces; piece `idx`.
+Range split(const Range& r, int n, int idx) {
+  const int len = r.size();
+  const int base = len / n;
+  const int rem = len % n;
+  // First `rem` pieces get one extra cell.
+  const int lo_off = idx * base + (idx < rem ? idx : rem);
+  const int sz = base + (idx < rem ? 1 : 0);
+  return Range{r.lo + lo_off, r.lo + lo_off + sz - 1};
+}
+
+}  // namespace
+
+Tile Patch::tile(int t, int ntiles) const {
+  if (t < 0 || ntiles <= 0 || t >= ntiles) {
+    throw ConfigError("Patch::tile: tile index " + std::to_string(t) +
+                      " outside [0," + std::to_string(ntiles) + ")");
+  }
+  Tile out;
+  out.it = ip;
+  out.kt = k;
+  out.jt = split(jp, ntiles, t);
+  return out;
+}
+
+HaloRect Patch::send_rect(Side s) const {
+  switch (s) {
+    case Side::kWest:  return {Range{ip.lo, ip.lo + halo - 1}, jp};
+    case Side::kEast:  return {Range{ip.hi - halo + 1, ip.hi}, jp};
+    case Side::kSouth: return {ip, Range{jp.lo, jp.lo + halo - 1}};
+    case Side::kNorth: return {ip, Range{jp.hi - halo + 1, jp.hi}};
+  }
+  return {};
+}
+
+HaloRect Patch::recv_rect(Side s) const {
+  switch (s) {
+    case Side::kWest:  return {Range{ip.lo - halo, ip.lo - 1}, jp};
+    case Side::kEast:  return {Range{ip.hi + 1, ip.hi + halo}, jp};
+    case Side::kSouth: return {ip, Range{jp.lo - halo, jp.lo - 1}};
+    case Side::kNorth: return {ip, Range{jp.hi + 1, jp.hi + halo}};
+  }
+  return {};
+}
+
+std::vector<Patch> decompose(const Domain& domain, int npx, int npy,
+                             int halo) {
+  if (npx <= 0 || npy <= 0) {
+    throw ConfigError("decompose: process grid must be positive, got " +
+                      std::to_string(npx) + "x" + std::to_string(npy));
+  }
+  if (halo < 0) throw ConfigError("decompose: negative halo");
+  if (domain.i.size() <= 0 || domain.j.size() <= 0 || domain.k.size() <= 0) {
+    throw ConfigError("decompose: empty domain");
+  }
+  if (domain.i.size() / npx < halo || domain.j.size() / npy < halo) {
+    throw ConfigError(
+        "decompose: patches narrower than halo width; reduce ranks or halo "
+        "(domain " +
+        std::to_string(domain.i.size()) + "x" + std::to_string(domain.j.size()) +
+        ", grid " + std::to_string(npx) + "x" + std::to_string(npy) +
+        ", halo " + std::to_string(halo) + ")");
+  }
+
+  std::vector<Patch> patches;
+  patches.reserve(static_cast<std::size_t>(npx) * npy);
+  for (int py = 0; py < npy; ++py) {
+    for (int px = 0; px < npx; ++px) {
+      Patch p;
+      p.rank = py * npx + px;
+      p.px = px;
+      p.py = py;
+      p.halo = halo;
+      p.domain = domain;
+      p.ip = split(domain.i, npx, px);
+      p.jp = split(domain.j, npy, py);
+      p.k = domain.k;
+      // Memory ranges always extend `halo` beyond the computational range;
+      // at domain edges those cells hold boundary-condition data.
+      p.im = Range{p.ip.lo - halo, p.ip.hi + halo};
+      p.jm = Range{p.jp.lo - halo, p.jp.hi + halo};
+      p.neighbor[static_cast<int>(Side::kWest)] =
+          px > 0 ? p.rank - 1 : -1;
+      p.neighbor[static_cast<int>(Side::kEast)] =
+          px < npx - 1 ? p.rank + 1 : -1;
+      p.neighbor[static_cast<int>(Side::kSouth)] =
+          py > 0 ? p.rank - npx : -1;
+      p.neighbor[static_cast<int>(Side::kNorth)] =
+          py < npy - 1 ? p.rank + npx : -1;
+      patches.push_back(p);
+    }
+  }
+  return patches;
+}
+
+std::pair<int, int> default_process_grid(const Domain& domain, int nranks) {
+  if (nranks <= 0) throw ConfigError("default_process_grid: nranks <= 0");
+  // Pick the factorization npx*npy == nranks whose patch aspect ratio is
+  // closest to square, as WRF's MPASPECT does.
+  const double target =
+      static_cast<double>(domain.i.size()) / domain.j.size();
+  int best_px = 1, best_py = nranks;
+  double best_err = 1e300;
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    const int py = nranks / px;
+    const double ratio = static_cast<double>(px) / py;
+    const double err = std::abs(std::log(ratio / target));
+    if (err < best_err) {
+      best_err = err;
+      best_px = px;
+      best_py = py;
+    }
+  }
+  return {best_px, best_py};
+}
+
+std::string describe(const Patch& p) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "rank %d (px=%d,py=%d) ip=%d:%d jp=%d:%d im=%d:%d jm=%d:%d",
+                p.rank, p.px, p.py, p.ip.lo, p.ip.hi, p.jp.lo, p.jp.hi,
+                p.im.lo, p.im.hi, p.jm.lo, p.jm.hi);
+  return buf;
+}
+
+}  // namespace wrf::grid

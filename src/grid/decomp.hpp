@@ -1,0 +1,104 @@
+#pragma once
+// WRF-style domain decomposition (paper Figure 1).
+//
+// The model grid ("domain", ids:ide x kds:kde x jds:jde) is partitioned in
+// the two horizontal dimensions into rectangular "patches", one per MPI
+// rank (jms:jme, ims:ime memory ranges include a halo).  Within a patch,
+// work is further split into "tiles" (jts:jte, its:ite) distributed among
+// OpenMP threads.  The vertical dimension k is never decomposed.
+//
+// This module is pure index arithmetic: it computes patch extents, memory
+// extents, neighbor ranks, tile strips, and the rectangles involved in
+// halo exchange.  Actual data motion lives in src/par.
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/field.hpp"
+
+namespace wrf::grid {
+
+/// The full model grid, Fortran-style inclusive ranges.
+struct Domain {
+  Range i;  ///< ids:ide (west-east)
+  Range k;  ///< kds:kde (bottom-top)
+  Range j;  ///< jds:jde (south-north)
+
+  long long cells() const noexcept {
+    return static_cast<long long>(i.size()) * k.size() * j.size();
+  }
+};
+
+/// Sides for halo exchange, in WRF compass convention.
+enum class Side { kWest = 0, kEast = 1, kSouth = 2, kNorth = 3 };
+
+/// Opposite side (west<->east, south<->north).
+Side opposite(Side s) noexcept;
+
+/// One tile: the unit of work handed to a thread.
+struct Tile {
+  Range it;  ///< its:ite
+  Range kt;  ///< kts:kte
+  Range jt;  ///< jts:jte
+};
+
+/// A horizontal rectangle (full k extent implied) used to describe the
+/// strips exchanged between neighboring patches.
+struct HaloRect {
+  Range i;
+  Range j;
+  long long cells(int nk) const noexcept {
+    return static_cast<long long>(i.size()) * j.size() * nk;
+  }
+};
+
+/// One rank's rectangular piece of the domain.
+struct Patch {
+  int rank = 0;          ///< linear rank id, row-major in (py, px)
+  int px = 0, py = 0;    ///< coordinates in the process grid
+  int halo = 3;          ///< halo width (3 supports 5th-order advection)
+
+  Domain domain;         ///< the global grid this patch belongs to
+  Range ip, jp;          ///< computational range (ips:ipe, jps:jpe)
+  Range im, jm;          ///< memory range incl. halo (ims:ime, jms:jme)
+  Range k;               ///< kds:kde (never decomposed)
+
+  int neighbor[4] = {-1, -1, -1, -1};  ///< rank per Side, -1 at domain edge
+
+  /// True if this patch touches the global domain boundary on `s`.
+  bool at_domain_edge(Side s) const noexcept {
+    return neighbor[static_cast<int>(s)] < 0;
+  }
+
+  /// Split the computational range into `ntiles` j-strips, WRF's default
+  /// tiling.  Tile `t` is empty when there are more tiles than rows.
+  Tile tile(int t, int ntiles) const;
+
+  /// Interior strip this patch sends to its neighbor on side `s`
+  /// (the `halo`-wide band just inside the computational range).
+  HaloRect send_rect(Side s) const;
+
+  /// Ghost strip this patch receives from its neighbor on side `s`.
+  HaloRect recv_rect(Side s) const;
+
+  long long computational_cells() const noexcept {
+    return static_cast<long long>(ip.size()) * k.size() * jp.size();
+  }
+};
+
+/// Partition `domain` into an npx-by-npy process grid with the given halo
+/// width.  Cell counts differ by at most one between patches in each
+/// dimension (WRF's balanced split).  Throws ConfigError when a patch
+/// would be narrower than the halo, which would make exchanges ill-formed.
+std::vector<Patch> decompose(const Domain& domain, int npx, int npy,
+                             int halo);
+
+/// Choose a near-square (npx, npy) factorization of `nranks` for the given
+/// domain aspect ratio, mimicking WRF's default processor layout.
+std::pair<int, int> default_process_grid(const Domain& domain, int nranks);
+
+/// Human-readable one-line description, e.g. for run headers.
+std::string describe(const Patch& p);
+
+}  // namespace wrf::grid

@@ -1,0 +1,163 @@
+#include "io/snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace wrf::io {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'W', 'R', 'F', 'S', 'N', 'P', '1'};
+
+template <class T>
+void put(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw IoError("snapshot: truncated file");
+  return v;
+}
+}  // namespace
+
+void Snapshot::add(std::string name, std::vector<std::int64_t> dims,
+                   std::vector<float> data) {
+  std::int64_t expect = 1;
+  for (auto d : dims) expect *= d;
+  if (expect != static_cast<std::int64_t>(data.size())) {
+    throw IoError("Snapshot::add: dims of '" + name +
+                  "' disagree with data size");
+  }
+  for (auto& v : vars_) {
+    if (v.name == name) {
+      v.dims = std::move(dims);
+      v.data = std::move(data);
+      return;
+    }
+  }
+  vars_.push_back(Variable{std::move(name), std::move(dims), std::move(data)});
+}
+
+const Variable* Snapshot::find(const std::string& name) const {
+  for (const auto& v : vars_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+void Snapshot::write(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw IoError("snapshot: cannot open '" + path + "' for write");
+  os.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(vars_.size()));
+  for (const auto& v : vars_) {
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(v.name.size()));
+    os.write(v.name.data(), static_cast<std::streamsize>(v.name.size()));
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(v.dims.size()));
+    for (auto d : v.dims) put<std::int64_t>(os, d);
+    put<std::uint64_t>(os, v.data.size());
+    os.write(reinterpret_cast<const char*>(v.data.data()),
+             static_cast<std::streamsize>(v.data.size() * sizeof(float)));
+  }
+  if (!os) throw IoError("snapshot: write to '" + path + "' failed");
+}
+
+Snapshot Snapshot::read(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("snapshot: cannot open '" + path + "'");
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IoError("snapshot: '" + path + "' is not a miniWRF snapshot");
+  }
+  Snapshot snap;
+  const auto nvars = get<std::uint32_t>(is);
+  for (std::uint32_t n = 0; n < nvars; ++n) {
+    const auto name_len = get<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const auto ndims = get<std::uint32_t>(is);
+    std::vector<std::int64_t> dims;
+    dims.reserve(ndims);
+    for (std::uint32_t d = 0; d < ndims; ++d) {
+      dims.push_back(get<std::int64_t>(is));
+    }
+    const auto count = get<std::uint64_t>(is);
+    std::vector<float> data(count);
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    if (!is) throw IoError("snapshot: truncated variable '" + name + "'");
+    snap.add(std::move(name), std::move(dims), std::move(data));
+  }
+  return snap;
+}
+
+DiffReport diffstate(const Snapshot& a, const Snapshot& b,
+                     double ignore_below) {
+  DiffReport rep;
+  if (a.variables().size() != b.variables().size()) {
+    throw IoError("diffstate: snapshots have different variable counts");
+  }
+  for (const auto& va : a.variables()) {
+    const Variable* vb = b.find(va.name);
+    if (vb == nullptr || vb->dims != va.dims) {
+      throw IoError("diffstate: variable '" + va.name +
+                    "' missing or reshaped in second snapshot");
+    }
+    VarDiff d;
+    d.name = va.name;
+    d.count = va.data.size();
+    double digit_sum = 0.0;
+    std::uint64_t digit_n = 0;
+    for (std::size_t e = 0; e < va.data.size(); ++e) {
+      const double x = va.data[e];
+      const double y = vb->data[e];
+      if (va.data[e] == vb->data[e]) {
+        ++d.bitwise_equal;
+        continue;
+      }
+      const double mag = std::max(std::abs(x), std::abs(y));
+      if (mag < ignore_below) {
+        ++d.bitwise_equal;  // counted as agreeing at the noise floor
+        continue;
+      }
+      const double ad = std::abs(x - y);
+      const double rd = ad / mag;
+      d.max_abs_diff = std::max(d.max_abs_diff, ad);
+      d.max_rel_diff = std::max(d.max_rel_diff, rd);
+      const double digits = std::min(16.0, -std::log10(rd));
+      d.digits_min = std::min(d.digits_min, digits);
+      digit_sum += digits;
+      ++digit_n;
+    }
+    d.digits_mean = digit_n > 0 ? digit_sum / static_cast<double>(digit_n)
+                                : 16.0;
+    if (d.bitwise_equal != d.count) rep.identical = false;
+    rep.worst_digits = std::min(rep.worst_digits, d.digits_min);
+    rep.vars.push_back(std::move(d));
+  }
+  return rep;
+}
+
+std::string DiffReport::format() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-24s %12s %12s %10s %10s\n", "variable",
+                "elements", "bit-equal", "min-digits", "mean-digits");
+  out += buf;
+  for (const auto& v : vars) {
+    std::snprintf(buf, sizeof(buf), "%-24s %12llu %12llu %10.2f %10.2f\n",
+                  v.name.c_str(), static_cast<unsigned long long>(v.count),
+                  static_cast<unsigned long long>(v.bitwise_equal),
+                  v.digits_min, v.digits_mean);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace wrf::io

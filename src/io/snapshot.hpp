@@ -1,0 +1,76 @@
+#pragma once
+// Binary state snapshots and the diffwrf-style comparator.
+//
+// WRF writes netCDF history files and ships `diffwrf`, which reports
+// bitwise differences between state variables of two files; the paper
+// uses it to verify the GPU port retains 3-6 digits of agreement
+// (Section VII-B).  This module provides the same workflow: a simple
+// self-describing binary snapshot (named float arrays + metadata) and
+// `diffstate`, which reports per-variable digits of agreement.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wrf::io {
+
+/// One named array in a snapshot.
+struct Variable {
+  std::string name;
+  std::vector<std::int64_t> dims;  ///< logical extent, outermost first
+  std::vector<float> data;
+};
+
+/// An in-memory snapshot: ordered set of named variables.
+class Snapshot {
+ public:
+  /// Add (or replace) a variable.
+  void add(std::string name, std::vector<std::int64_t> dims,
+           std::vector<float> data);
+
+  const Variable* find(const std::string& name) const;
+  const std::vector<Variable>& variables() const noexcept { return vars_; }
+
+  /// Serialize to `path`; throws IoError on failure.
+  void write(const std::string& path) const;
+
+  /// Load a snapshot written by `write`.
+  static Snapshot read(const std::string& path);
+
+ private:
+  std::vector<Variable> vars_;
+};
+
+/// Agreement report for one variable.
+struct VarDiff {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t bitwise_equal = 0;
+  double max_rel_diff = 0.0;
+  double max_abs_diff = 0.0;
+  /// min over elements of matching significant digits,
+  /// -log10(|a-b| / max(|a|,|b|)); 16 when everything is bitwise equal.
+  double digits_min = 16.0;
+  /// mean matching digits over non-identical elements.
+  double digits_mean = 16.0;
+};
+
+struct DiffReport {
+  std::vector<VarDiff> vars;
+  bool identical = true;
+  /// Smallest digits_min over all compared variables.
+  double worst_digits = 16.0;
+  std::string format() const;
+};
+
+/// Compare two snapshots variable-by-variable (they must have the same
+/// variable sets and shapes; throws IoError otherwise).  `ignore_below`
+/// skips elements whose magnitudes are both below the threshold —
+/// trace condensate noise, as diffwrf's tolerance knob does.
+DiffReport diffstate(const Snapshot& a, const Snapshot& b,
+                     double ignore_below = 0.0);
+
+}  // namespace wrf::io

@@ -1,0 +1,151 @@
+#include "model/case_conus.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace wrf::model {
+
+namespace c = wrf::constants;
+using fsbm::Species;
+
+namespace {
+
+/// Standard-atmosphere-like sounding.
+struct Sounding {
+  double temp;  ///< K
+  double pres;  ///< Pa
+  double rho;
+};
+
+Sounding sounding_at(double z_m) {
+  const double t_sfc = 302.0;
+  const double lapse = 6.5e-3;
+  const double t_trop = 212.0;
+  Sounding s;
+  s.temp = std::max(t_sfc - lapse * z_m, t_trop);
+  // Hydrostatic pressure with a mean scale height.
+  const double h_scale = c::kRd * 255.0 / c::kGravity;
+  s.pres = 101325.0 * std::exp(-z_m / h_scale);
+  s.rho = s.pres / (c::kRd * s.temp);
+  return s;
+}
+
+}  // namespace
+
+void init_case_conus(const RunConfig& config, fsbm::MicroState& state) {
+  const grid::Patch& p = state.patch;
+  const grid::Domain dom = config.domain();
+  const int nkr = state.bins.nkr();
+  Rng master(config.seed);
+
+  // Squall line: a band along i at 40% of the domain's j extent, tilted
+  // slightly, with several embedded convective cores.
+  const double band_j = 0.40;
+  const double band_width = 0.08;
+
+  for (int j = p.jm.lo; j <= p.jm.hi; ++j) {
+    for (int k = p.k.lo; k <= p.k.hi; ++k) {
+      for (int i = p.im.lo; i <= p.im.hi; ++i) {
+        // Clamp halo cells outside the domain onto the boundary so that
+        // initialization is defined everywhere in memory.
+        const int gi = std::min(std::max(i, dom.i.lo), dom.i.hi);
+        const int gj = std::min(std::max(j, dom.j.lo), dom.j.hi);
+        const int gk = std::min(std::max(k, dom.k.lo), dom.k.hi);
+        const double z = (gk - dom.k.lo + 0.5) * config.dz;
+        Sounding snd = sounding_at(z);
+
+        const double xf = static_cast<double>(gi - dom.i.lo) /
+                          std::max(1, dom.i.size() - 1);
+        const double yf = static_cast<double>(gj - dom.j.lo) /
+                          std::max(1, dom.j.size() - 1);
+        // Deterministic per-global-cell stream: decomposition-invariant.
+        const std::uint64_t cell_id =
+            (static_cast<std::uint64_t>(gj) * 100003ull +
+             static_cast<std::uint64_t>(gk)) *
+                100003ull +
+            static_cast<std::uint64_t>(gi);
+        Rng rng = master.fork(cell_id);
+
+        // Moist band with embedded cores (cores modulate along i).
+        const double line_center = band_j + 0.06 * std::sin(6.28 * xf);
+        const double dist = std::abs(yf - line_center) / band_width;
+        const double core =
+            0.5 + 0.5 * std::sin(12.56 * xf + 1.7);  // cores along the line
+        const bool in_band = dist < 2.5;
+        const double band_w = in_band ? std::exp(-dist * dist) * core : 0.0;
+
+        double rh = 0.45 + 0.25 * std::exp(-z / 4000.0);
+        rh += 0.55 * band_w * std::exp(-z / 9000.0);
+        rh += 0.02 * (rng.uniform() - 0.5);  // mesoscale noise
+        if (rh > 1.08) rh = 1.08;
+
+        // Warm anomaly in the band's low levels (CAPE source).
+        snd.temp += 2.0 * band_w * std::exp(-z / 3000.0);
+
+        state.temp(i, k, j) = static_cast<float>(snd.temp);
+        state.pres(i, k, j) = static_cast<float>(snd.pres);
+        state.rho(i, k, j) = static_cast<float>(snd.rho);
+        state.qv(i, k, j) = static_cast<float>(
+            rh * c::qsat_liquid(snd.temp, snd.pres));
+
+        for (auto& f : state.ff) {
+          for (int n = 0; n < nkr; ++n) f(n, i, k, j) = 0.0f;
+        }
+        // Seed condensate in band cores so collisions are active from
+        // step 1: droplet spectrum in warm layers, ice/snow aloft.
+        if (band_w > 0.35) {
+          const double qc = 1.2e-3 * band_w * (0.7 + 0.6 * rng.uniform());
+          if (snd.temp > 248.0) {
+            // Lognormal-ish droplet spectrum over the first ~12 bins,
+            // plus a drizzle tail that gives the collection kernel
+            // large collectors to work with.
+            auto& liq = state.ff[static_cast<int>(Species::kLiquid)];
+            double norm = 0.0;
+            for (int n = 0; n < nkr; ++n) {
+              const double x = (n - 6.0) / 2.5;
+              const double tail = n > 12 && n < 22 ? 0.02 : 0.0;
+              norm += std::exp(-x * x) + tail;
+            }
+            for (int n = 0; n < nkr; ++n) {
+              const double x = (n - 6.0) / 2.5;
+              const double tail = n > 12 && n < 22 ? 0.02 : 0.0;
+              liq(n, i, k, j) = static_cast<float>(
+                  qc * (std::exp(-x * x) + tail) / norm);
+            }
+          }
+          if (snd.temp < 268.0) {
+            const double qi = 0.4e-3 * band_w;
+            auto& sn = state.ff[static_cast<int>(Species::kSnow)];
+            auto& ic = state.ff[static_cast<int>(Species::kIcePlate)];
+            auto& gr = state.ff[static_cast<int>(Species::kGraupel)];
+            for (int n = 4; n < 16 && n < nkr; ++n) {
+              sn(n, i, k, j) = static_cast<float>(qi * 0.05);
+              ic(n, i, k, j) = static_cast<float>(qi * 0.03);
+            }
+            for (int n = 10; n < 20 && n < nkr; ++n) {
+              gr(n, i, k, j) = static_cast<float>(qi * 0.02);
+            }
+          }
+        }
+        state.precip(i, 0, j) = 0.0f;
+      }
+    }
+  }
+}
+
+double cloudy_fraction(const fsbm::MicroState& state, double threshold) {
+  const grid::Patch& p = state.patch;
+  std::uint64_t cloudy = 0, total = 0;
+  for (int j = p.jp.lo; j <= p.jp.hi; ++j) {
+    for (int k = p.k.lo; k <= p.k.hi; ++k) {
+      for (int i = p.ip.lo; i <= p.ip.hi; ++i) {
+        ++total;
+        if (state.total_condensate(i, k, j) > threshold) ++cloudy;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(cloudy) / total;
+}
+
+}  // namespace wrf::model

@@ -1,0 +1,27 @@
+#pragma once
+// Synthetic CONUS-12km-like thunderstorm initial conditions.
+//
+// The real case is a WPS-preprocessed continental United States analysis;
+// we synthesize the features the microphysics cost structure depends on:
+// a conditionally unstable sounding, a moist squall-line band with
+// embedded supersaturated cores (where FSBM works hard), dry air
+// elsewhere (where it idles — the load imbalance of Section VIII), and
+// sub-freezing upper levels so all 20 collision pair classes activate.
+
+#include "fsbm/state.hpp"
+#include "model/config.hpp"
+#include "util/rng.hpp"
+
+namespace wrf::model {
+
+/// Fill `state` (one rank's patch, halos included) with the synthetic
+/// case.  Deterministic in (config.seed, global cell index): a
+/// decomposed run initializes bitwise identically to a single-patch run.
+void init_case_conus(const RunConfig& config, fsbm::MicroState& state);
+
+/// Cloud fraction diagnostic used by tests and the perf model: fraction
+/// of computational cells with condensate above `threshold`.
+double cloudy_fraction(const fsbm::MicroState& state,
+                       double threshold = 1.0e-6);
+
+}  // namespace wrf::model

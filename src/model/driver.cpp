@@ -1,0 +1,206 @@
+#include "model/driver.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "model/halo.hpp"
+
+namespace wrf::model {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+void RunConfig::validate() const {
+  if (nx < 8 || ny < 8 || nz < 6) {
+    throw ConfigError("RunConfig: grid too small (need nx,ny>=8, nz>=6)");
+  }
+  if (nkr < 4 || nkr > fsbm::kMaxNkr) {
+    throw ConfigError("RunConfig: nkr outside [4, kMaxNkr]");
+  }
+  if (npx < 1 || npy < 1) throw ConfigError("RunConfig: bad process grid");
+  if (nx / npx < halo || ny / npy < halo) {
+    throw ConfigError("RunConfig: patches narrower than the halo");
+  }
+  if (dt <= 0.0 || nsteps < 0) throw ConfigError("RunConfig: bad time axis");
+  if (ngpus < 1) throw ConfigError("RunConfig: ngpus must be >= 1");
+}
+
+std::string RunConfig::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "grid %dx%dx%d dx=%.0fm dt=%.1fs nkr=%d ranks=%dx%d "
+                "version=%s ngpus=%d",
+                nx, ny, nz, dx, dt, nkr, npx, npy,
+                fsbm::version_name(version), ngpus);
+  return buf;
+}
+
+RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
+                     par::RankCtx* ctx)
+    : config_(config), patch_(patch), ctx_(ctx),
+      state_(patch, config.nkr) {
+  if (config_.offloaded()) {
+    device_ = std::make_unique<gpu::Device>(config_.device_spec);
+    device_->set_stack_limit(config_.stack_bytes);
+    device_->set_heap_limit(config_.heap_bytes);
+  }
+  fsbm::FsbmParams params = config_.fsbm_params;
+  params.dt = config_.dt;
+  params.sed.dz = config_.dz;
+  fsbm_ = std::make_unique<fsbm::FastSbm>(patch_, config_.nkr,
+                                          config_.version, params,
+                                          device_.get());
+  dyn::AdvConfig adv;
+  adv.dx = config_.dx;
+  adv.dy = config_.dx;
+  adv.dz = config_.dz;
+  rk3_ = std::make_unique<dyn::Rk3>(patch_, config_.nkr, adv, config_.dt);
+  winds_.domain = config_.domain();
+  winds_.dx = config_.dx;
+  winds_.dz = config_.dz;
+  // Park the updraft on the squall line of the synthetic case.
+  winds_.yc = 0.42;
+  winds_.xc = 0.5;
+}
+
+void RankModel::init() { init_case_conus(config_, state_); }
+
+void RankModel::halo_fill(fsbm::MicroState& s, double* wall_acc,
+                          std::uint64_t* bytes_acc) {
+  const auto t0 = Clock::now();
+  if (ctx_ != nullptr && ctx_->size() > 1) {
+    const std::uint64_t bytes_before = ctx_->stats().bytes_sent;
+    int seq = halo_seq_;
+    exchange_halo(*ctx_, patch_, s.qv, seq++);
+    for (auto& f : s.ff) exchange_halo_bins(*ctx_, patch_, f, seq++);
+    halo_seq_ = seq;
+    *bytes_acc += ctx_->stats().bytes_sent - bytes_before;
+  }
+  // Domain-edge boundary conditions (zero-gradient).
+  dyn::fill_domain_boundaries(patch_, s.qv);
+  for (auto& f : s.ff) dyn::fill_domain_boundaries_bins(patch_, f);
+  *wall_acc += seconds_since(t0);
+}
+
+StepStats RankModel::step(prof::Profiler& prof) {
+  StepStats st;
+  const auto t0 = Clock::now();
+  {
+    prof::ScopedRange r(prof, "solve_interval");
+    st.dyn = rk3_->step(
+        state_, winds_,
+        [this, &st](fsbm::MicroState& s) {
+          halo_fill(s, &st.halo_wall_sec, &st.halo_bytes);
+        },
+        prof);
+    st.fsbm = fsbm_->step(state_, prof);
+  }
+  st.wall_sec = seconds_since(t0);
+  return st;
+}
+
+io::Snapshot RankModel::snapshot() const {
+  io::Snapshot snap;
+  const grid::Patch& p = patch_;
+  const std::int64_t ni = p.ip.size(), nk = p.k.size(), nj = p.jp.size();
+  auto dump3 = [&](const Field3D<float>& f, const char* name) {
+    std::vector<float> data;
+    data.reserve(static_cast<std::size_t>(ni * nk * nj));
+    for (int j = p.jp.lo; j <= p.jp.hi; ++j)
+      for (int k = p.k.lo; k <= p.k.hi; ++k)
+        for (int i = p.ip.lo; i <= p.ip.hi; ++i) data.push_back(f(i, k, j));
+    snap.add(name, {nj, nk, ni}, std::move(data));
+  };
+  dump3(state_.qv, "QVAPOR");
+  dump3(state_.temp, "T");
+  // Per-species condensate totals (fixed bin-order summation keeps the
+  // result decomposition-invariant for bitwise tests).
+  for (int s = 0; s < fsbm::kNumSpecies; ++s) {
+    std::vector<float> data;
+    data.reserve(static_cast<std::size_t>(ni * nk * nj));
+    const auto& f = state_.ff[static_cast<std::size_t>(s)];
+    for (int j = p.jp.lo; j <= p.jp.hi; ++j) {
+      for (int k = p.k.lo; k <= p.k.hi; ++k) {
+        for (int i = p.ip.lo; i <= p.ip.hi; ++i) {
+          float q = 0.0f;
+          const float* sl = f.slice(i, k, j);
+          for (int n = 0; n < state_.bins.nkr(); ++n) q += sl[n];
+          data.push_back(q);
+        }
+      }
+    }
+    snap.add(std::string("Q_") +
+                 fsbm::species_name(static_cast<fsbm::Species>(s)),
+             {nj, nk, ni}, std::move(data));
+  }
+  {
+    std::vector<float> data;
+    data.reserve(static_cast<std::size_t>(ni * nj));
+    for (int j = p.jp.lo; j <= p.jp.hi; ++j)
+      for (int i = p.ip.lo; i <= p.ip.hi; ++i)
+        data.push_back(state_.precip(i, 0, j));
+    snap.add("RAINNC", {nj, ni}, std::move(data));
+  }
+  return snap;
+}
+
+RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
+  config.validate();
+  const auto patches =
+      grid::decompose(config.domain(), config.npx, config.npy, config.halo);
+
+  RunResult result;
+  result.snapshots.resize(static_cast<std::size_t>(config.nranks()));
+  std::mutex mu;
+  const auto t0 = Clock::now();
+
+  result.comm = par::run(config.nranks(), [&](par::RankCtx& ctx) {
+    RankModel rank_model(config, patches[static_cast<std::size_t>(ctx.rank())],
+                         &ctx);
+    rank_model.init();
+    StepStats local;
+    for (int s = 0; s < config.nsteps; ++s) {
+      local.merge(rank_model.step(prof));
+      ctx.barrier();  // WRF's implicit per-step synchronization
+    }
+    io::Snapshot snap = rank_model.snapshot();
+    std::lock_guard<std::mutex> lk(mu);
+    result.totals.merge(local);
+    result.snapshots[static_cast<std::size_t>(ctx.rank())] = std::move(snap);
+    if (local.fsbm.coal_kernel) {
+      result.last_coal_kernel = local.fsbm.coal_kernel;
+    }
+    result.pool_bytes_per_rank = rank_model.scheme().pool_bytes();
+  });
+  result.wall_sec = seconds_since(t0);
+  return result;
+}
+
+RunResult run_single(const RunConfig& config, prof::Profiler& prof) {
+  RunConfig c = config;
+  c.npx = 1;
+  c.npy = 1;
+  c.validate();
+  const auto patches = grid::decompose(c.domain(), 1, 1, c.halo);
+  RunResult result;
+  const auto t0 = Clock::now();
+  RankModel rank_model(c, patches[0], nullptr);
+  rank_model.init();
+  for (int s = 0; s < c.nsteps; ++s) {
+    result.totals.merge(rank_model.step(prof));
+  }
+  result.snapshots.push_back(rank_model.snapshot());
+  if (result.totals.fsbm.coal_kernel) {
+    result.last_coal_kernel = result.totals.fsbm.coal_kernel;
+  }
+  result.pool_bytes_per_rank = rank_model.scheme().pool_bytes();
+  result.wall_sec = seconds_since(t0);
+  return result;
+}
+
+}  // namespace wrf::model

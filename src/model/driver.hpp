@@ -1,0 +1,98 @@
+#pragma once
+// The model driver: a mini-WRF time loop per rank, and run helpers that
+// tie decomposition, dynamics, microphysics, devices, and profiling
+// together the way the paper's experiments are structured.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dyn/rk3.hpp"
+#include "fsbm/fast_sbm.hpp"
+#include "io/snapshot.hpp"
+#include "model/case_conus.hpp"
+#include "model/config.hpp"
+#include "par/simpi.hpp"
+#include "prof/prof.hpp"
+
+namespace wrf::model {
+
+/// Aggregated result of one rank's (or one run's) stepping.
+struct StepStats {
+  fsbm::FsbmStats fsbm;
+  dyn::Rk3Stats dyn;
+  double wall_sec = 0.0;
+  double halo_wall_sec = 0.0;
+  std::uint64_t halo_bytes = 0;
+
+  void merge(const StepStats& o) {
+    fsbm.merge(o.fsbm);
+    dyn.tend.cells += o.dyn.tend.cells;
+    dyn.tend.flops += o.dyn.tend.flops;
+    dyn.update.cells += o.dyn.update.cells;
+    dyn.update.flops += o.dyn.update.flops;
+    wall_sec += o.wall_sec;
+    halo_wall_sec += o.halo_wall_sec;
+    halo_bytes += o.halo_bytes;
+  }
+};
+
+/// One rank's model instance: owns the patch state, RK3 transport, FSBM
+/// scheme, and (for offloaded versions) the simulated device.
+class RankModel {
+ public:
+  /// `ctx` may be null for single-rank runs (halo exchange becomes a
+  /// pure boundary fill).
+  RankModel(const RunConfig& config, const grid::Patch& patch,
+            par::RankCtx* ctx);
+
+  /// Initialize the synthetic CONUS case.
+  void init();
+
+  /// One model step: halo-exchanged RK3 advection, then fast_sbm.
+  StepStats step(prof::Profiler& prof);
+
+  fsbm::MicroState& state() noexcept { return state_; }
+  const fsbm::MicroState& state() const noexcept { return state_; }
+  gpu::Device* device() noexcept { return device_.get(); }
+  const fsbm::FastSbm& scheme() const noexcept { return *fsbm_; }
+  const grid::Patch& patch() const noexcept { return patch_; }
+
+  /// Snapshot of this rank's computational region (qv, temp, per-species
+  /// condensate, precip) for diffstate verification.
+  io::Snapshot snapshot() const;
+
+ private:
+  void halo_fill(fsbm::MicroState& s, double* wall_acc,
+                 std::uint64_t* bytes_acc);
+
+  RunConfig config_;
+  grid::Patch patch_;
+  par::RankCtx* ctx_;
+  fsbm::MicroState state_;
+  std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<fsbm::FastSbm> fsbm_;
+  std::unique_ptr<dyn::Rk3> rk3_;
+  dyn::AnalyticWinds winds_;
+  int halo_seq_ = 0;
+};
+
+/// Result of a complete multi-rank run.
+struct RunResult {
+  StepStats totals;                  ///< summed over ranks and steps
+  par::RunStats comm;                ///< simpi counters
+  double wall_sec = 0.0;             ///< wall time of the whole run
+  std::vector<io::Snapshot> snapshots;  ///< per-rank final snapshots
+  std::optional<gpu::KernelStats> last_coal_kernel;
+  std::uint64_t pool_bytes_per_rank = 0;
+};
+
+/// Run `config.nsteps` steps on `config.nranks()` simpi ranks and return
+/// aggregated statistics plus per-rank final snapshots.
+RunResult run_simulation(const RunConfig& config, prof::Profiler& prof);
+
+/// Single-rank convenience (patch = whole domain, no messaging).
+RunResult run_single(const RunConfig& config, prof::Profiler& prof);
+
+}  // namespace wrf::model

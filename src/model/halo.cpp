@@ -1,0 +1,119 @@
+#include "model/halo.hpp"
+
+namespace wrf::model {
+
+using grid::Side;
+
+namespace {
+
+constexpr int kSides = 4;
+
+int tag_for(int seq, Side s) { return seq * kSides + static_cast<int>(s); }
+
+std::vector<float> pack(const Field3D<float>& q, const grid::Patch& patch,
+                        const grid::HaloRect& r) {
+  std::vector<float> buf;
+  buf.reserve(static_cast<std::size_t>(r.cells(patch.k.size())));
+  for (int j = r.j.lo; j <= r.j.hi; ++j) {
+    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+      for (int i = r.i.lo; i <= r.i.hi; ++i) buf.push_back(q(i, k, j));
+    }
+  }
+  return buf;
+}
+
+void unpack(Field3D<float>& q, const grid::Patch& patch,
+            const grid::HaloRect& r, const std::vector<float>& buf) {
+  std::size_t n = 0;
+  for (int j = r.j.lo; j <= r.j.hi; ++j) {
+    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+      for (int i = r.i.lo; i <= r.i.hi; ++i) q(i, k, j) = buf[n++];
+    }
+  }
+}
+
+std::vector<float> pack_bins(const Field4D<float>& q,
+                             const grid::Patch& patch,
+                             const grid::HaloRect& r) {
+  const int nb = q.n();
+  std::vector<float> buf;
+  buf.reserve(static_cast<std::size_t>(r.cells(patch.k.size())) * nb);
+  for (int j = r.j.lo; j <= r.j.hi; ++j) {
+    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+      for (int i = r.i.lo; i <= r.i.hi; ++i) {
+        const float* s = q.slice(i, k, j);
+        buf.insert(buf.end(), s, s + nb);
+      }
+    }
+  }
+  return buf;
+}
+
+void unpack_bins(Field4D<float>& q, const grid::Patch& patch,
+                 const grid::HaloRect& r, const std::vector<float>& buf) {
+  const int nb = q.n();
+  std::size_t n = 0;
+  for (int j = r.j.lo; j <= r.j.hi; ++j) {
+    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+      for (int i = r.i.lo; i <= r.i.hi; ++i) {
+        float* d = q.slice(i, k, j);
+        for (int b = 0; b < nb; ++b) d[b] = buf[n++];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void exchange_halo(par::RankCtx& ctx, const grid::Patch& patch,
+                   Field3D<float>& q, int seq) {
+  // Post all sends first (buffered), then receive: no ordering deadlock.
+  for (int s = 0; s < kSides; ++s) {
+    const auto side = static_cast<Side>(s);
+    const int nbr = patch.neighbor[s];
+    if (nbr < 0) continue;
+    ctx.send(nbr, tag_for(seq, side), pack(q, patch, patch.send_rect(side)));
+  }
+  for (int s = 0; s < kSides; ++s) {
+    const auto side = static_cast<Side>(s);
+    const int nbr = patch.neighbor[s];
+    if (nbr < 0) continue;
+    // The neighbor tagged its message with the side *it* sent on.
+    const auto buf = ctx.recv(nbr, tag_for(seq, grid::opposite(side)));
+    unpack(q, patch, patch.recv_rect(side), buf);
+  }
+}
+
+void exchange_halo_bins(par::RankCtx& ctx, const grid::Patch& patch,
+                        Field4D<float>& q, int seq) {
+  for (int s = 0; s < kSides; ++s) {
+    const auto side = static_cast<Side>(s);
+    const int nbr = patch.neighbor[s];
+    if (nbr < 0) continue;
+    ctx.send(nbr, tag_for(seq, side),
+             pack_bins(q, patch, patch.send_rect(side)));
+  }
+  for (int s = 0; s < kSides; ++s) {
+    const auto side = static_cast<Side>(s);
+    const int nbr = patch.neighbor[s];
+    if (nbr < 0) continue;
+    const auto buf = ctx.recv(nbr, tag_for(seq, grid::opposite(side)));
+    unpack_bins(q, patch, patch.recv_rect(side), buf);
+  }
+}
+
+std::uint64_t halo_bytes_per_exchange(const grid::Patch& patch, int nk,
+                                      int nfields3d, int nfields4d,
+                                      int nkr) {
+  std::uint64_t cells = 0;
+  for (int s = 0; s < kSides; ++s) {
+    if (patch.neighbor[s] < 0) continue;
+    cells += static_cast<std::uint64_t>(
+        patch.send_rect(static_cast<Side>(s)).cells(nk));
+  }
+  return cells * sizeof(float) *
+         (static_cast<std::uint64_t>(nfields3d) +
+          static_cast<std::uint64_t>(nfields4d) * nkr);
+}
+
+}  // namespace wrf::model

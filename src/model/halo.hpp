@@ -1,0 +1,33 @@
+#pragma once
+// Halo exchange between neighboring patches over simpi.
+//
+// WRF's HALO_* registry generates pack/exchange/unpack code per field
+// set; here the same job is done generically for Field3D/Field4D.  The
+// protocol is deadlock-free with simpi's buffered sends: every rank
+// first posts all its sends, then receives from each interior neighbor.
+// Message tags encode (sequence, side) so multiple fields can be
+// exchanged back-to-back.
+
+#include <vector>
+
+#include "grid/decomp.hpp"
+#include "par/simpi.hpp"
+#include "util/field.hpp"
+
+namespace wrf::model {
+
+/// Exchange one 3-D field's halos with all interior neighbors.
+/// `seq` must be unique per field within one exchange round.
+void exchange_halo(par::RankCtx& ctx, const grid::Patch& patch,
+                   Field3D<float>& q, int seq);
+
+/// Exchange one 4-D (bin) field's halos.
+void exchange_halo_bins(par::RankCtx& ctx, const grid::Patch& patch,
+                        Field4D<float>& q, int seq);
+
+/// Bytes one rank sends per full exchange of the given field shapes —
+/// used by the communication model without running the exchange.
+std::uint64_t halo_bytes_per_exchange(const grid::Patch& patch, int nk,
+                                      int nfields3d, int nfields4d, int nkr);
+
+}  // namespace wrf::model

@@ -1,0 +1,183 @@
+#include "par/simpi.hpp"
+
+#include <deque>
+#include <exception>
+#include <thread>
+
+namespace wrf::par {
+
+namespace {
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<float> data;
+};
+}  // namespace
+
+/// Shared state for one simpi run.  Mailboxes are per destination rank;
+/// matching is by (source, tag) FIFO, like MPI with a single communicator.
+class Comm {
+ public:
+  explicit Comm(int nranks)
+      : nranks_(nranks), mailbox_(nranks), stats_(nranks) {}
+
+  int size() const noexcept { return nranks_; }
+
+  void send(int src, int dest, int tag, const std::vector<float>& data) {
+    if (dest < 0 || dest >= nranks_) {
+      throw Error("simpi send: destination rank " + std::to_string(dest) +
+                  " out of range");
+    }
+    {
+      std::lock_guard<std::mutex> lk(mailbox_[dest].mu);
+      mailbox_[dest].queue.push_back(Message{src, tag, data});
+    }
+    mailbox_[dest].cv.notify_all();
+    auto& st = stats_[src];
+    st.messages_sent += 1;
+    st.bytes_sent += data.size() * sizeof(float);
+  }
+
+  std::vector<float> recv(int me, int source, int tag) {
+    if (source < 0 || source >= nranks_) {
+      throw Error("simpi recv: source rank " + std::to_string(source) +
+                  " out of range");
+    }
+    Box& box = mailbox_[me];
+    std::unique_lock<std::mutex> lk(box.mu);
+    for (;;) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->source == source && it->tag == tag) {
+          std::vector<float> out = std::move(it->data);
+          box.queue.erase(it);
+          return out;
+        }
+      }
+      box.cv.wait(lk);
+    }
+  }
+
+  void barrier(int me) {
+    std::unique_lock<std::mutex> lk(coll_mu_);
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == nranks_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      coll_cv_.notify_all();
+    } else {
+      coll_cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+    }
+    stats_[me].barriers += 1;
+  }
+
+  double allreduce(int me, double v, bool is_max) {
+    std::unique_lock<std::mutex> lk(coll_mu_);
+    if (red_count_ == 0) {
+      red_acc_ = v;
+    } else {
+      red_acc_ = is_max ? (red_acc_ > v ? red_acc_ : v) : red_acc_ + v;
+    }
+    const std::uint64_t gen = red_gen_;
+    if (++red_count_ == nranks_) {
+      red_result_ = red_acc_;
+      red_count_ = 0;
+      ++red_gen_;
+      coll_cv_.notify_all();
+    } else {
+      coll_cv_.wait(lk, [&] { return red_gen_ != gen; });
+    }
+    stats_[me].reductions += 1;
+    return red_result_;
+  }
+
+  const CommStats& stats(int rank) const { return stats_[rank]; }
+  std::vector<CommStats> all_stats() const { return stats_; }
+
+ private:
+  struct Box {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  int nranks_;
+  std::vector<Box> mailbox_;
+  std::vector<CommStats> stats_;
+
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  int red_count_ = 0;
+  std::uint64_t red_gen_ = 0;
+  double red_acc_ = 0.0;
+  double red_result_ = 0.0;
+};
+
+int RankCtx::size() const noexcept { return comm_.size(); }
+
+void RankCtx::send(int dest, int tag, const std::vector<float>& data) {
+  comm_.send(rank_, dest, tag, data);
+}
+
+std::vector<float> RankCtx::recv(int source, int tag) {
+  return comm_.recv(rank_, source, tag);
+}
+
+void RankCtx::barrier() { comm_.barrier(rank_); }
+
+double RankCtx::allreduce_sum(double v) {
+  return comm_.allreduce(rank_, v, /*is_max=*/false);
+}
+
+double RankCtx::allreduce_max(double v) {
+  return comm_.allreduce(rank_, v, /*is_max=*/true);
+}
+
+int RankCtx::gpu_binding(int ngpus) const {
+  if (ngpus <= 0) throw ConfigError("gpu_binding: ngpus must be positive");
+  // Round-robin placement, as on Perlmutter with `--gpus-per-node` and
+  // cyclic rank distribution (Section VII-A).
+  return rank_ % ngpus;
+}
+
+const CommStats& RankCtx::stats() const { return comm_.stats(rank_); }
+
+std::uint64_t RunStats::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& s : per_rank) n += s.messages_sent;
+  return n;
+}
+
+std::uint64_t RunStats::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& s : per_rank) n += s.bytes_sent;
+  return n;
+}
+
+RunStats run(int nranks, const std::function<void(RankCtx&)>& fn) {
+  if (nranks <= 0) throw ConfigError("simpi::run: nranks must be positive");
+  Comm comm(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&comm, &fn, &errors, r] {
+      RankCtx ctx(comm, r);
+      try {
+        fn(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  RunStats out;
+  out.per_rank = comm.all_stats();
+  return out;
+}
+
+}  // namespace wrf::par

@@ -1,0 +1,93 @@
+#pragma once
+// simpi: an MPI-like rank runtime executed on threads.
+//
+// The paper runs WRF with 16-256 MPI ranks, one patch per rank, with halo
+// exchanges between neighbors and round-robin binding of ranks to GPUs.
+// simpi reproduces that programming model inside one process: `run()`
+// spawns one thread per rank, each receiving a `RankCtx` that provides
+// point-to-point messaging (matched by source+tag), barriers, reductions,
+// and GPU binding.  All traffic is recorded in `CommStats` so the
+// performance model can price it with an alpha-beta network model
+// (Perlmutter Slingshot-like constants) when reproducing Table VII, where
+// the 256-core CPU run becomes communication-dominated.
+//
+// simpi is deliberately a subset of MPI: blocking send/recv with
+// unbounded buffering (send never blocks), barrier, allreduce.  That is
+// exactly the set WRF's halo exchange layer needs.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wrf::par {
+
+/// Aggregate communication counters for one rank.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t reductions = 0;
+};
+
+class Comm;  // shared state owned by run()
+
+/// Per-rank handle passed to the rank function.
+///
+/// Thread-safety: a RankCtx must only be used from its own rank thread,
+/// like an MPI communicator in MPI_THREAD_FUNNELED mode.
+class RankCtx {
+ public:
+  RankCtx(Comm& comm, int rank) : comm_(comm), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Blocking-buffered send: copies `data` into the destination mailbox
+  /// and returns immediately (an eager-protocol MPI_Send).
+  void send(int dest, int tag, const std::vector<float>& data);
+
+  /// Blocking receive matched by (source, tag), in-order per pair.
+  std::vector<float> recv(int source, int tag);
+
+  /// Collective barrier over all ranks.
+  void barrier();
+
+  /// Collective sum-reduction; every rank receives the global sum.
+  double allreduce_sum(double v);
+
+  /// Collective max-reduction; every rank receives the global max.
+  double allreduce_max(double v);
+
+  /// GPU id this rank is bound to under round-robin placement of
+  /// `size()` ranks onto `ngpus` devices, as in Section VII-A.
+  int gpu_binding(int ngpus) const;
+
+  /// This rank's communication counters (reading is racy only if called
+  /// from another thread; rank threads read their own).
+  const CommStats& stats() const;
+
+ private:
+  Comm& comm_;
+  int rank_;
+};
+
+/// Result of a simpi run: per-rank stats, for the perf model.
+struct RunStats {
+  std::vector<CommStats> per_rank;
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+};
+
+/// Spawn `nranks` threads, run `fn(ctx)` on each, join, and return the
+/// communication statistics.  Exceptions thrown by rank functions are
+/// captured and rethrown (the first one, by rank order) after all ranks
+/// have been joined, so a failing rank cannot leak threads.
+RunStats run(int nranks, const std::function<void(RankCtx&)>& fn);
+
+}  // namespace wrf::par

@@ -1,0 +1,117 @@
+#include "perfmodel/scaling.hpp"
+
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace wrf::perfmodel {
+
+CpuStepTime cpu_step_time(const WorkProfile& w, const CpuSpec& cpu,
+                          const NetworkSpec& net, int nranks,
+                          bool use_v0_coal) {
+  CpuStepTime t;
+  t.coal = cpu.seconds_for_flops(use_v0_coal ? w.coal_flops_v0 : w.coal_flops);
+  t.cond_nucl = cpu.seconds_for_flops(w.cond_nucl_flops);
+  t.sed = cpu.seconds_for_flops(w.sed_flops);
+  t.adv = cpu.seconds_for_flops(w.adv_flops);
+  t.comm = net.seconds_for(static_cast<std::uint64_t>(w.halo_messages),
+                           static_cast<std::uint64_t>(w.halo_bytes), nranks);
+  return t;
+}
+
+GpuStepTime gpu_step_time(const WorkProfile& w, const CpuSpec& cpu,
+                          const NetworkSpec& net, int nranks,
+                          int ranks_per_gpu, double kernel_ms_per_step,
+                          double transfer_ms_per_step) {
+  if (ranks_per_gpu < 1) throw ConfigError("gpu_step_time: ranks_per_gpu<1");
+  GpuStepTime t;
+  // Host side keeps nucleation/condensation/sedimentation/advection
+  // (the paper offloads only the collision loop).
+  t.host = cpu.seconds_for_flops(w.cond_nucl_flops + w.sed_flops +
+                                 w.adv_flops);
+  t.kernel = kernel_ms_per_step * 1e-3;
+  t.transfer = transfer_ms_per_step * 1e-3;
+  // Ranks sharing a GPU serialize their kernels and transfers.  Load
+  // imbalance softens the penalty: cloudy patches dominate while clear
+  // ones underutilize the device (Section VIII's explanation of why
+  // 2-4 ranks/GPU still see speedups).  Sharing interleaves busy and
+  // idle ranks, so the queueing factor is the *average* utilization,
+  // not the worst case.
+  const double duty = std::min(1.0, 2.0 * w.coal_fraction_cloudy);
+  t.queue = (ranks_per_gpu - 1) * duty * (t.kernel + t.transfer);
+  t.comm = net.seconds_for(static_cast<std::uint64_t>(w.halo_messages),
+                           static_cast<std::uint64_t>(w.halo_bytes), nranks);
+  return t;
+}
+
+std::vector<ScalingRow> table7_rows(
+    const WorkProfile& profile16, int nsteps, const CpuSpec& cpu,
+    const NetworkSpec& net, const gpu::DeviceSpec& dev,
+    const DeviceFootprint& footprint, int nkr,
+    const std::function<double(double)>& kernel_ms_fn,
+    const std::function<double(double)>& transfer_ms_fn) {
+  struct Config {
+    const char* label;
+    int cpu_ranks;  ///< ranks of the CPU-only runs (all cores in use)
+    int gpu_ranks;  ///< ranks the GPU run launches (cores on GPU nodes)
+    int ngpus;
+  };
+  // Figure 4's groups: 16 GPUs fixed while ranks grow, then the 2-node
+  // equal-resource comparison — 256 CPU cores on 2 CPU nodes vs the GPU
+  // build on 2 GPU nodes, which has fewer host cores and is further
+  // capped by device memory (the paper lands at 40 ranks over 8 GPUs).
+  const Config configs[] = {
+      {"16 ranks", 16, 16, 16},
+      {"32 ranks", 32, 32, 16},
+      {"64 ranks", 64, 64, 16},
+      {"2 nodes", 256, 128, 8},
+  };
+
+  std::vector<ScalingRow> rows;
+  for (const auto& c : configs) {
+    ScalingRow row;
+    row.label = c.label;
+    row.ranks = c.cpu_ranks;
+    row.ngpus = c.ngpus;
+
+    // CPU versions always use all cpu_ranks cores.
+    const double ratio_cpu = 16.0 / c.cpu_ranks;
+    const WorkProfile w_cpu = profile16.scaled_to(ratio_cpu);
+    row.baseline_sec =
+        cpu_step_time(w_cpu, cpu, net, c.cpu_ranks, /*use_v0_coal=*/true)
+            .total() *
+        nsteps;
+    row.lookup_sec =
+        cpu_step_time(w_cpu, cpu, net, c.cpu_ranks, /*use_v0_coal=*/false)
+            .total() *
+        nsteps;
+
+    // GPU version: device memory caps how many ranks fit per GPU, which
+    // caps the total rank count ("limited to 5 MPI tasks per GPU").
+    int gpu_ranks = c.gpu_ranks;
+    for (;;) {
+      const auto cells = static_cast<std::int64_t>(
+          profile16.cells * 16.0 / gpu_ranks);
+      const int max_rpg = footprint.max_ranks_per_gpu(dev, cells, nkr);
+      const int rpg = (gpu_ranks + c.ngpus - 1) / c.ngpus;
+      if (rpg <= max_rpg || gpu_ranks <= c.ngpus) {
+        row.ranks_per_gpu = rpg;
+        break;
+      }
+      gpu_ranks -= c.ngpus;
+    }
+
+    const WorkProfile w_gpu = profile16.scaled_to(16.0 / gpu_ranks);
+    const double kms = kernel_ms_fn(w_gpu.cells);
+    const double tms = transfer_ms_fn(w_gpu.cells);
+    row.gpu_sec = gpu_step_time(w_gpu, cpu, net, gpu_ranks,
+                                row.ranks_per_gpu, kms, tms)
+                      .total() *
+                  nsteps;
+    row.speedup = row.baseline_sec / row.gpu_sec;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace wrf::perfmodel

@@ -1,0 +1,99 @@
+#pragma once
+// Work profiles and the Table VII / Figure 4 scaling composer.
+//
+// A WorkProfile captures, per rank-step, the work a functional run
+// actually performed (measured at bench scale).  `scaled_to` extrapolates
+// it to the CONUS-12km grid by cell ratio — legitimate because FSBM cost
+// is per-cell work gated by cloud cover, and the synthetic case holds the
+// cloudy fraction roughly constant under refinement.  The composer then
+// prices baseline-CPU and GPU-offloaded configurations for any
+// (ranks, gpus) combination, including the serialization of multiple
+// ranks' kernels on a shared GPU and the ranks-per-GPU memory cap that
+// produces the paper's 2-node result.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fsbm/fast_sbm.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace wrf::perfmodel {
+
+/// Measured work per rank-step (averages over a functional run).
+struct WorkProfile {
+  double cells = 0;             ///< grid cells per rank
+  double coal_flops = 0;        ///< collision FLOPs (v1 on-demand path)
+  double coal_flops_v0 = 0;     ///< collision FLOPs incl. kernals_ks fills
+  double cond_nucl_flops = 0;   ///< condensation + nucleation FLOPs
+  double sed_flops = 0;
+  double adv_flops = 0;         ///< rk_scalar_tend + rk_update_scalar
+  double halo_bytes = 0;        ///< sent per rank-step
+  double halo_messages = 0;
+  double coal_fraction_cloudy = 0.15;  ///< fraction of cells doing real work
+
+  /// Extrapolate to a grid with `cell_ratio` times more cells per rank.
+  WorkProfile scaled_to(double cell_ratio) const {
+    WorkProfile w = *this;
+    w.cells *= cell_ratio;
+    w.coal_flops *= cell_ratio;
+    w.coal_flops_v0 *= cell_ratio;
+    w.cond_nucl_flops *= cell_ratio;
+    w.sed_flops *= cell_ratio;
+    w.adv_flops *= cell_ratio;
+    // Halo traffic scales with the patch perimeter ~ sqrt of cells.
+    w.halo_bytes *= std::sqrt(cell_ratio);
+    return w;
+  }
+};
+
+/// CPU step time breakdown for one rank (seconds).
+struct CpuStepTime {
+  double coal = 0, cond_nucl = 0, sed = 0, adv = 0, comm = 0;
+  double total() const { return coal + cond_nucl + sed + adv + comm; }
+};
+
+/// Price one CPU rank-step.  `use_v0_coal` selects the baseline's
+/// kernals_ks-heavy collision cost.
+CpuStepTime cpu_step_time(const WorkProfile& w, const CpuSpec& cpu,
+                          const NetworkSpec& net, int nranks,
+                          bool use_v0_coal);
+
+/// GPU-offloaded step time for one rank: host physics + device kernel
+/// (modeled) + transfers, with `ranks_per_gpu` kernels serialized on the
+/// shared device.
+struct GpuStepTime {
+  double host = 0, kernel = 0, transfer = 0, comm = 0, queue = 0;
+  double total() const { return host + kernel + transfer + comm + queue; }
+};
+
+GpuStepTime gpu_step_time(const WorkProfile& w, const CpuSpec& cpu,
+                          const NetworkSpec& net, int nranks,
+                          int ranks_per_gpu, double kernel_ms_per_step,
+                          double transfer_ms_per_step);
+
+/// One row of Table VII / one group of Figure 4 bars.
+struct ScalingRow {
+  std::string label;
+  int ranks = 0;
+  int ngpus = 0;
+  int ranks_per_gpu = 0;
+  double baseline_sec = 0;   ///< CPU v0, whole run
+  double lookup_sec = 0;     ///< CPU v1, whole run
+  double gpu_sec = 0;        ///< offloaded v3, whole run
+  double speedup = 0;        ///< baseline / gpu
+};
+
+/// The paper's four configurations (16/32/64 ranks with 16 GPUs; the
+/// 2-node equal-resource comparison), priced over `nsteps` steps of the
+/// full CONUS-12km grid.  `kernel_ms_fn(cells_per_rank)` supplies the
+/// modeled collision-kernel milliseconds for a patch of that size
+/// (collapse(3) launch), and `transfer_ms_fn` the per-step map costs.
+std::vector<ScalingRow> table7_rows(
+    const WorkProfile& per_cell_profile_16rank, int nsteps,
+    const CpuSpec& cpu, const NetworkSpec& net, const gpu::DeviceSpec& dev,
+    const DeviceFootprint& footprint, int nkr,
+    const std::function<double(double cells_per_rank)>& kernel_ms_fn,
+    const std::function<double(double cells_per_rank)>& transfer_ms_fn);
+
+}  // namespace wrf::perfmodel

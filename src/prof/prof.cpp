@@ -1,0 +1,154 @@
+#include "prof/prof.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace wrf::prof {
+
+namespace {
+// Per-thread, per-profiler-instance scratch.  Keyed by instance so tests
+// can use private Profiler objects alongside the global one.  Values are
+// type-erased because ThreadData is a private member type.
+thread_local std::unordered_map<const void*, void*>* t_tls = nullptr;
+}  // namespace
+
+Profiler::ThreadData& Profiler::tls() const {
+  if (t_tls == nullptr) {
+    // Leaked intentionally: thread_local maps of pointers avoid
+    // destructor-order issues between dying threads and live profilers.
+    t_tls = new std::unordered_map<const void*, void*>();
+  }
+  auto it = t_tls->find(this);
+  if (it == t_tls->end()) {
+    it = t_tls->emplace(this, new ThreadData()).first;
+  }
+  return *static_cast<ThreadData*>(it->second);
+}
+
+void Profiler::push_range(const std::string& name) {
+  ThreadData& td = tls();
+  td.stack.push_back(OpenRange{name, std::chrono::steady_clock::now(), 0.0});
+}
+
+void Profiler::pop_range() {
+  ThreadData& td = tls();
+  if (td.stack.empty()) {
+    throw Error("Profiler::pop_range with no open range on this thread");
+  }
+  const auto now = std::chrono::steady_clock::now();
+  OpenRange r = td.stack.back();
+  td.stack.pop_back();
+  const double incl =
+      std::chrono::duration<double>(now - r.start).count();
+  Agg& a = td.pending[r.name];
+  a.calls += 1;
+  a.inclusive += incl;
+  a.exclusive += incl - r.child_time;
+  if (!td.stack.empty()) {
+    td.stack.back().child_time += incl;
+  } else {
+    merge(td);
+  }
+}
+
+void Profiler::merge(ThreadData& td) const {
+  if (td.pending.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, agg] : td.pending) {
+    Agg& dst = table_[name];
+    dst.calls += agg.calls;
+    dst.inclusive += agg.inclusive;
+    dst.exclusive += agg.exclusive;
+  }
+  td.pending.clear();
+}
+
+void Profiler::flush() const { merge(tls()); }
+
+void Profiler::add_counter(const std::string& name, std::uint64_t v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_[name] += v;
+}
+
+std::uint64_t Profiler::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<FlatRow> Profiler::flat_report() const {
+  flush();
+  std::lock_guard<std::mutex> lk(mu_);
+  double total_excl = 0.0;
+  for (const auto& [name, agg] : table_) total_excl += agg.exclusive;
+  std::vector<FlatRow> rows;
+  rows.reserve(table_.size());
+  for (const auto& [name, agg] : table_) {
+    FlatRow r;
+    r.name = name;
+    r.calls = agg.calls;
+    r.inclusive_sec = agg.inclusive;
+    r.exclusive_sec = agg.exclusive;
+    r.percent_exclusive =
+        total_excl > 0.0 ? 100.0 * agg.exclusive / total_excl : 0.0;
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(), [](const FlatRow& a, const FlatRow& b) {
+    return a.exclusive_sec > b.exclusive_sec;
+  });
+  return rows;
+}
+
+double Profiler::inclusive_sec(const std::string& name) const {
+  flush();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(name);
+  return it == table_.end() ? 0.0 : it->second.inclusive;
+}
+
+double Profiler::exclusive_sec(const std::string& name) const {
+  flush();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(name);
+  return it == table_.end() ? 0.0 : it->second.exclusive;
+}
+
+std::uint64_t Profiler::calls(const std::string& name) const {
+  flush();
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(name);
+  return it == table_.end() ? 0 : it->second.calls;
+}
+
+void Profiler::reset() {
+  tls();  // ensure TLS exists so stale pending data is dropped coherently
+  std::lock_guard<std::mutex> lk(mu_);
+  table_.clear();
+  counters_.clear();
+}
+
+std::string Profiler::format_flat_report() const {
+  auto rows = flat_report();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%8s %12s %12s %10s  %s\n", "%time",
+                "excl(s)", "incl(s)", "calls", "name");
+  out += buf;
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%8.2f %12.4f %12.4f %10llu  %s\n",
+                  r.percent_exclusive, r.exclusive_sec, r.inclusive_sec,
+                  static_cast<unsigned long long>(r.calls), r.name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+Profiler& global() {
+  static Profiler p;
+  return p;
+}
+
+}  // namespace wrf::prof

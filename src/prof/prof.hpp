@@ -1,0 +1,127 @@
+#pragma once
+// Instrumenting profiler: NVTX-like named ranges, gprof-like flat reports.
+//
+// The paper locates its optimization targets with two tools: GNU gprof
+// (aggregate flat profile over all MPI ranks) and NVIDIA Nsight Systems
+// (per-rank NVTX ranges).  This module provides both reporting paths over
+// a single instrumentation mechanism:
+//
+//   * `ScopedRange r(prof, "fast_sbm");` opens an NVTX-style range; ranges
+//     nest, and exclusive time is attributed correctly to the innermost
+//     open range on each thread.
+//   * `Profiler::flat_report()` returns gprof-style rows (name, calls,
+//     inclusive seconds, exclusive seconds, percent of wall).
+//
+// The profiler also hosts a registry of monotonically increasing work
+// counters (bin operations, bytes moved, cells processed) used by
+// src/perfmodel to convert counted work into modeled hardware time.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wrf::prof {
+
+/// One row of a flat profile report.
+struct FlatRow {
+  std::string name;
+  std::uint64_t calls = 0;
+  double inclusive_sec = 0.0;
+  double exclusive_sec = 0.0;
+  double percent_exclusive = 0.0;  ///< of total exclusive time
+};
+
+/// Thread-safe profiler with nested named ranges and work counters.
+///
+/// Cheap enough to leave enabled: a range open/close is two clock reads
+/// plus thread-local bookkeeping; data is merged into the shared table
+/// only when a thread's nesting depth returns to zero or on `flush()`.
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Open a named range on the calling thread. Must be paired with
+  /// `pop_range()` in LIFO order (use ScopedRange).
+  void push_range(const std::string& name);
+
+  /// Close the innermost open range on the calling thread.
+  void pop_range();
+
+  /// Add `v` to the named counter (creates it on first use).
+  void add_counter(const std::string& name, std::uint64_t v);
+
+  /// Current value of a counter (0 if never written).
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Flat profile over everything recorded so far, sorted by exclusive
+  /// time descending.  Percentages are of the summed exclusive time, which
+  /// is how gprof normalizes its "% time" column.
+  std::vector<FlatRow> flat_report() const;
+
+  /// Total inclusive seconds recorded for one range name (0 if absent).
+  double inclusive_sec(const std::string& name) const;
+  /// Total exclusive seconds recorded for one range name (0 if absent).
+  double exclusive_sec(const std::string& name) const;
+  /// Number of times the named range was entered.
+  std::uint64_t calls(const std::string& name) const;
+
+  /// Merge the calling thread's completed ranges into the shared table.
+  /// Merging also happens automatically whenever a thread's nesting depth
+  /// returns to zero, so worker threads need no explicit flush as long as
+  /// their outermost range closes.
+  void flush() const;
+
+  /// Drop all recorded ranges and counters.
+  void reset();
+
+  /// Render a gprof-like text table.
+  std::string format_flat_report() const;
+
+ private:
+  struct Agg {
+    std::uint64_t calls = 0;
+    double inclusive = 0.0;
+    double exclusive = 0.0;
+  };
+  struct OpenRange {
+    std::string name;
+    std::chrono::steady_clock::time_point start;
+    double child_time = 0.0;  // inclusive time of completed children
+  };
+  struct ThreadData {
+    std::vector<OpenRange> stack;
+    std::map<std::string, Agg> pending;
+  };
+
+  ThreadData& tls() const;
+  void merge(ThreadData& td) const;
+
+  mutable std::mutex mu_;
+  mutable std::map<std::string, Agg> table_;
+  mutable std::map<std::string, std::uint64_t> counters_;
+};
+
+/// RAII wrapper for a profiler range (the NVTX idiom).
+class ScopedRange {
+ public:
+  ScopedRange(Profiler& p, const std::string& name) : p_(p) {
+    p_.push_range(name);
+  }
+  ~ScopedRange() { p_.pop_range(); }
+  ScopedRange(const ScopedRange&) = delete;
+  ScopedRange& operator=(const ScopedRange&) = delete;
+
+ private:
+  Profiler& p_;
+};
+
+/// Process-wide default profiler used by the model driver and benches.
+Profiler& global();
+
+}  // namespace wrf::prof

@@ -1,0 +1,56 @@
+#pragma once
+#include <cmath>
+
+// Physical constants used by the microphysics and dynamics, in SI units.
+// Values follow the WRF model constants module where applicable.
+
+namespace wrf::constants {
+
+inline constexpr double kGravity = 9.81;          ///< m s^-2
+inline constexpr double kRd = 287.04;             ///< dry-air gas constant, J kg^-1 K^-1
+inline constexpr double kRv = 461.6;              ///< water-vapor gas constant, J kg^-1 K^-1
+inline constexpr double kCp = 1004.5;             ///< dry-air heat capacity, J kg^-1 K^-1
+inline constexpr double kLv = 2.50e6;             ///< latent heat of vaporization, J kg^-1
+inline constexpr double kLs = 2.834e6;            ///< latent heat of sublimation, J kg^-1
+inline constexpr double kLf = 3.34e5;             ///< latent heat of fusion, J kg^-1
+inline constexpr double kRhoWater = 1000.0;       ///< kg m^-3
+inline constexpr double kRhoIceBulk = 917.0;      ///< kg m^-3
+inline constexpr double kP1000mb = 1.0e5;         ///< reference pressure, Pa
+inline constexpr double kT0 = 273.15;             ///< freezing point, K
+inline constexpr double kEps = kRd / kRv;         ///< Rd/Rv
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Saturation vapor pressure over liquid water (Bolton 1980), Pa.
+/// Valid for the tropospheric temperature range used by the test cases.
+inline double esat_liquid(double temp_k) {
+  const double tc = temp_k - kT0;
+  // 6.112 hPa * exp(17.67 Tc / (Tc + 243.5))
+  double x = 17.67 * tc / (tc + 243.5);
+  // Cheap, branch-free clamped exponent keeps the kernel GPU-friendly.
+  if (x > 10.0) x = 10.0;
+  if (x < -20.0) x = -20.0;
+  return 611.2 * std::exp(x);
+}
+
+/// Saturation vapor pressure over ice (Magnus form), Pa.
+inline double esat_ice(double temp_k) {
+  const double tc = temp_k - kT0;
+  double x = 21.8745584 * tc / (tc + 265.49);
+  if (x > 10.0) x = 10.0;
+  if (x < -25.0) x = -25.0;
+  return 611.2 * std::exp(x);
+}
+
+/// Saturation mixing ratio over liquid at (T, p).
+inline double qsat_liquid(double temp_k, double pres_pa) {
+  const double es = esat_liquid(temp_k);
+  return kEps * es / (pres_pa - (1.0 - kEps) * es);
+}
+
+/// Saturation mixing ratio over ice at (T, p).
+inline double qsat_ice(double temp_k, double pres_pa) {
+  const double es = esat_ice(temp_k);
+  return kEps * es / (pres_pa - (1.0 - kEps) * es);
+}
+
+}  // namespace wrf::constants

@@ -1,0 +1,65 @@
+#pragma once
+// Error types shared across miniWRF-SBM.
+//
+// The library throws exceptions derived from `wrf::Error` for programming
+// and configuration errors, and `wrf::gpu::DeviceError` (declared here so
+// call sites can catch it without pulling in the device model) for
+// simulated device-side failures such as the CUDA stack overflow the paper
+// hits when offloading `coal_bott_new` with automatic arrays (Section VI-B).
+
+#include <stdexcept>
+#include <string>
+
+namespace wrf {
+
+/// Base class for all errors thrown by miniWRF-SBM.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid user-supplied configuration (grid sizes, rank counts, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Index or range violation detected by a checked accessor.
+class BoundsError : public Error {
+ public:
+  explicit BoundsError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure in the snapshot reader/writer.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace gpu {
+
+/// Simulated device-side failure (mirrors a CUDA runtime error).
+///
+/// `code` follows CUDA error numbering loosely; the one the paper cares
+/// about is `kLaunchOutOfStack` raised when per-thread stack demand
+/// exceeds the configured device stack limit.
+class DeviceError : public Error {
+ public:
+  enum Code {
+    kUnknown = 0,
+    kLaunchOutOfStack = 719,   // cudaErrorLaunchFailure-style stack overflow
+    kOutOfMemory = 2,          // cudaErrorMemoryAllocation
+    kInvalidConfiguration = 9, // cudaErrorInvalidConfiguration
+  };
+
+  DeviceError(Code code, const std::string& what)
+      : Error(what), code_(code) {}
+
+  Code code() const noexcept { return code_; }
+
+ private:
+  Code code_;
+};
+
+}  // namespace gpu
+}  // namespace wrf

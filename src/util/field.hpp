@@ -1,0 +1,172 @@
+#pragma once
+// Index-ranged multidimensional arrays in WRF memory order.
+//
+// WRF stores 3-D state as A(i,k,j): `i` (west-east) fastest, then `k`
+// (vertical), then `j` (south-north), with inclusive Fortran-style index
+// ranges that may start anywhere (memory vs. tile vs. domain ranges, see
+// Figure 1 of the paper).  `Field3D` reproduces that layout so loop nests
+// written here look like their Fortran counterparts, and so halo /
+// decomposition logic can use the same (ims:ime, kms:kme, jms:jme)
+// vocabulary as WRF.
+//
+// `Field4D` adds a leading bin/species dimension that is fastest-varying,
+// matching FSBM's ff(1:nkr, i, k, j) chemistry-style arrays; this is what
+// makes GPU accesses "strided by b elements" as discussed in the paper's
+// roofline section.
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wrf {
+
+/// Inclusive 1-D index range [lo, hi], Fortran style.
+struct Range {
+  int lo = 0;
+  int hi = -1;  // default: empty
+
+  Range() = default;
+  Range(int lo_, int hi_) : lo(lo_), hi(hi_) {}
+
+  /// Number of indices in the range (0 when empty).
+  int size() const noexcept { return hi < lo ? 0 : hi - lo + 1; }
+  bool contains(int v) const noexcept { return v >= lo && v <= hi; }
+
+  /// Intersection of two ranges (may be empty).
+  Range clip(const Range& o) const noexcept {
+    return Range{lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+  }
+  bool operator==(const Range&) const = default;
+};
+
+/// 3-D field with inclusive index ranges, laid out i-fastest (WRF order).
+template <class T>
+class Field3D {
+ public:
+  Field3D() = default;
+
+  /// Allocate a field covering [ir] x [kr] x [jr], zero-initialized.
+  Field3D(Range ir, Range kr, Range jr, T init = T{})
+      : ir_(ir), kr_(kr), jr_(jr),
+        ni_(ir.size()), nk_(kr.size()), nj_(jr.size()),
+        data_(static_cast<std::size_t>(ni_) * nk_ * nj_, init) {}
+
+  T& operator()(int i, int k, int j) noexcept {
+    assert(ir_.contains(i) && kr_.contains(k) && jr_.contains(j));
+    return data_[index(i, k, j)];
+  }
+  const T& operator()(int i, int k, int j) const noexcept {
+    assert(ir_.contains(i) && kr_.contains(k) && jr_.contains(j));
+    return data_[index(i, k, j)];
+  }
+
+  /// Bounds-checked accessor; throws BoundsError on violation.
+  T& at(int i, int k, int j) {
+    check(i, k, j);
+    return data_[index(i, k, j)];
+  }
+  const T& at(int i, int k, int j) const {
+    const_cast<Field3D*>(this)->check(i, k, j);
+    return data_[index(i, k, j)];
+  }
+
+  Range irange() const noexcept { return ir_; }
+  Range krange() const noexcept { return kr_; }
+  Range jrange() const noexcept { return jr_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  /// Linear offset of (i,k,j); exposed for trace generation in gpusim.
+  std::size_t index(int i, int k, int j) const noexcept {
+    return static_cast<std::size_t>(j - jr_.lo) * nk_ * ni_ +
+           static_cast<std::size_t>(k - kr_.lo) * ni_ +
+           static_cast<std::size_t>(i - ir_.lo);
+  }
+
+ private:
+  void check(int i, int k, int j) const {
+    if (!ir_.contains(i) || !kr_.contains(k) || !jr_.contains(j)) {
+      throw BoundsError("Field3D index (" + std::to_string(i) + "," +
+                        std::to_string(k) + "," + std::to_string(j) +
+                        ") outside [" + std::to_string(ir_.lo) + ":" +
+                        std::to_string(ir_.hi) + "," + std::to_string(kr_.lo) +
+                        ":" + std::to_string(kr_.hi) + "," +
+                        std::to_string(jr_.lo) + ":" + std::to_string(jr_.hi) +
+                        "]");
+    }
+  }
+
+  Range ir_, kr_, jr_;
+  int ni_ = 0, nk_ = 0, nj_ = 0;
+  std::vector<T> data_;
+};
+
+/// 4-D field with a fastest-varying leading dimension [0, n) and three
+/// ranged spatial dimensions in WRF order; used for per-bin distributions
+/// ff(n, i, k, j) and for the v3 "temp_arrays" device pools of the paper.
+template <class T>
+class Field4D {
+ public:
+  Field4D() = default;
+
+  Field4D(int n, Range ir, Range kr, Range jr, T init = T{})
+      : n_(n), ir_(ir), kr_(kr), jr_(jr),
+        ni_(ir.size()), nk_(kr.size()), nj_(jr.size()),
+        data_(static_cast<std::size_t>(n) * ni_ * nk_ * nj_, init) {}
+
+  T& operator()(int n, int i, int k, int j) noexcept {
+    assert(n >= 0 && n < n_);
+    assert(ir_.contains(i) && kr_.contains(k) && jr_.contains(j));
+    return data_[index(n, i, k, j)];
+  }
+  const T& operator()(int n, int i, int k, int j) const noexcept {
+    assert(n >= 0 && n < n_);
+    assert(ir_.contains(i) && kr_.contains(k) && jr_.contains(j));
+    return data_[index(n, i, k, j)];
+  }
+
+  /// Pointer to the contiguous n-slice at grid point (i,k,j) — this is the
+  /// C++ equivalent of the paper's Fortran pointer assignment
+  /// `fl1 => fl1_temp(:, Iin, Kin, Jin)`.
+  T* slice(int i, int k, int j) noexcept { return &data_[index(0, i, k, j)]; }
+  const T* slice(int i, int k, int j) const noexcept {
+    return &data_[index(0, i, k, j)];
+  }
+
+  int n() const noexcept { return n_; }
+  Range irange() const noexcept { return ir_; }
+  Range krange() const noexcept { return kr_; }
+  Range jrange() const noexcept { return jr_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  std::size_t index(int n, int i, int k, int j) const noexcept {
+    return ((static_cast<std::size_t>(j - jr_.lo) * nk_ +
+             static_cast<std::size_t>(k - kr_.lo)) *
+                ni_ +
+            static_cast<std::size_t>(i - ir_.lo)) *
+               n_ +
+           static_cast<std::size_t>(n);
+  }
+
+ private:
+  int n_ = 0;
+  Range ir_, kr_, jr_;
+  int ni_ = 0, nk_ = 0, nj_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace wrf

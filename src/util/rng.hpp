@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic pseudo-random numbers for synthetic case generation.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64.  We avoid
+// std::mt19937 so that streams are cheap to fork per rank/tile and results
+// are bit-reproducible across standard libraries — a requirement for the
+// diffstate verification tests, which compare decomposed vs. single-patch
+// runs bitwise.
+
+#include <cstdint>
+
+namespace wrf {
+
+/// Small, fast, deterministic RNG with forkable streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& si : s_) si = splitmix64(x);
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t bounded(std::uint64_t n) noexcept {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  /// Derive an independent stream; fork(i) != fork(j) for i != j.
+  Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t x = s_[0] ^ (stream_id * 0xBF58476D1CE4E5B9ull + 1);
+    Rng child(0);
+    for (auto& si : child.s_) si = splitmix64(x);
+    return child;
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace wrf

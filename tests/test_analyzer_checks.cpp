@@ -1,0 +1,196 @@
+// Unit tests: Open-Catalog-style checkers and the OpenMP rewriter.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/checks.hpp"
+#include "analyzer/embedded_sources.hpp"
+#include "analyzer/parser.hpp"
+#include "analyzer/rewrite.hpp"
+
+namespace wrf::analyzer {
+namespace {
+
+TEST(Checks, KernalsKsFlagsGlobalStateAndMapFrom) {
+  const Report r = run_checks(parse(sources::kernals_ks()));
+  // Global cw** arrays written in the nest (the parallelization blocker
+  // the paper removes) ...
+  EXPECT_GE(r.count("PWR010"), 4);
+  // ... the nest itself is parallelizable ...
+  EXPECT_GE(r.count("PWR015"), 1);
+  // ... and the arrays are write-first (map(from:) / delete-and-compute-
+  // on-demand candidates).
+  EXPECT_GE(r.count("PWR020"), 4);
+}
+
+TEST(Checks, AutomaticArraysInDeviceRoutine) {
+  const Report r = run_checks(parse(sources::coal_bott_decl()));
+  // fl1..fl3, g1..g5 minus args: 8 automatic arrays.
+  EXPECT_EQ(r.count("PWR025"), 8);
+  bool mentions_heap = false;
+  for (const auto& f : r.findings) {
+    if (f.id == "PWR025" &&
+        f.message.find("NV_ACC_CUDA") != std::string::npos) {
+      mentions_heap = true;
+    }
+  }
+  EXPECT_TRUE(mentions_heap);
+}
+
+TEST(Checks, NoAutomaticArrayFindingWithoutDeclareTarget) {
+  const Report r = run_checks(parse(
+      "subroutine host_only()\n"
+      "  real :: scratch(33)\n"
+      "  integer :: i\n"
+      "  do i = 1, 33\n"
+      "    scratch(i) = 0.0\n"
+      "  enddo\n"
+      "end subroutine host_only\n"));
+  EXPECT_EQ(r.count("PWR025"), 0);
+}
+
+TEST(Checks, LegacyOnecondModernization) {
+  // What the paper found with Codee's modernization checks in onecond:
+  // missing intents and assumed-shape/size arrays.
+  const Report r = run_checks(parse(sources::legacy_onecond()));
+  EXPECT_GE(r.count("MOD001"), 2);  // tt, qv (ff has no intent either)
+  EXPECT_EQ(r.count("MOD002"), 1);  // ff(*)
+}
+
+TEST(Checks, CarriedDepDiagnosed) {
+  const Report r = run_checks(parse(sources::carried_dep_loop()));
+  EXPECT_GE(r.count("PWR030"), 1);
+  EXPECT_EQ(r.count("PWR015"), 0);  // not offloadable
+}
+
+TEST(Checks, CleanLoopHasNoBlockers) {
+  const Report r = run_checks(parse(sources::coal_isolated_loop()));
+  EXPECT_GE(r.count("PWR015"), 1);
+  EXPECT_EQ(r.count("PWR030"), 0);
+}
+
+TEST(Checks, ReportFormatting) {
+  const Report r = run_checks(parse(sources::kernals_ks()));
+  const std::string text = r.format();
+  EXPECT_NE(text.find("PWR010"), std::string::npos);
+  EXPECT_NE(text.find("kernals_ks"), std::string::npos);
+  EXPECT_NE(text.find("finding(s)"), std::string::npos);
+}
+
+// ---------- rewriter ----------
+
+int find_do_line(const std::string& src, const std::string& needle) {
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos < src.size()) {
+    const std::size_t eol = src.find('\n', pos);
+    const std::string l = src.substr(pos, eol - pos);
+    if (l.find(needle) != std::string::npos) return line;
+    pos = eol + 1;
+    ++line;
+  }
+  return -1;
+}
+
+TEST(Rewrite, KernalsKsGetsListing4Directives) {
+  const std::string& src = sources::kernals_ks();
+  const int line = find_do_line(src, "do j = 1, nkr");
+  ASSERT_GT(line, 0);
+  const RewriteResult res = rewrite_offload(src, line, /*collapse_limit=*/1);
+  ASSERT_TRUE(res.applied);
+  // The Listing 4 shape: offload directives on the outer loop, simd on
+  // the inner, private scalars, map(from:) for the cw arrays.
+  EXPECT_NE(res.source.find("!$omp target teams distribute &"),
+            std::string::npos);
+  EXPECT_NE(res.source.find("!$omp parallel do"), std::string::npos);
+  EXPECT_NE(res.source.find("!$omp simd"), std::string::npos);
+  EXPECT_NE(res.source.find("private(ckern_1, ckern_2, scale)"),
+            std::string::npos);
+  EXPECT_NE(res.source.find("map(from: cwlg, cwlh, cwll, cwls)"),
+            std::string::npos);
+  // Annotated source still parses (directives are tolerated).
+  EXPECT_NO_THROW(parse(res.source));
+}
+
+TEST(Rewrite, FullCollapseWhenUnlimited) {
+  const std::string& src = sources::coal_isolated_loop();
+  const int line = find_do_line(src, "do j = jts, jte");
+  const RewriteResult res = rewrite_offload(src, line, 0);
+  ASSERT_TRUE(res.applied);
+  EXPECT_NE(res.source.find("collapse(3)"), std::string::npos);
+  EXPECT_EQ(res.source.find("!$omp simd"), std::string::npos);
+}
+
+TEST(Rewrite, CollapseLimitTwoAddsInnerSimd) {
+  // The paper's first offload attempt: collapse limited to 2 (Listing 6
+  // before the temp_arrays fix), leaving the i loop inside.
+  const std::string& src = sources::coal_isolated_loop();
+  const int line = find_do_line(src, "do j = jts, jte");
+  const RewriteResult res = rewrite_offload(src, line, 2);
+  ASSERT_TRUE(res.applied);
+  EXPECT_NE(res.source.find("collapse(2)"), std::string::npos);
+  EXPECT_NE(res.source.find("!$omp simd"), std::string::npos);
+}
+
+TEST(Rewrite, RefusesCarriedDependence) {
+  const std::string& src = sources::carried_dep_loop();
+  const int line = find_do_line(src, "do i = 2, n");
+  const RewriteResult res = rewrite_offload(src, line);
+  EXPECT_FALSE(res.applied);
+  EXPECT_EQ(res.source, src);  // untouched
+  bool explains = false;
+  for (const auto& n : res.notes) {
+    if (n.find("not parallelizable") != std::string::npos) explains = true;
+  }
+  EXPECT_TRUE(explains);
+}
+
+TEST(Rewrite, ReductionClauseEmitted) {
+  const std::string& src = sources::reduction_loop();
+  const int line = find_do_line(src, "do i = 1, n");
+  const RewriteResult res = rewrite_offload(src, line);
+  ASSERT_TRUE(res.applied);
+  EXPECT_NE(res.source.find("reduction(+: s)"), std::string::npos);
+}
+
+TEST(Rewrite, NoLoopAtLine) {
+  const RewriteResult res = rewrite_offload(sources::reduction_loop(), 1);
+  EXPECT_FALSE(res.applied);
+}
+
+TEST(Rewrite, AllOffloadableAnnotatesEveryCandidate) {
+  const std::string combined =
+      sources::kernals_ks() + "\n" + sources::carried_dep_loop();
+  const RewriteResult res = rewrite_all_offloadable(combined, 1);
+  EXPECT_TRUE(res.applied);
+  // kernals_ks annotated; prefix_sum left alone.
+  EXPECT_NE(res.source.find("!$omp target teams distribute"),
+            std::string::npos);
+  const std::size_t prefix_pos = res.source.find("do i = 2, n");
+  ASSERT_NE(prefix_pos, std::string::npos);
+  const std::size_t before =
+      res.source.rfind("!$omp target", prefix_pos);
+  // The nearest preceding target directive (if any) must belong to
+  // kernals_ks, i.e., be far above the prefix_sum loop.
+  if (before != std::string::npos) {
+    EXPECT_GT(prefix_pos - before, 200u);
+  }
+}
+
+TEST(Rewrite, IndentationPreserved) {
+  const std::string src =
+      "subroutine indented(a, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(out) :: a(n)\n"
+      "  integer :: i\n"
+      "    do i = 1, n\n"
+      "      a(i) = 0.0\n"
+      "    enddo\n"
+      "end subroutine indented\n";
+  const RewriteResult res = rewrite_offload(src, 5);
+  ASSERT_TRUE(res.applied);
+  EXPECT_NE(res.source.find("    !$omp target teams distribute"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrf::analyzer

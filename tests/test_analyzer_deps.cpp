@@ -1,0 +1,185 @@
+// Unit tests: the dependency analysis that justifies the paper's v1
+// refactoring (and correctly rejects genuinely sequential loops).
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analysis.hpp"
+#include "analyzer/embedded_sources.hpp"
+#include "analyzer/parser.hpp"
+
+namespace wrf::analyzer {
+namespace {
+
+LoopAnalysis analyze_first_loop(const std::string& src,
+                                const char* proc_name) {
+  static std::vector<std::unique_ptr<ProgramUnit>> keep_alive;
+  keep_alive.push_back(std::make_unique<ProgramUnit>(parse(src)));
+  const ProgramUnit& unit = *keep_alive.back();
+  static std::vector<std::unique_ptr<SemanticModel>> models;
+  models.push_back(std::make_unique<SemanticModel>(unit));
+  const SemanticModel& model = *models.back();
+  const Procedure* p = model.find_procedure(proc_name);
+  EXPECT_NE(p, nullptr);
+  const auto loops = outer_loops(*p);
+  EXPECT_FALSE(loops.empty());
+  return analyze_loop(model, *p, *loops[0]);
+}
+
+TEST(Deps, KernalsKsNestIsParallelizable) {
+  // The paper's key analysis result: no loop-carried dependencies in
+  // kernals_ks despite the global arrays.
+  const LoopAnalysis la =
+      analyze_first_loop(sources::kernals_ks(), "kernals_ks");
+  EXPECT_TRUE(la.parallelizable) << [&] {
+    std::string s;
+    for (const auto& b : la.blockers) s += b + "; ";
+    return s;
+  }();
+  EXPECT_EQ(la.nest_depth, 2);
+  EXPECT_EQ(la.loop_vars, (std::vector<std::string>{"j", "i"}));
+}
+
+TEST(Deps, KernalsKsCwArraysAreWriteFirstGlobals) {
+  // The map(from:) inference of Listing 4: the cw** arrays are fully
+  // overwritten and never read -> prior values are dead -> they can be
+  // deleted and computed on demand (the v1 optimization).
+  const LoopAnalysis la =
+      analyze_first_loop(sources::kernals_ks(), "kernals_ks");
+  for (const char* arr : {"cwls", "cwlg", "cwlh", "cwll"}) {
+    const VarClass* vc = la.find(arr);
+    ASSERT_NE(vc, nullptr) << arr;
+    EXPECT_EQ(vc->role, VarClass::kWriteFirst) << arr;
+    EXPECT_EQ(vc->scope, SymbolScope::kGlobal) << arr;
+    EXPECT_TRUE(vc->is_array);
+  }
+}
+
+TEST(Deps, KernalsKsScalarsArePrivate) {
+  // ckern_1/ckern_2/scale are written before read every iteration:
+  // the private(...) clause of Listing 4.
+  const LoopAnalysis la =
+      analyze_first_loop(sources::kernals_ks(), "kernals_ks");
+  for (const char* v : {"ckern_1", "ckern_2", "scale"}) {
+    const VarClass* vc = la.find(v);
+    ASSERT_NE(vc, nullptr) << v;
+    EXPECT_EQ(vc->role, VarClass::kPrivate) << v;
+  }
+}
+
+TEST(Deps, KernalsKsTablesAreReadOnly) {
+  const LoopAnalysis la =
+      analyze_first_loop(sources::kernals_ks(), "kernals_ks");
+  const VarClass* vc = la.find("ywls_750mb");
+  ASSERT_NE(vc, nullptr);
+  EXPECT_EQ(vc->role, VarClass::kReadOnly);
+}
+
+TEST(Deps, PrefixSumIsLoopCarried) {
+  const LoopAnalysis la =
+      analyze_first_loop(sources::carried_dep_loop(), "prefix_sum");
+  EXPECT_FALSE(la.parallelizable);
+  const VarClass* vc = la.find("a");
+  ASSERT_NE(vc, nullptr);
+  EXPECT_EQ(vc->role, VarClass::kLoopCarried);
+  EXPECT_FALSE(la.blockers.empty());
+}
+
+TEST(Deps, AccumulationRecognizedAsReduction) {
+  const LoopAnalysis la =
+      analyze_first_loop(sources::reduction_loop(), "total_mass");
+  const VarClass* vc = la.find("s");
+  ASSERT_NE(vc, nullptr);
+  EXPECT_EQ(vc->role, VarClass::kReduction);
+  EXPECT_EQ(vc->reduction_op, "+");
+}
+
+TEST(Deps, IsolatedCoalLoopParallelizableThanksToPureCallee) {
+  // Listing 6's shape: the predicate-guarded call to a pure
+  // coal_bott_new has no cross-iteration effects.
+  const LoopAnalysis la =
+      analyze_first_loop(sources::coal_isolated_loop(), "coal_pass");
+  EXPECT_TRUE(la.parallelizable);
+  EXPECT_EQ(la.nest_depth, 3);
+}
+
+TEST(Deps, GridLoopBlockedByImpureCalls) {
+  // Listing 1 as found: calls to opaque physics subroutines prevent the
+  // analysis from proving independence — which is why the paper isolates
+  // the collision call first (loop fission).
+  const LoopAnalysis la =
+      analyze_first_loop(sources::grid_loop(), "fast_sbm_driver");
+  EXPECT_FALSE(la.parallelizable);
+  bool mentions_call = false;
+  for (const auto& b : la.blockers) {
+    if (b.find("procedure") != std::string::npos) mentions_call = true;
+  }
+  EXPECT_TRUE(mentions_call);
+}
+
+TEST(Deps, StencilReadIsLoopCarried) {
+  const LoopAnalysis la = analyze_first_loop(
+      "subroutine smooth(a, b, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(in) :: a(n)\n"
+      "  real, intent(out) :: b(n)\n"
+      "  integer :: i\n"
+      "  do i = 2, n - 1\n"
+      "    b(i) = a(i-1) + a(i) + a(i+1)\n"
+      "  enddo\n"
+      "end subroutine smooth\n",
+      "smooth");
+  // b is disjointly written, a only read: actually parallelizable.
+  EXPECT_TRUE(la.parallelizable);
+  EXPECT_EQ(la.find("b")->role, VarClass::kWriteFirst);
+  EXPECT_EQ(la.find("a")->role, VarClass::kReadOnly);
+}
+
+TEST(Deps, InPlaceStencilIsNotParallelizable) {
+  const LoopAnalysis la = analyze_first_loop(
+      "subroutine smooth(a, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(inout) :: a(n)\n"
+      "  integer :: i\n"
+      "  do i = 2, n - 1\n"
+      "    a(i) = a(i-1) + a(i) + a(i+1)\n"
+      "  enddo\n"
+      "end subroutine smooth\n",
+      "smooth");
+  EXPECT_FALSE(la.parallelizable);
+}
+
+TEST(Deps, MissingLoopVarInWriteIsSharedConflict) {
+  // s(k) accumulated over i: two loop variables but writes only index k.
+  const LoopAnalysis la = analyze_first_loop(
+      "subroutine colsum(a, s, n, m)\n"
+      "  integer, intent(in) :: n, m\n"
+      "  real, intent(in) :: a(n, m)\n"
+      "  real, intent(inout) :: s(m)\n"
+      "  integer :: i, k\n"
+      "  do k = 1, m\n"
+      "    do i = 1, n\n"
+      "      s(k) = s(k) + a(i, k)\n"
+      "    enddo\n"
+      "  enddo\n"
+      "end subroutine colsum\n",
+      "colsum");
+  EXPECT_FALSE(la.parallelizable);
+  const VarClass* vc = la.find("s");
+  ASSERT_NE(vc, nullptr);
+  EXPECT_EQ(vc->role, VarClass::kReduction);
+}
+
+TEST(Deps, ScopeResolution) {
+  const ProgramUnit unit = parse(sources::kernals_ks());
+  const SemanticModel model(unit);
+  const Procedure* p = model.find_procedure("kernals_ks");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(model.resolve(*p, "cwls"), SymbolScope::kGlobal);
+  EXPECT_EQ(model.resolve(*p, "ckern_1"), SymbolScope::kLocal);
+  EXPECT_EQ(model.resolve(*p, "p_z"), SymbolScope::kArgument);
+  EXPECT_EQ(model.resolve(*p, "nothere"), SymbolScope::kUnknown);
+  EXPECT_EQ(model.visible_globals(*p).size(), 13u);
+}
+
+}  // namespace
+}  // namespace wrf::analyzer

@@ -1,0 +1,219 @@
+// Additional analyzer edge cases: imperfect nests, use-association,
+// pointer workflows, parser corner cases, and rewriter robustness.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/checks.hpp"
+#include "analyzer/parser.hpp"
+#include "analyzer/rewrite.hpp"
+
+namespace wrf::analyzer {
+namespace {
+
+TEST(EdgeParser, ImperfectNestStopsChainAtFirstRealStatement) {
+  const ProgramUnit u = parse(
+      "subroutine imperfect(a, b, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(inout) :: a(n, n)\n"
+      "  real, intent(out) :: b(n)\n"
+      "  integer :: i, j\n"
+      "  do j = 1, n\n"
+      "    b(j) = 0.0\n"
+      "    do i = 1, n\n"
+      "      a(i, j) = a(i, j) + 1.0\n"
+      "    enddo\n"
+      "  enddo\n"
+      "end subroutine imperfect\n");
+  const SemanticModel m(u);
+  const Procedure* p = m.find_procedure("imperfect");
+  const LoopAnalysis la = analyze_loop(m, *p, *outer_loops(*p)[0]);
+  // Only the outer loop belongs to the "perfect nest"; the body contains
+  // two statements.  The inner loop's variable indexes a's first dim, so
+  // the analysis must treat it conservatively for the outer var only.
+  EXPECT_EQ(la.nest_depth, 1);
+  EXPECT_EQ(la.loop_vars, (std::vector<std::string>{"j"}));
+}
+
+TEST(EdgeParser, UseAssociationBringsModuleGlobals) {
+  const ProgramUnit u = parse(
+      "module tables\n"
+      "  implicit none\n"
+      "  real :: lut(33)\n"
+      "end module tables\n"
+      "subroutine consumer(x)\n"
+      "  use tables\n"
+      "  real, intent(out) :: x\n"
+      "  x = lut(1)\n"
+      "end subroutine consumer\n");
+  const SemanticModel m(u);
+  const Procedure* p = m.find_procedure("consumer");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(m.resolve(*p, "lut"), SymbolScope::kGlobal);
+  ASSERT_EQ(m.visible_globals(*p).size(), 1u);
+  EXPECT_EQ(m.visible_globals(*p)[0]->name, "lut");
+}
+
+TEST(EdgeParser, MultiEntityDeclWithMixedDims) {
+  const ProgramUnit u = parse(
+      "subroutine decls()\n"
+      "  real :: a(33), b, c(33, 3)\n"
+      "  a(1) = 0.0\n"
+      "  b = 0.0\n"
+      "  c(1, 1) = 0.0\n"
+      "end subroutine decls\n");
+  const Procedure& p = u.procs[0];
+  ASSERT_EQ(p.decls.size(), 3u);
+  EXPECT_EQ(p.decls[0].dims.size(), 1u);
+  EXPECT_TRUE(p.decls[1].dims.empty());
+  EXPECT_EQ(p.decls[2].dims.size(), 2u);
+}
+
+TEST(EdgeParser, DimensionAttributeShared) {
+  const ProgramUnit u = parse(
+      "subroutine shared_dims()\n"
+      "  real, dimension(33) :: a, b\n"
+      "  a(1) = 0.0\n"
+      "  b(2) = 0.0\n"
+      "end subroutine shared_dims\n");
+  const Procedure& p = u.procs[0];
+  ASSERT_EQ(p.decls.size(), 2u);
+  EXPECT_EQ(p.decls[0].dims, (std::vector<std::string>{"33"}));
+  EXPECT_EQ(p.decls[1].dims, (std::vector<std::string>{"33"}));
+}
+
+TEST(EdgeParser, ParameterInitializerAndNegativeStep) {
+  const ProgramUnit u = parse(
+      "subroutine steps(a)\n"
+      "  integer, parameter :: n = 33\n"
+      "  real, intent(inout) :: a(n)\n"
+      "  integer :: i\n"
+      "  do i = n, 1, -1\n"
+      "    a(i) = 0.0\n"
+      "  enddo\n"
+      "end subroutine steps\n");
+  const Procedure& p = u.procs[0];
+  const Stmt* loop = outer_loops(p)[0];
+  ASSERT_EQ(loop->exprs.size(), 3u);  // lo, hi, step
+  EXPECT_EQ(expr_text(loop->exprs[2]), "-1");
+  EXPECT_TRUE(p.decls[0].parameter);
+}
+
+TEST(EdgeDeps, WriteThenReadScalarIsPrivateAcrossBranches) {
+  const ProgramUnit u = parse(
+      "subroutine branches(a, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(inout) :: a(n)\n"
+      "  integer :: i\n"
+      "  real :: t\n"
+      "  do i = 1, n\n"
+      "    if (a(i) > 0.0) then\n"
+      "      t = a(i) * 2.0\n"
+      "    else\n"
+      "      t = 0.0\n"
+      "    endif\n"
+      "    a(i) = t\n"
+      "  enddo\n"
+      "end subroutine branches\n");
+  const SemanticModel m(u);
+  const Procedure* p = m.find_procedure("branches");
+  const LoopAnalysis la = analyze_loop(m, *p, *outer_loops(*p)[0]);
+  EXPECT_TRUE(la.parallelizable);
+  const VarClass* t = la.find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->role, VarClass::kPrivate);
+}
+
+TEST(EdgeDeps, CallWithArrayElementArgumentIsConservative) {
+  const ProgramUnit u = parse(
+      "subroutine caller(a, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(inout) :: a(n)\n"
+      "  integer :: i\n"
+      "  do i = 1, n\n"
+      "    call mystery(a(i))\n"
+      "  enddo\n"
+      "end subroutine caller\n");
+  const SemanticModel m(u);
+  const Procedure* p = m.find_procedure("caller");
+  const LoopAnalysis la = analyze_loop(m, *p, *outer_loops(*p)[0]);
+  // mystery is unknown: must block parallelization.
+  EXPECT_FALSE(la.parallelizable);
+}
+
+TEST(EdgeDeps, PureFunctionCallInExpressionIsHarmless) {
+  const ProgramUnit u = parse(
+      "pure real function gain(x)\n"
+      "  real, intent(in) :: x\n"
+      "  gain = 2.0 * x\n"
+      "end function gain\n"
+      "subroutine apply(a, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(inout) :: a(n)\n"
+      "  integer :: i\n"
+      "  do i = 1, n\n"
+      "    a(i) = gain(a(i))\n"
+      "  enddo\n"
+      "end subroutine apply\n");
+  const SemanticModel m(u);
+  const Procedure* p = m.find_procedure("apply");
+  const LoopAnalysis la = analyze_loop(m, *p, *outer_loops(*p)[0]);
+  EXPECT_TRUE(la.parallelizable);
+}
+
+TEST(EdgeChecks, IntentOnEverythingIsClean) {
+  const Report r = run_checks(parse(
+      "subroutine tidy(a, b)\n"
+      "  real, intent(in) :: a\n"
+      "  real, intent(out) :: b\n"
+      "  b = a\n"
+      "end subroutine tidy\n"));
+  EXPECT_EQ(r.count("MOD001"), 0);
+  EXPECT_EQ(r.count("MOD002"), 0);
+}
+
+TEST(EdgeRewrite, AnnotatedSourceCanBeReanalyzed) {
+  // Rewriting, then re-running checks over the annotated output, must
+  // not crash and must still find the loop parallelizable.
+  const std::string src =
+      "subroutine twice(a, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(inout) :: a(n)\n"
+      "  integer :: i\n"
+      "  do i = 1, n\n"
+      "    a(i) = a(i) * 2.0\n"
+      "  enddo\n"
+      "end subroutine twice\n";
+  const RewriteResult first = rewrite_offload(src, 5);
+  ASSERT_TRUE(first.applied);
+  const Report r = run_checks(parse(first.source));
+  EXPECT_GE(r.count("PWR015"), 1);
+}
+
+TEST(EdgeRewrite, LineNumbersShiftCorrectlyForSecondLoop) {
+  const std::string src =
+      "subroutine two_loops(a, b, n)\n"
+      "  integer, intent(in) :: n\n"
+      "  real, intent(out) :: a(n), b(n)\n"
+      "  integer :: i\n"
+      "  do i = 1, n\n"
+      "    a(i) = 0.0\n"
+      "  enddo\n"
+      "  do i = 1, n\n"
+      "    b(i) = 1.0\n"
+      "  enddo\n"
+      "end subroutine two_loops\n";
+  const RewriteResult res = rewrite_all_offloadable(src);
+  ASSERT_TRUE(res.applied);
+  // Both loops annotated: two target directives.
+  std::size_t count = 0, pos = 0;
+  while ((pos = res.source.find("!$omp target teams", pos)) !=
+         std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NO_THROW(parse(res.source));
+}
+
+}  // namespace
+}  // namespace wrf::analyzer

@@ -1,0 +1,222 @@
+// Unit tests: loopcheck lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analysis.hpp"
+#include "analyzer/embedded_sources.hpp"
+#include "analyzer/parser.hpp"
+
+namespace wrf::analyzer {
+namespace {
+
+TEST(Lexer, TokensAndCaseFolding) {
+  const auto toks = lex("DO J = 1, NKR\n");
+  ASSERT_GE(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "do");
+  EXPECT_EQ(toks[1].text, "j");
+  EXPECT_EQ(toks[2].kind, Tok::kAssign);
+  EXPECT_EQ(toks[3].kind, Tok::kNumber);
+  EXPECT_EQ(toks[4].kind, Tok::kComma);
+}
+
+TEST(Lexer, NumbersWithExponentsAndDots) {
+  const auto toks = lex("x = 193.15 + 1.0e-3 - 2.5d0\n");
+  int numbers = 0;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::kNumber) ++numbers;
+  }
+  EXPECT_EQ(numbers, 3);
+}
+
+TEST(Lexer, LogicalOperators) {
+  const auto toks = lex("if (a > 1 .and. b <= 2 .or. .not. c) then\n");
+  bool has_and = false, has_or = false, has_not = false, has_le = false;
+  for (const auto& t : toks) {
+    has_and |= t.kind == Tok::kAnd;
+    has_or |= t.kind == Tok::kOr;
+    has_not |= t.kind == Tok::kNot;
+    has_le |= t.kind == Tok::kLe;
+  }
+  EXPECT_TRUE(has_and && has_or && has_not && has_le);
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  const auto toks = lex("x = 1 + &\n    2\n");
+  // Only one newline token (at the very end).
+  int newlines = 0;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::kNewline) ++newlines;
+  }
+  EXPECT_EQ(newlines, 1);
+}
+
+TEST(Lexer, CommentsDroppedDirectivesKept) {
+  const auto toks = lex("x = 1 ! plain comment\n!$omp simd\ny = 2\n");
+  int directives = 0;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::kDirective) ++directives;
+    EXPECT_EQ(t.text.find("plain"), std::string::npos);
+  }
+  EXPECT_EQ(directives, 1);
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto toks = lex("a = 1\nb = 2\nc = 3\n");
+  for (const auto& t : toks) {
+    if (t.kind == Tok::kIdent && t.text == "c") EXPECT_EQ(t.line, 3);
+  }
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_THROW(lex("x = #1\n"), ParseError);
+  EXPECT_THROW(lex("x = 'unterminated\n"), ParseError);
+}
+
+TEST(Parser, SubroutineSkeleton) {
+  const ProgramUnit u = parse(
+      "subroutine foo(a, b)\n"
+      "  implicit none\n"
+      "  real, intent(in) :: a\n"
+      "  real, intent(out) :: b\n"
+      "  b = a * 2.0\n"
+      "end subroutine foo\n");
+  ASSERT_EQ(u.procs.size(), 1u);
+  const Procedure& p = u.procs[0];
+  EXPECT_EQ(p.name, "foo");
+  EXPECT_EQ(p.args, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(p.decls.size(), 2u);
+  EXPECT_EQ(p.decls[0].intent, "in");
+  EXPECT_EQ(p.decls[1].intent, "out");
+  ASSERT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(p.body[0].kind, Stmt::kAssign);
+}
+
+TEST(Parser, ModuleWithGlobalsAndContains) {
+  const ProgramUnit u = parse(sources::kernals_ks());
+  ASSERT_EQ(u.modules.size(), 1u);
+  const ModuleUnit& m = u.modules[0];
+  EXPECT_EQ(m.name, "module_mp_fast_sbm");
+  // 1 parameter + 4 cw arrays + 8 tables = 13 globals.
+  EXPECT_EQ(m.globals.size(), 13u);
+  ASSERT_EQ(m.procs.size(), 1u);
+  EXPECT_EQ(m.procs[0].name, "kernals_ks");
+}
+
+TEST(Parser, NestedDoAndIf) {
+  const ProgramUnit u = parse(sources::grid_loop());
+  ASSERT_EQ(u.procs.size(), 1u);
+  const Block& body = u.procs[0].body;
+  ASSERT_EQ(body.size(), 1u);
+  const Stmt& dj = body[0];
+  EXPECT_EQ(dj.kind, Stmt::kDo);
+  EXPECT_EQ(dj.text, "j");
+  const Stmt& dk = dj.blocks[0][0];
+  const Stmt& di = dk.blocks[0][0];
+  EXPECT_EQ(di.text, "i");
+  const Stmt& ifs = di.blocks[0][0];
+  EXPECT_EQ(ifs.kind, Stmt::kIf);
+  // if / elseif-free: one condition, one block, with a nested if inside.
+  ASSERT_EQ(ifs.exprs.size(), 1u);
+}
+
+TEST(Parser, ElseAndElseIf) {
+  const ProgramUnit u = parse(
+      "subroutine branches(x, y)\n"
+      "  real, intent(in) :: x\n"
+      "  real, intent(out) :: y\n"
+      "  if (x > 1.0) then\n"
+      "    y = 1.0\n"
+      "  else if (x > 0.0) then\n"
+      "    y = 0.5\n"
+      "  else\n"
+      "    y = 0.0\n"
+      "  endif\n"
+      "end subroutine branches\n");
+  const Stmt& ifs = u.procs[0].body[0];
+  EXPECT_EQ(ifs.exprs.size(), 2u);   // two conditions
+  EXPECT_EQ(ifs.blocks.size(), 3u);  // then, elseif, else
+  EXPECT_TRUE(ifs.else_present);
+}
+
+TEST(Parser, PointerAssignmentAndDeclareTarget) {
+  const ProgramUnit u = parse(
+      "subroutine p()\n"
+      "  !$omp declare target\n"
+      "  real, pointer :: fl1(:)\n"
+      "  fl1 => fl1_temp(:, 1, 2, 3)\n"
+      "end subroutine p\n");
+  const Procedure& p = u.procs[0];
+  EXPECT_TRUE(p.declares_target);
+  EXPECT_TRUE(p.decls[0].pointer);
+  ASSERT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(p.body[0].kind, Stmt::kPointerAssign);
+}
+
+TEST(Parser, PureFunction) {
+  const ProgramUnit u = parse(
+      "pure real function get_cwlg(i, j)\n"
+      "  integer, intent(in) :: i, j\n"
+      "  get_cwlg = 1.0\n"
+      "end function get_cwlg\n");
+  ASSERT_EQ(u.procs.size(), 1u);
+  EXPECT_TRUE(u.procs[0].pure);
+  EXPECT_TRUE(u.procs[0].is_function);
+  EXPECT_EQ(u.procs[0].result_type, "real");
+}
+
+TEST(Parser, CallsAndOneLineIf) {
+  const ProgramUnit u = parse(
+      "subroutine s(t)\n"
+      "  real, intent(in) :: t\n"
+      "  if (t > 223.15) call coal_bott_new(1, 2, 3)\n"
+      "end subroutine s\n");
+  const Stmt& ifs = u.procs[0].body[0];
+  EXPECT_EQ(ifs.kind, Stmt::kIf);
+  EXPECT_EQ(ifs.blocks[0][0].kind, Stmt::kCall);
+  EXPECT_EQ(ifs.blocks[0][0].text, "coal_bott_new");
+}
+
+TEST(Parser, AssumedSizeDims) {
+  const ProgramUnit u = parse(sources::legacy_onecond());
+  const Procedure& p = u.procs[0];
+  bool has_star = false;
+  for (const auto& d : p.decls) {
+    for (const auto& dim : d.dims) has_star |= dim == "*";
+  }
+  EXPECT_TRUE(has_star);
+}
+
+TEST(Parser, AllEmbeddedSourcesParse) {
+  EXPECT_NO_THROW(parse(sources::kernals_ks()));
+  EXPECT_NO_THROW(parse(sources::grid_loop()));
+  EXPECT_NO_THROW(parse(sources::coal_isolated_loop()));
+  EXPECT_NO_THROW(parse(sources::coal_bott_decl()));
+  EXPECT_NO_THROW(parse(sources::carried_dep_loop()));
+  EXPECT_NO_THROW(parse(sources::reduction_loop()));
+  EXPECT_NO_THROW(parse(sources::legacy_onecond()));
+}
+
+TEST(Parser, SyntaxErrorsHaveLineNumbers) {
+  try {
+    parse("subroutine bad()\n  x = = 1\nend subroutine bad\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ExprText, Canonicalization) {
+  const ProgramUnit u = parse(
+      "subroutine e(a, b, c)\n"
+      "  real, intent(inout) :: a(10)\n"
+      "  real, intent(in) :: b, c\n"
+      "  a(3) = b * (c + 1.0) ** 2\n"
+      "end subroutine e\n");
+  const Stmt& s = u.procs[0].body[0];
+  EXPECT_EQ(expr_text(s.exprs[0]), "a(3)");
+  EXPECT_EQ(expr_text(s.exprs[1]), "(b*((c+1.0)**2))");
+}
+
+}  // namespace
+}  // namespace wrf::analyzer

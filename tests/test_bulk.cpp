@@ -1,0 +1,124 @@
+// Unit tests: the Kessler bulk-scheme comparator (Figure 2 context).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bulk/kessler.hpp"
+#include "util/constants.hpp"
+
+namespace wrf::bulk {
+namespace {
+
+namespace c = wrf::constants;
+
+TEST(Kessler, SaturationAdjustmentCondensesExcess) {
+  double temp = 285.0, qv;
+  const double pres = 90000.0;
+  qv = 1.2 * c::qsat_liquid(temp, pres);
+  KesslerCell cell;
+  const KesslerStats st = kessler_cell(temp, qv, pres, cell, 5.0);
+  EXPECT_GT(st.dq_cond, 0.0);
+  EXPECT_GT(cell.qc, 0.0);
+  // Post-adjustment the cell sits essentially at saturation.
+  EXPECT_NEAR(qv / c::qsat_liquid(temp, pres), 1.0, 0.02);
+}
+
+TEST(Kessler, EvaporatesCloudInSubsaturatedAir) {
+  double temp = 285.0;
+  const double pres = 90000.0;
+  double qv = 0.8 * c::qsat_liquid(temp, pres);
+  KesslerCell cell;
+  cell.qc = 2.0e-4;
+  kessler_cell(temp, qv, pres, cell, 5.0);
+  EXPECT_LT(cell.qc, 2.0e-4);
+  EXPECT_GT(qv, 0.8 * c::qsat_liquid(285.0, pres));
+}
+
+TEST(Kessler, AutoconversionOnlyAboveThreshold) {
+  const double pres = 90000.0;
+  {
+    double temp = 280.0;
+    double qv = 0.5 * c::qsat_liquid(temp, pres);
+    KesslerCell cell;
+    cell.qc = 1.0e-4;  // below the 5e-4 threshold
+    kessler_cell(temp, qv, pres, cell, 5.0);
+    EXPECT_DOUBLE_EQ(cell.qr, 0.0);
+  }
+  {
+    double temp = 280.0;
+    double qv = c::qsat_liquid(temp, pres);
+    KesslerCell cell;
+    cell.qc = 2.0e-3;
+    kessler_cell(temp, qv, pres, cell, 5.0);
+    EXPECT_GT(cell.qr, 0.0);
+  }
+}
+
+TEST(Kessler, AccretionFeedsRain) {
+  double temp = 282.0;
+  const double pres = 90000.0;
+  double qv = c::qsat_liquid(temp, pres);
+  KesslerCell cell;
+  cell.qc = 1.0e-3;
+  cell.qr = 1.0e-3;
+  const KesslerStats st = kessler_cell(temp, qv, pres, cell, 5.0);
+  EXPECT_GT(st.dq_accr, 0.0);
+}
+
+TEST(Kessler, WaterConserved) {
+  double temp = 285.0;
+  const double pres = 90000.0;
+  double qv = 1.1 * c::qsat_liquid(temp, pres);
+  KesslerCell cell;
+  cell.qc = 8.0e-4;
+  cell.qr = 3.0e-4;
+  const double water0 = qv + cell.qc + cell.qr;
+  for (int s = 0; s < 10; ++s) kessler_cell(temp, qv, pres, cell, 5.0);
+  EXPECT_NEAR(qv + cell.qc + cell.qr, water0, water0 * 1e-9);
+  EXPECT_GE(cell.qc, 0.0);
+  EXPECT_GE(cell.qr, 0.0);
+  EXPECT_GE(qv, 0.0);
+}
+
+TEST(Kessler, FallSpeedMonotoneInRainContent) {
+  double prev = 0.0;
+  for (double qr : {1e-5, 1e-4, 1e-3, 5e-3}) {
+    const double v = rain_fall_speed(qr, 1.0);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(rain_fall_speed(0.0, 1.0), 0.0);
+  EXPECT_LE(rain_fall_speed(0.1, 1.0), 10.0);  // capped
+}
+
+TEST(Kessler, SedimentationConservesColumn) {
+  const int nz = 20;
+  std::vector<double> qr(static_cast<std::size_t>(nz), 0.0);
+  std::vector<double> rho(static_cast<std::size_t>(nz), 1.0);
+  for (int iz = 0; iz < 16; ++iz) qr[static_cast<std::size_t>(iz)] = 1.0e-3;
+  double before = 0.0;
+  for (double v : qr) before += v;
+  const double precip =
+      kessler_sediment_column(qr.data(), rho.data(), nz, 400.0, 20.0);
+  double after = 0.0;
+  for (double v : qr) after += v;
+  EXPECT_NEAR(after + precip, before, before * 1e-9);
+  EXPECT_GT(precip, 0.0);
+}
+
+TEST(Kessler, BinSchemeNeedsNoThresholdBulkDoes) {
+  // Figure 2's conceptual difference exercised as code: bulk rain
+  // production has a hard autoconversion threshold; the bin scheme's
+  // collection runs for any nonzero spectrum (covered in coal tests).
+  double temp = 283.0;
+  const double pres = 90000.0;
+  double qv = c::qsat_liquid(temp, pres);
+  KesslerCell cell;
+  cell.qc = 4.9e-4;  // just under the threshold
+  for (int s = 0; s < 50; ++s) kessler_cell(temp, qv, pres, cell, 5.0);
+  EXPECT_DOUBLE_EQ(cell.qr, 0.0);
+}
+
+}  // namespace
+}  // namespace wrf::bulk

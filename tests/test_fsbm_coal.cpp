@@ -1,0 +1,239 @@
+// Property + unit tests: coal_bott_new and collect_pair conservation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "fsbm/coal_bott.hpp"
+#include "util/rng.hpp"
+
+namespace wrf::fsbm {
+namespace {
+
+class CoalTest : public ::testing::Test {
+ protected:
+  BinGrid bins_{33};
+  KernelTables tables_{bins_};
+  CoalConfig cfg_{};
+
+  std::vector<float> droplet_spectrum(double q_total, Rng& rng) {
+    std::vector<float> g(33, 0.0f);
+    double norm = 0.0;
+    std::vector<double> w(33);
+    for (int k = 0; k < 33; ++k) {
+      const double x = (k - 7.0) / 3.0;
+      w[static_cast<std::size_t>(k)] =
+          std::exp(-x * x) * (0.8 + 0.4 * rng.uniform());
+      norm += w[static_cast<std::size_t>(k)];
+    }
+    for (int k = 0; k < 33; ++k) {
+      g[static_cast<std::size_t>(k)] =
+          static_cast<float>(q_total * w[static_cast<std::size_t>(k)] / norm);
+    }
+    return g;
+  }
+
+  static double total(const std::vector<float>& g) {
+    return std::accumulate(g.begin(), g.end(), 0.0);
+  }
+  static double mean_mass(const BinGrid& bins, const std::vector<float>& g) {
+    double m = 0.0, n = 0.0;
+    for (int k = 0; k < 33; ++k) {
+      m += g[static_cast<std::size_t>(k)];
+      n += g[static_cast<std::size_t>(k)] / bins.mass(k);
+    }
+    return n > 0 ? m / n : 0.0;
+  }
+};
+
+TEST_F(CoalTest, SelfCollectionConservesMass) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto g = droplet_spectrum(1.0e-3 * (0.2 + rng.uniform()), rng);
+    const double before = total(g);
+    const KernelSource ks(tables_, 70000.0);
+    collect_pair(bins_, CollisionPair::kLL, ks, g.data(), g.data(), g.data(),
+                 cfg_);
+    EXPECT_NEAR(total(g), before, before * 1e-6) << "trial " << trial;
+  }
+}
+
+TEST_F(CoalTest, SelfCollectionNeverGoesNegative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto g = droplet_spectrum(5.0e-3, rng);
+    CoalConfig cfg = cfg_;
+    cfg.dt = 60.0;  // aggressive step to stress the limiter
+    const KernelSource ks(tables_, 60000.0);
+    collect_pair(bins_, CollisionPair::kLL, ks, g.data(), g.data(), g.data(),
+                 cfg);
+    for (int k = 0; k < 33; ++k) {
+      EXPECT_GE(g[static_cast<std::size_t>(k)], 0.0f) << "bin " << k;
+    }
+  }
+}
+
+TEST_F(CoalTest, SelfCollectionGrowsMeanMass) {
+  Rng rng(3);
+  auto g = droplet_spectrum(2.0e-3, rng);
+  const double mean_before = mean_mass(bins_, g);
+  const KernelSource ks(tables_, 70000.0);
+  CoalConfig cfg = cfg_;
+  cfg.dt = 30.0;
+  collect_pair(bins_, CollisionPair::kLL, ks, g.data(), g.data(), g.data(),
+               cfg);
+  EXPECT_GT(mean_mass(bins_, g), mean_before);
+}
+
+TEST_F(CoalTest, RimingMovesLiquidIntoSnow) {
+  Rng rng(4);
+  auto liq = droplet_spectrum(1.0e-3, rng);
+  std::vector<float> snow(33, 0.0f);
+  snow[20] = 5.0e-4f;  // one big collector bin
+  const double before = total(liq) + total(snow);
+  const double liq_before = total(liq);
+  const KernelSource ks(tables_, 60000.0);
+  collect_pair(bins_, CollisionPair::kLS, ks, liq.data(), snow.data(),
+               snow.data(), cfg_);
+  EXPECT_NEAR(total(liq) + total(snow), before, before * 1e-6);
+  EXPECT_LT(total(liq), liq_before);
+  EXPECT_GT(total(snow), 5.0e-4);
+}
+
+TEST_F(CoalTest, EmptyCollectorIsFreeNoLookups) {
+  // The v1 win: on-demand lookup skips rows with empty collectors.
+  Rng rng(5);
+  auto liq = droplet_spectrum(1.0e-3, rng);
+  std::vector<float> hail(33, 0.0f);
+  const KernelSource ks(tables_, 60000.0);
+  const CoalStats st = collect_pair(bins_, CollisionPair::kLH, ks, liq.data(),
+                                    hail.data(), hail.data(), cfg_);
+  EXPECT_EQ(st.kernel_lookups, 0u);
+  EXPECT_EQ(st.interactions, 0u);
+}
+
+TEST_F(CoalTest, WarmCellRunsOnlyLiquidPair) {
+  Rng rng(6);
+  float buf[(4 + kIceMax) * kMaxNkr] = {};
+  CoalWorkspace w;
+  w.fl1 = buf;
+  w.g2 = buf + 33;
+  w.g3 = buf + 33 * (1 + kIceMax);
+  w.g4 = buf + 33 * (2 + kIceMax);
+  w.g5 = buf + 33 * (3 + kIceMax);
+  auto liq = droplet_spectrum(1.0e-3, rng);
+  std::copy(liq.begin(), liq.end(), w.fl1);
+  w.g3[18] = 1.0e-4f;  // snow present but it's warm: no riming
+  const KernelSource ks(tables_, 80000.0);
+  const CoalStats st = coal_bott_new(bins_, 285.0, ks, w, cfg_);
+  EXPECT_EQ(st.pairs_active, 1u);
+  EXPECT_FLOAT_EQ(w.g3[18], 1.0e-4f);  // snow untouched
+}
+
+TEST_F(CoalTest, ColdCellRunsAllTwentyPairs) {
+  Rng rng(7);
+  float buf[(4 + kIceMax) * kMaxNkr] = {};
+  CoalWorkspace w;
+  w.fl1 = buf;
+  w.g2 = buf + 33;
+  w.g3 = buf + 33 * (1 + kIceMax);
+  w.g4 = buf + 33 * (2 + kIceMax);
+  w.g5 = buf + 33 * (3 + kIceMax);
+  auto liq = droplet_spectrum(1.0e-3, rng);
+  std::copy(liq.begin(), liq.end(), w.fl1);
+  const KernelSource ks(tables_, 55000.0);
+  const CoalStats st = coal_bott_new(bins_, 258.0, ks, w, cfg_);
+  EXPECT_EQ(st.pairs_active, 20u);
+}
+
+TEST_F(CoalTest, ColdCellConservesTotalCondensate) {
+  Rng rng(8);
+  float buf[(4 + kIceMax) * kMaxNkr] = {};
+  CoalWorkspace w;
+  w.fl1 = buf;
+  w.g2 = buf + 33;
+  w.g3 = buf + 33 * (1 + kIceMax);
+  w.g4 = buf + 33 * (2 + kIceMax);
+  w.g5 = buf + 33 * (3 + kIceMax);
+  auto liq = droplet_spectrum(1.5e-3, rng);
+  std::copy(liq.begin(), liq.end(), w.fl1);
+  for (int k = 4; k < 18; ++k) {
+    w.g3[k] = 2.0e-5f;
+    w.g2[k] = 1.0e-5f;
+    w.g2[33 + k] = 8.0e-6f;
+    w.g4[k + 4] = 1.2e-5f;
+    w.g5[k + 6] = 4.0e-6f;
+  }
+  double before = 0.0;
+  for (int n = 0; n < (4 + kIceMax) * 33; ++n) before += buf[n];
+  const KernelSource ks(tables_, 55000.0);
+  coal_bott_new(bins_, 255.0, ks, w, cfg_);
+  double after = 0.0;
+  for (int n = 0; n < (4 + kIceMax) * 33; ++n) after += buf[n];
+  EXPECT_NEAR(after, before, before * 1e-5);
+  for (int n = 0; n < (4 + kIceMax) * 33; ++n) {
+    EXPECT_GE(buf[n], 0.0f) << "slot " << n;
+  }
+}
+
+TEST_F(CoalTest, PrecomputedAndOnDemandSourcesAgreeBitwise) {
+  // Table III's invariant: v0 and v1 compute identical physics.
+  Rng rng(9);
+  const double pres = 63000.0;
+  CollisionArrays arrays(33);
+  tables_.kernals_ks(pres, arrays);
+
+  auto ga = droplet_spectrum(1.0e-3, rng);
+  auto gb = ga;
+  std::vector<float> snow_a(33, 0.0f), snow_b(33, 0.0f);
+  snow_a[22] = snow_b[22] = 3.0e-4f;
+
+  const KernelSource pre(arrays);
+  const KernelSource dem(tables_, pres);
+  collect_pair(bins_, CollisionPair::kLS, pre, ga.data(), snow_a.data(),
+               snow_a.data(), cfg_);
+  collect_pair(bins_, CollisionPair::kLS, dem, gb.data(), snow_b.data(),
+               snow_b.data(), cfg_);
+  for (int k = 0; k < 33; ++k) {
+    EXPECT_EQ(ga[static_cast<std::size_t>(k)], gb[static_cast<std::size_t>(k)]);
+    EXPECT_EQ(snow_a[static_cast<std::size_t>(k)],
+              snow_b[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST_F(CoalTest, LookupCountSkipsEmptyWork) {
+  // On-demand lookups scale with occupied bins, not with 20*nkr^2.
+  Rng rng(10);
+  auto liq = droplet_spectrum(1.0e-3, rng);
+  const KernelSource ks(tables_, 70000.0);
+  const CoalStats st = collect_pair(bins_, CollisionPair::kLL, ks, liq.data(),
+                                    liq.data(), liq.data(), cfg_);
+  EXPECT_LT(st.kernel_lookups, static_cast<std::uint64_t>(33) * 33);
+  EXPECT_GT(st.kernel_lookups, 0u);
+}
+
+TEST_F(CoalTest, WorkspaceBytesMatchLayout) {
+  EXPECT_EQ(CoalWorkspace::bytes_per_cell(33),
+            static_cast<std::uint64_t>(33) * 7 * 4);
+}
+
+TEST_F(CoalTest, LongerTimestepCollectsMore) {
+  Rng rng(11);
+  auto g1 = droplet_spectrum(1.0e-3, rng);
+  auto g2v = g1;
+  CoalConfig fast = cfg_;
+  fast.dt = 1.0;
+  CoalConfig slow = cfg_;
+  slow.dt = 20.0;
+  const KernelSource ks(tables_, 70000.0);
+  collect_pair(bins_, CollisionPair::kLL, ks, g1.data(), g1.data(), g1.data(),
+               fast);
+  collect_pair(bins_, CollisionPair::kLL, ks, g2v.data(), g2v.data(),
+               g2v.data(), slow);
+  EXPECT_GT(mean_mass(bins_, g2v), mean_mass(bins_, g1));
+}
+
+}  // namespace
+}  // namespace wrf::fsbm

@@ -1,0 +1,211 @@
+// Unit + property tests: condensation/evaporation (onecond1/2) and the
+// conserving remap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "fsbm/onecond.hpp"
+#include "util/constants.hpp"
+
+namespace wrf::fsbm {
+namespace {
+
+namespace c = wrf::constants;
+
+class CondTest : public ::testing::Test {
+ protected:
+  BinGrid bins_{33};
+  CondConfig cfg_{};
+
+  struct Cell {
+    float buf[(4 + kIceMax) * kMaxNkr] = {};
+    CoalWorkspace w;
+    Cell() {
+      w.fl1 = buf;
+      w.g2 = buf + 33;
+      w.g3 = buf + 33 * (1 + kIceMax);
+      w.g4 = buf + 33 * (2 + kIceMax);
+      w.g5 = buf + 33 * (3 + kIceMax);
+    }
+    double condensate() const {
+      double q = 0.0;
+      for (int n = 0; n < (4 + kIceMax) * 33; ++n) q += buf[n];
+      return q;
+    }
+  };
+
+  void seed_droplets(Cell& cell, double q) {
+    for (int k = 2; k < 12; ++k) {
+      cell.w.fl1[k] = static_cast<float>(q / 10.0);
+    }
+  }
+};
+
+TEST_F(CondTest, GrowAndRemapConservesWhenStationary) {
+  Cell cell;
+  seed_droplets(cell, 1.0e-3);
+  double dm[kMaxNkr] = {};
+  const double before = cell.condensate();
+  const double dq = grow_and_remap(bins_, cell.w.fl1, dm, 1e-14);
+  EXPECT_DOUBLE_EQ(dq, 0.0);
+  EXPECT_NEAR(cell.condensate(), before, before * 1e-7);
+}
+
+TEST_F(CondTest, GrowAndRemapAccountsGrowth) {
+  Cell cell;
+  cell.w.fl1[5] = 1.0e-4f;
+  double dm[kMaxNkr] = {};
+  dm[5] = 0.3 * bins_.mass(5);  // each particle grows by 30%
+  const double before = cell.condensate();
+  const double dq = grow_and_remap(bins_, cell.w.fl1, dm, 1e-14);
+  EXPECT_NEAR(dq, 0.3e-4, 0.3e-4 * 1e-5);
+  EXPECT_NEAR(cell.condensate() - before, dq, std::abs(dq) * 1e-5);
+  // Mass went into bins 5 and 6.
+  EXPECT_GT(cell.w.fl1[6], 0.0f);
+}
+
+TEST_F(CondTest, ShrinkBelowGridEvaporatesCompletely) {
+  Cell cell;
+  cell.w.fl1[0] = 2.0e-5f;
+  double dm[kMaxNkr] = {};
+  dm[0] = -0.9 * bins_.mass(0);
+  const double dq = grow_and_remap(bins_, cell.w.fl1, dm, 1e-14);
+  EXPECT_NEAR(dq, -2.0e-5, 1e-11);
+  EXPECT_FLOAT_EQ(cell.w.fl1[0], 0.0f);
+}
+
+TEST_F(CondTest, TopBinClampsGrowth) {
+  Cell cell;
+  cell.w.fl1[32] = 1.0e-5f;
+  double dm[kMaxNkr] = {};
+  dm[32] = bins_.mass(32);  // would leave the grid
+  grow_and_remap(bins_, cell.w.fl1, dm, 1e-14);
+  double total = 0.0;
+  for (int k = 0; k < 33; ++k) total += cell.w.fl1[k];
+  EXPECT_NEAR(total, 1.0e-5, 1e-9);  // clamped in place
+}
+
+TEST_F(CondTest, SupersaturatedCellCondenses) {
+  Cell cell;
+  seed_droplets(cell, 5.0e-4);
+  double temp = 285.0;
+  const double pres = 90000.0;
+  double qv = 1.10 * c::qsat_liquid(temp, pres);  // 10% supersaturated
+  const double qv0 = qv, t0 = temp, cond0 = cell.condensate();
+
+  const CondStats st = onecond1(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_GT(st.dq_liquid, 0.0);
+  EXPECT_LT(qv, qv0);
+  EXPECT_GT(temp, t0);  // latent heating
+  // Water conservation: vapor lost == condensate gained.
+  EXPECT_NEAR(cell.condensate() - cond0, qv0 - qv, (qv0 - qv) * 1e-3 + 1e-12);
+}
+
+TEST_F(CondTest, SubsaturatedCellEvaporates) {
+  Cell cell;
+  seed_droplets(cell, 5.0e-4);
+  double temp = 285.0;
+  const double pres = 90000.0;
+  double qv = 0.7 * c::qsat_liquid(temp, pres);
+  const double qv0 = qv, t0 = temp, cond0 = cell.condensate();
+
+  const CondStats st = onecond1(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_LT(st.dq_liquid, 0.0);
+  EXPECT_GT(qv, qv0);
+  EXPECT_LT(temp, t0);  // evaporative cooling
+  EXPECT_NEAR(cond0 - cell.condensate(), qv - qv0, (qv - qv0) * 1e-3 + 1e-12);
+}
+
+TEST_F(CondTest, CondensationNeverOvershootsSaturation) {
+  Cell cell;
+  seed_droplets(cell, 5.0e-3);  // lots of surface area
+  double temp = 285.0;
+  const double pres = 90000.0;
+  double qv = 1.3 * c::qsat_liquid(temp, pres);
+  CondConfig cfg = cfg_;
+  cfg.dt = 120.0;
+  onecond1(bins_, temp, qv, pres, cell.w, cfg);
+  EXPECT_GE(qv, c::qsat_liquid(temp, pres) * 0.99);
+}
+
+TEST_F(CondTest, EvaporationNeverOvershootsSaturation) {
+  Cell cell;
+  seed_droplets(cell, 8.0e-3);
+  double temp = 290.0;
+  const double pres = 95000.0;
+  double qv = 0.9 * c::qsat_liquid(temp, pres);
+  CondConfig cfg = cfg_;
+  cfg.dt = 120.0;
+  onecond1(bins_, temp, qv, pres, cell.w, cfg);
+  EXPECT_LE(qv, c::qsat_liquid(temp, pres) * 1.01);
+}
+
+TEST_F(CondTest, BergeronIceGrowsAtLiquidExpense) {
+  // Between ice and water saturation: liquid evaporates, ice deposits.
+  Cell cell;
+  seed_droplets(cell, 4.0e-4);
+  for (int k = 3; k < 10; ++k) cell.w.g3[k] = 4.0e-5f;
+  double temp = 260.0;
+  const double pres = 60000.0;
+  // qv exactly halfway between ice and liquid saturation.
+  double qv = 0.5 * (c::qsat_ice(temp, pres) + c::qsat_liquid(temp, pres));
+
+  double liq0 = 0.0, ice0 = 0.0;
+  for (int k = 0; k < 33; ++k) {
+    liq0 += cell.w.fl1[k];
+    ice0 += cell.w.g3[k];
+  }
+  onecond2(bins_, temp, qv, pres, cell.w, cfg_);
+  double liq1 = 0.0, ice1 = 0.0;
+  for (int k = 0; k < 33; ++k) {
+    liq1 += cell.w.fl1[k];
+    ice1 += cell.w.g3[k];
+  }
+  EXPECT_LT(liq1, liq0);
+  EXPECT_GT(ice1, ice0);
+}
+
+TEST_F(CondTest, NoCondensateNoChange) {
+  Cell cell;
+  double temp = 280.0;
+  const double pres = 90000.0;
+  double qv = 1.2 * c::qsat_liquid(temp, pres);
+  const double qv0 = qv;
+  const CondStats st = onecond1(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_EQ(st.bins_active, 0u);
+  EXPECT_DOUBLE_EQ(qv, qv0);
+}
+
+class SubstepSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubstepSweep, MoreSubstepsStaysConservative) {
+  BinGrid bins(33);
+  float buf[(4 + kIceMax) * kMaxNkr] = {};
+  CoalWorkspace w;
+  w.fl1 = buf;
+  w.g2 = buf + 33;
+  w.g3 = buf + 33 * (1 + kIceMax);
+  w.g4 = buf + 33 * (2 + kIceMax);
+  w.g5 = buf + 33 * (3 + kIceMax);
+  for (int k = 2; k < 12; ++k) w.fl1[k] = 1.0e-4f;
+
+  double temp = 283.0;
+  const double pres = 85000.0;
+  double qv = 1.05 * wrf::constants::qsat_liquid(temp, pres);
+  const double water0 = qv + 1.0e-3;
+
+  CondConfig cfg;
+  cfg.substeps = GetParam();
+  onecond1(bins, temp, qv, pres, w, cfg);
+  double cond = 0.0;
+  for (int n = 0; n < (4 + kIceMax) * 33; ++n) cond += buf[n];
+  EXPECT_NEAR(qv + cond, water0, water0 * 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Substeps, SubstepSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace wrf::fsbm

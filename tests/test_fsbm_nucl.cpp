@@ -1,0 +1,153 @@
+// Unit tests: nucleation (jernucl01_ks).
+
+#include <gtest/gtest.h>
+
+#include "fsbm/nucleation.hpp"
+#include "util/constants.hpp"
+
+namespace wrf::fsbm {
+namespace {
+
+namespace c = wrf::constants;
+
+class NuclTest : public ::testing::Test {
+ protected:
+  BinGrid bins_{33};
+  NuclConfig cfg_{};
+
+  struct Cell {
+    float buf[(4 + kIceMax) * kMaxNkr] = {};
+    CoalWorkspace w;
+    Cell() {
+      w.fl1 = buf;
+      w.g2 = buf + 33;
+      w.g3 = buf + 33 * (1 + kIceMax);
+      w.g4 = buf + 33 * (2 + kIceMax);
+      w.g5 = buf + 33 * (3 + kIceMax);
+    }
+  };
+};
+
+TEST_F(NuclTest, SupersaturatedWarmCellActivatesDroplets) {
+  Cell cell;
+  double temp = 288.0;
+  const double pres = 95000.0;
+  double qv = 1.02 * c::qsat_liquid(temp, pres);
+  const double qv0 = qv;
+  const NuclStats st = jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_GT(st.dq_activated, 0.0);
+  EXPECT_GT(cell.w.fl1[0], 0.0f);  // smallest bin
+  EXPECT_LT(qv, qv0);
+  // Only the smallest bin receives new drops.
+  for (int k = 1; k < 33; ++k) EXPECT_FLOAT_EQ(cell.w.fl1[k], 0.0f);
+}
+
+TEST_F(NuclTest, SubsaturatedCellDoesNothing) {
+  Cell cell;
+  double temp = 288.0;
+  const double pres = 95000.0;
+  double qv = 0.9 * c::qsat_liquid(temp, pres);
+  const NuclStats st = jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_EQ(st.events, 0u);
+  EXPECT_DOUBLE_EQ(st.dq_activated, 0.0);
+}
+
+TEST_F(NuclTest, ActivationCappedByCcnCount) {
+  Cell cell;
+  double temp = 288.0;
+  const double pres = 95000.0;
+  double qv = 1.5 * c::qsat_liquid(temp, pres);  // extreme supersaturation
+  jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+  const double n_act = cell.w.fl1[0] / bins_.mass(0);
+  EXPECT_LE(n_act, cfg_.n_ccn * 1.0001);
+}
+
+TEST_F(NuclTest, ExistingDropletsSuppressNewActivation) {
+  Cell cell;
+  double temp = 288.0;
+  const double pres = 95000.0;
+  // Preload the spectrum with as many droplets as CCN allow.
+  cell.w.fl1[0] = static_cast<float>(cfg_.n_ccn * bins_.mass(0));
+  double qv = 1.02 * c::qsat_liquid(temp, pres);
+  const NuclStats st = jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_DOUBLE_EQ(st.dq_activated, 0.0);
+}
+
+TEST_F(NuclTest, IceNucleationByHabitTemperature) {
+  const double pres = 60000.0;
+  struct Case {
+    double temp;
+    int habit;  // 0 columns, 1 plates, 2 dendrites
+  };
+  for (const Case tc : {Case{266.0, 0}, Case{258.0, 1}, Case{248.0, 2}}) {
+    Cell cell;
+    double temp = tc.temp;
+    double qv = 1.10 * c::qsat_ice(temp, pres);
+    // Keep below water saturation so only ice nucleates.
+    if (qv > 0.99 * c::qsat_liquid(temp, pres)) {
+      qv = 0.99 * c::qsat_liquid(temp, pres);
+    }
+    const NuclStats st = jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+    EXPECT_GT(st.dq_ice_nucl, 0.0) << "T=" << tc.temp;
+    for (int h = 0; h < kIceMax; ++h) {
+      if (h == tc.habit) {
+        EXPECT_GT(cell.w.g2[h * 33 + 0], 0.0f) << "T=" << tc.temp;
+      } else {
+        EXPECT_FLOAT_EQ(cell.w.g2[h * 33 + 0], 0.0f) << "T=" << tc.temp;
+      }
+    }
+  }
+}
+
+TEST_F(NuclTest, NoIceNucleationAboveMinusFive) {
+  Cell cell;
+  double temp = 271.0;  // warmer than the -5 C onset
+  const double pres = 80000.0;
+  double qv = 1.05 * c::qsat_ice(temp, pres);
+  if (qv > 0.99 * c::qsat_liquid(temp, pres)) {
+    qv = 0.99 * c::qsat_liquid(temp, pres);
+  }
+  const NuclStats st = jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_DOUBLE_EQ(st.dq_ice_nucl, 0.0);
+}
+
+TEST_F(NuclTest, IceNucleiCapRespected) {
+  Cell cell;
+  NuclConfig cfg = cfg_;
+  cfg.n_in_max = 100.0;
+  double temp = 250.0;
+  const double pres = 50000.0;
+  double qv = 0.99 * c::qsat_liquid(temp, pres);
+  jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg);
+  double n_ice = 0.0;
+  for (int h = 0; h < kIceMax; ++h) {
+    n_ice += cell.w.g2[h * 33 + 0] / bins_.mass(0);
+  }
+  EXPECT_LE(n_ice, 100.0 * 1.0001);
+}
+
+TEST_F(NuclTest, LatentHeatingWarmsCell) {
+  Cell cell;
+  double temp = 288.0;
+  const double t0 = temp;
+  const double pres = 95000.0;
+  double qv = 1.05 * c::qsat_liquid(temp, pres);
+  jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+  EXPECT_GT(temp, t0);
+}
+
+TEST_F(NuclTest, WaterConserved) {
+  Cell cell;
+  double temp = 288.0;
+  const double pres = 95000.0;
+  double qv = 1.04 * c::qsat_liquid(temp, pres);
+  const double qv0 = qv;
+  const NuclStats st = jernucl01_ks(bins_, temp, qv, pres, cell.w, cfg_);
+  double cond = 0.0;
+  for (int n = 0; n < (4 + kIceMax) * 33; ++n) cond += cell.buf[n];
+  EXPECT_NEAR(qv0 - qv, cond, cond * 1e-6 + 1e-15);
+  EXPECT_NEAR(cond, st.dq_activated + st.dq_ice_nucl, cond * 1e-6 + 1e-15);
+}
+
+}  // namespace
+}  // namespace wrf::fsbm

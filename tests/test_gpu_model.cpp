@@ -1,0 +1,165 @@
+// Property sweeps over the gpusim performance model: monotonicity and
+// consistency requirements any credible device model must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gpu/device.hpp"
+
+namespace wrf::gpu {
+namespace {
+
+/// Launch a synthetic traced kernel with controllable locality: each
+/// iteration reads `footprint_lines` distinct cache lines starting at a
+/// per-iteration offset, so larger `spread` = worse locality.
+KernelStats traced_launch(Device& dev, std::int64_t iters, int regs,
+                          std::uint64_t spread, int footprint_lines) {
+  KernelDesc k;
+  k.name = "sweep_" + std::to_string(iters) + "_" + std::to_string(regs) +
+           "_" + std::to_string(spread) + "_" +
+           std::to_string(footprint_lines);
+  k.iterations = iters;
+  k.regs_per_thread = regs;
+  k.flops_per_iter = 200.0;
+  k.bytes_per_iter = footprint_lines * 64.0;
+  k.trace = [spread, footprint_lines](std::int64_t it,
+                                      std::vector<AccessEvent>& out) {
+    const std::uint64_t base = 0x100000 + static_cast<std::uint64_t>(it) *
+                                              spread * 64;
+    for (int l = 0; l < footprint_lines; ++l) {
+      out.push_back({base + static_cast<std::uint64_t>(l) * 64, 4, false});
+      out.push_back({base + static_cast<std::uint64_t>(l) * 64, 4, true});
+    }
+  };
+  return dev.launch(k);
+}
+
+class OccupancySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OccupancySweep, TheoreticalAtLeastAchieved) {
+  const auto [tpb, regs] = GetParam();
+  const DeviceSpec dev = DeviceSpec::a100_40gb();
+  for (std::int64_t blocks : {1, 27, 108, 1080, 100000}) {
+    const Occupancy occ = compute_occupancy(dev, blocks, tpb, regs);
+    EXPECT_LE(occ.achieved, occ.theoretical + 1e-12);
+    EXPECT_GE(occ.achieved, 0.0);
+    EXPECT_LE(occ.theoretical, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(OccupancySweep, ResourceLimitConsistent) {
+  const auto [tpb, regs] = GetParam();
+  const DeviceSpec dev = DeviceSpec::a100_40gb();
+  const Occupancy occ = compute_occupancy(dev, 1 << 20, tpb, regs);
+  const int warps_per_block = tpb / dev.warp_size;
+  // The block count must respect every hardware limit.
+  EXPECT_LE(occ.blocks_per_sm_resource * warps_per_block,
+            dev.max_warps_per_sm);
+  EXPECT_LE(occ.blocks_per_sm_resource, dev.max_blocks_per_sm);
+  EXPECT_LE(static_cast<std::uint64_t>(occ.blocks_per_sm_resource) *
+                static_cast<std::uint64_t>(tpb) *
+                static_cast<std::uint64_t>(regs),
+            static_cast<std::uint64_t>(dev.regs_per_sm));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, OccupancySweep,
+    ::testing::Combine(::testing::Values(32, 64, 128, 256, 1024),
+                       ::testing::Values(16, 32, 64, 90, 128, 255)));
+
+TEST(PerfModel, WorseLocalityNeverFaster) {
+  Device dev(DeviceSpec::a100_40gb());
+  dev.set_trace_sample_budget(256);
+  // spread 0: every iteration hits the same lines (perfect reuse);
+  // spread 64: disjoint working sets.
+  const KernelStats hot = traced_launch(dev, 20000, 64, 0, 8);
+  const KernelStats cold = traced_launch(dev, 20000, 64, 64, 8);
+  EXPECT_GE(hot.l1_hit_rate, cold.l1_hit_rate);
+  EXPECT_LE(hot.dram_read_gb, cold.dram_read_gb + 1e-12);
+  EXPECT_LE(hot.modeled_time_ms, cold.modeled_time_ms * 1.001);
+}
+
+TEST(PerfModel, BiggerGridMoreTotalTimeSameRate) {
+  Device dev(DeviceSpec::a100_40gb());
+  dev.set_trace_sample_budget(128);
+  const KernelStats small = traced_launch(dev, 100000, 90, 4, 8);
+  Device dev2(DeviceSpec::a100_40gb());
+  dev2.set_trace_sample_budget(128);
+  const KernelStats big = traced_launch(dev2, 400000, 90, 4, 8);
+  EXPECT_GT(big.modeled_time_ms, small.modeled_time_ms);
+  // At saturated occupancy the per-iteration rate is comparable
+  // (within the launch-overhead difference).
+  const double r_small = small.modeled_time_ms / 100000.0;
+  const double r_big = big.modeled_time_ms / 400000.0;
+  EXPECT_LT(r_big, r_small * 1.5);
+}
+
+TEST(PerfModel, DoublePrecisionNeverFasterThanSingle) {
+  for (const bool dp : {false, true}) {
+    (void)dp;
+  }
+  Device dev(DeviceSpec::a100_40gb());
+  KernelDesc k;
+  k.name = "dp_check";
+  k.iterations = 1 << 20;
+  k.flops_per_iter = 5000.0;  // compute-heavy
+  k.bytes_per_iter = 8.0;
+  k.regs_per_thread = 32;
+  k.double_precision = false;
+  const double sp = dev.launch(k).modeled_time_ms;
+  k.name = "dp_check2";
+  k.double_precision = true;
+  const double dp_t = dev.launch(k).modeled_time_ms;
+  EXPECT_GE(dp_t, sp);
+}
+
+TEST(PerfModel, KernelStatsInternallyConsistent) {
+  Device dev(DeviceSpec::a100_40gb());
+  dev.set_trace_sample_budget(128);
+  const KernelStats ks = traced_launch(dev, 50000, 90, 8, 16);
+  // AI = flops / dram bytes; achieved GFLOP/s = flops / time.
+  const double dram = (ks.dram_read_gb + ks.dram_write_gb) * 1e9;
+  if (dram > 0) {
+    EXPECT_NEAR(ks.arithmetic_intensity, ks.flops / dram,
+                ks.arithmetic_intensity * 1e-6);
+  }
+  EXPECT_NEAR(ks.gflops_achieved, ks.flops / (ks.modeled_time_ms * 1e6),
+              ks.gflops_achieved * 1e-6);
+  // Achieved throughput cannot exceed the roofline at its AI by much
+  // (the chain model can only slow things down).
+  EXPECT_LE(ks.gflops_achieved,
+            roofline_gflops(dev.spec(), ks.arithmetic_intensity, false) *
+                1.01);
+}
+
+TEST(PerfModel, TransfersAccumulateAcrossLaunches) {
+  Device dev(DeviceSpec::a100_40gb());
+  dev.map_to(1000);
+  dev.map_to(2000);
+  dev.map_from(500);
+  EXPECT_EQ(dev.transfers().h2d_bytes, 3000u);
+  EXPECT_EQ(dev.transfers().d2h_bytes, 500u);
+  dev.reset_stats();
+  EXPECT_EQ(dev.transfers().h2d_bytes, 0u);
+  EXPECT_EQ(dev.total_kernel_ms(), 0.0);
+}
+
+TEST(PerfModel, LaunchHistoryRecorded) {
+  Device dev(DeviceSpec::test_device());
+  KernelDesc k;
+  k.name = "first";
+  k.iterations = 10;
+  k.flops_per_iter = 1;
+  dev.launch(k);
+  k.name = "second";
+  dev.launch(k);
+  ASSERT_EQ(dev.launches().size(), 2u);
+  EXPECT_EQ(dev.launches()[0].name, "first");
+  EXPECT_EQ(dev.launches()[1].name, "second");
+  EXPECT_GT(dev.total_kernel_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace wrf::gpu

@@ -1,0 +1,183 @@
+// Unit + property tests: WRF-style domain decomposition (paper Fig. 1).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "grid/decomp.hpp"
+
+namespace wrf::grid {
+namespace {
+
+Domain make_domain(int nx, int nz, int ny) {
+  return Domain{Range{1, nx}, Range{1, nz}, Range{1, ny}};
+}
+
+TEST(Decompose, SinglePatchCoversDomain) {
+  const Domain d = make_domain(40, 10, 30);
+  const auto ps = decompose(d, 1, 1, 3);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].ip, d.i);
+  EXPECT_EQ(ps[0].jp, d.j);
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(ps[0].neighbor[s], -1);
+}
+
+// Property sweep: every decomposition exactly tiles the domain.
+class DecompSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(DecompSweep, PatchesPartitionDomain) {
+  const auto [nx, ny, npx, npy] = GetParam();
+  const Domain d = make_domain(nx, 8, ny);
+  const auto ps = decompose(d, npx, npy, 3);
+  ASSERT_EQ(ps.size(), static_cast<std::size_t>(npx) * npy);
+  // Each (i, j) in the domain belongs to exactly one patch.
+  std::map<std::pair<int, int>, int> owner;
+  for (const auto& p : ps) {
+    for (int j = p.jp.lo; j <= p.jp.hi; ++j) {
+      for (int i = p.ip.lo; i <= p.ip.hi; ++i) {
+        auto [it, inserted] = owner.emplace(std::make_pair(i, j), p.rank);
+        EXPECT_TRUE(inserted) << "cell (" << i << "," << j
+                              << ") owned by rank " << it->second << " and "
+                              << p.rank;
+      }
+    }
+  }
+  EXPECT_EQ(owner.size(),
+            static_cast<std::size_t>(d.i.size()) * d.j.size());
+}
+
+TEST_P(DecompSweep, BalancedWithinOneCell) {
+  const auto [nx, ny, npx, npy] = GetParam();
+  const Domain d = make_domain(nx, 8, ny);
+  const auto ps = decompose(d, npx, npy, 3);
+  int min_i = 1 << 30, max_i = 0, min_j = 1 << 30, max_j = 0;
+  for (const auto& p : ps) {
+    min_i = std::min(min_i, p.ip.size());
+    max_i = std::max(max_i, p.ip.size());
+    min_j = std::min(min_j, p.jp.size());
+    max_j = std::max(max_j, p.jp.size());
+  }
+  EXPECT_LE(max_i - min_i, 1);
+  EXPECT_LE(max_j - min_j, 1);
+}
+
+TEST_P(DecompSweep, NeighborsAreMutual) {
+  const auto [nx, ny, npx, npy] = GetParam();
+  const Domain d = make_domain(nx, 8, ny);
+  const auto ps = decompose(d, npx, npy, 3);
+  for (const auto& p : ps) {
+    for (int s = 0; s < 4; ++s) {
+      const int nbr = p.neighbor[s];
+      if (nbr < 0) continue;
+      const Side back = opposite(static_cast<Side>(s));
+      EXPECT_EQ(ps[static_cast<std::size_t>(nbr)]
+                    .neighbor[static_cast<int>(back)],
+                p.rank);
+    }
+  }
+}
+
+TEST_P(DecompSweep, SendRectMatchesNeighborRecvRect) {
+  const auto [nx, ny, npx, npy] = GetParam();
+  const Domain d = make_domain(nx, 8, ny);
+  const auto ps = decompose(d, npx, npy, 3);
+  for (const auto& p : ps) {
+    for (int s = 0; s < 4; ++s) {
+      const int nbr = p.neighbor[s];
+      if (nbr < 0) continue;
+      const Side side = static_cast<Side>(s);
+      const HaloRect send = p.send_rect(side);
+      const HaloRect recv =
+          ps[static_cast<std::size_t>(nbr)].recv_rect(opposite(side));
+      EXPECT_EQ(send.i.lo, recv.i.lo);
+      EXPECT_EQ(send.i.hi, recv.i.hi);
+      EXPECT_EQ(send.j.lo, recv.j.lo);
+      EXPECT_EQ(send.j.hi, recv.j.hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompSweep,
+    ::testing::Values(std::make_tuple(48, 36, 2, 2),
+                      std::make_tuple(48, 36, 4, 2),
+                      std::make_tuple(47, 35, 3, 3),
+                      std::make_tuple(100, 10, 5, 1),
+                      std::make_tuple(425, 300, 4, 4),
+                      std::make_tuple(33, 31, 2, 3)));
+
+TEST(Decompose, MemoryRangesIncludeHalo) {
+  const auto ps = decompose(make_domain(40, 10, 30), 2, 2, 3);
+  for (const auto& p : ps) {
+    EXPECT_EQ(p.im.lo, p.ip.lo - 3);
+    EXPECT_EQ(p.im.hi, p.ip.hi + 3);
+    EXPECT_EQ(p.jm.lo, p.jp.lo - 3);
+    EXPECT_EQ(p.jm.hi, p.jp.hi + 3);
+  }
+}
+
+TEST(Decompose, RejectsTooManyRanks) {
+  EXPECT_THROW(decompose(make_domain(8, 5, 8), 4, 4, 3), ConfigError);
+}
+
+TEST(Decompose, RejectsBadArgs) {
+  EXPECT_THROW(decompose(make_domain(40, 10, 30), 0, 1, 3), ConfigError);
+  EXPECT_THROW(decompose(make_domain(40, 10, 30), 1, 1, -1), ConfigError);
+  EXPECT_THROW(decompose(Domain{}, 1, 1, 1), ConfigError);
+}
+
+TEST(Tiles, PartitionPatchInJ) {
+  const auto ps = decompose(make_domain(40, 10, 30), 1, 1, 3);
+  const Patch& p = ps[0];
+  const int ntiles = 4;
+  int covered = 0;
+  int prev_hi = p.jp.lo - 1;
+  for (int t = 0; t < ntiles; ++t) {
+    const Tile tile = p.tile(t, ntiles);
+    EXPECT_EQ(tile.it, p.ip);
+    EXPECT_EQ(tile.kt, p.k);
+    EXPECT_EQ(tile.jt.lo, prev_hi + 1);  // contiguous strips
+    prev_hi = tile.jt.hi;
+    covered += tile.jt.size();
+  }
+  EXPECT_EQ(prev_hi, p.jp.hi);
+  EXPECT_EQ(covered, p.jp.size());
+}
+
+TEST(Tiles, BadTileIndexThrows) {
+  const auto ps = decompose(make_domain(40, 10, 30), 1, 1, 3);
+  EXPECT_THROW(ps[0].tile(4, 4), ConfigError);
+  EXPECT_THROW(ps[0].tile(-1, 4), ConfigError);
+  EXPECT_THROW(ps[0].tile(0, 0), ConfigError);
+}
+
+TEST(ProcessGrid, FactorizationIsExact) {
+  const Domain d = make_domain(425, 50, 300);
+  for (int n : {1, 2, 4, 8, 16, 32, 64, 256}) {
+    const auto [px, py] = default_process_grid(d, n);
+    EXPECT_EQ(px * py, n);
+  }
+}
+
+TEST(ProcessGrid, PrefersSquarishPatches) {
+  // Square domain, 16 ranks: 4x4 beats 16x1.
+  const auto [px, py] = default_process_grid(make_domain(300, 50, 300), 16);
+  EXPECT_EQ(px, 4);
+  EXPECT_EQ(py, 4);
+}
+
+TEST(ProcessGrid, RejectsNonPositive) {
+  EXPECT_THROW(default_process_grid(make_domain(40, 10, 30), 0), ConfigError);
+}
+
+TEST(Describe, MentionsRankAndRanges) {
+  const auto ps = decompose(make_domain(40, 10, 30), 2, 1, 3);
+  const std::string s = describe(ps[1]);
+  EXPECT_NE(s.find("rank 1"), std::string::npos);
+  EXPECT_NE(s.find("ip="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wrf::grid

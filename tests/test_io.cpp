@@ -1,0 +1,142 @@
+// Unit tests: snapshot roundtrip and the diffwrf-style comparator.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/snapshot.hpp"
+
+namespace wrf::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path_;
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("mwrf_snap_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".bin"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+Snapshot sample() {
+  Snapshot s;
+  s.add("QVAPOR", {2, 3}, {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f});
+  s.add("T", {2, 2}, {280.0f, 281.5f, 290.25f, 210.0f});
+  return s;
+}
+
+TEST_F(IoTest, RoundtripPreservesEverything) {
+  const Snapshot s = sample();
+  s.write(path_);
+  const Snapshot r = Snapshot::read(path_);
+  ASSERT_EQ(r.variables().size(), 2u);
+  const Variable* qv = r.find("QVAPOR");
+  ASSERT_NE(qv, nullptr);
+  EXPECT_EQ(qv->dims, (std::vector<std::int64_t>{2, 3}));
+  EXPECT_EQ(qv->data, (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST_F(IoTest, AddReplacesExisting) {
+  Snapshot s = sample();
+  s.add("T", {1}, {42.0f});
+  EXPECT_EQ(s.variables().size(), 2u);
+  EXPECT_EQ(s.find("T")->data.size(), 1u);
+}
+
+TEST_F(IoTest, AddRejectsDimMismatch) {
+  Snapshot s;
+  EXPECT_THROW(s.add("X", {2, 2}, {1.0f}), IoError);
+}
+
+TEST_F(IoTest, ReadRejectsGarbage) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  std::fputs("not a snapshot at all", f);
+  std::fclose(f);
+  EXPECT_THROW(Snapshot::read(path_), IoError);
+}
+
+TEST_F(IoTest, ReadRejectsMissingFile) {
+  EXPECT_THROW(Snapshot::read("/nonexistent/dir/x.bin"), IoError);
+}
+
+TEST(DiffState, IdenticalSnapshots) {
+  const Snapshot a = sample();
+  const Snapshot b = sample();
+  const DiffReport rep = diffstate(a, b);
+  EXPECT_TRUE(rep.identical);
+  EXPECT_DOUBLE_EQ(rep.worst_digits, 16.0);
+  for (const auto& v : rep.vars) {
+    EXPECT_EQ(v.bitwise_equal, v.count);
+  }
+}
+
+TEST(DiffState, DigitsOfAgreementMeasured) {
+  Snapshot a, b;
+  a.add("T", {3}, {300.0f, 250.0f, 200.0f});
+  // Perturb by ~1e-4 relative: about 4 digits of agreement.
+  b.add("T", {3}, {300.03f, 250.025f, 200.02f});
+  const DiffReport rep = diffstate(a, b);
+  EXPECT_FALSE(rep.identical);
+  EXPECT_GT(rep.worst_digits, 3.0);
+  EXPECT_LT(rep.worst_digits, 5.0);
+}
+
+TEST(DiffState, MixedIdenticalAndPerturbed) {
+  Snapshot a, b;
+  a.add("X", {4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  b.add("X", {4}, {1.0f, 2.0f, 3.0001f, 4.0f});
+  const DiffReport rep = diffstate(a, b);
+  EXPECT_EQ(rep.vars[0].bitwise_equal, 3u);
+  EXPECT_EQ(rep.vars[0].count, 4u);
+}
+
+TEST(DiffState, NoiseFloorIgnored) {
+  Snapshot a, b;
+  a.add("Q", {2}, {1.0e-20f, 1.0f});
+  b.add("Q", {2}, {3.0e-20f, 1.0f});  // both below threshold
+  const DiffReport rep = diffstate(a, b, 1.0e-12);
+  EXPECT_DOUBLE_EQ(rep.worst_digits, 16.0);
+}
+
+TEST(DiffState, MismatchedVariablesThrow) {
+  Snapshot a, b;
+  a.add("X", {1}, {1.0f});
+  b.add("Y", {1}, {1.0f});
+  EXPECT_THROW(diffstate(a, b), IoError);
+  Snapshot c;
+  c.add("X", {1}, {1.0f});
+  c.add("Z", {1}, {2.0f});
+  EXPECT_THROW(diffstate(a, c), IoError);
+}
+
+TEST(DiffState, ReshapedVariableThrows) {
+  Snapshot a, b;
+  a.add("X", {2, 2}, {1, 2, 3, 4});
+  b.add("X", {4}, {1, 2, 3, 4});
+  EXPECT_THROW(diffstate(a, b), IoError);
+}
+
+TEST(DiffState, FormatMentionsVariables) {
+  const Snapshot a = sample();
+  const DiffReport rep = diffstate(a, a);
+  const std::string text = rep.format();
+  EXPECT_NE(text.find("QVAPOR"), std::string::npos);
+  EXPECT_NE(text.find("min-digits"), std::string::npos);
+}
+
+TEST(DiffState, MaxDiffsReported) {
+  Snapshot a, b;
+  a.add("X", {2}, {100.0f, 1.0f});
+  b.add("X", {2}, {101.0f, 1.0f});
+  const DiffReport rep = diffstate(a, b);
+  EXPECT_NEAR(rep.vars[0].max_abs_diff, 1.0, 1e-6);
+  EXPECT_NEAR(rep.vars[0].max_rel_diff, 1.0 / 101.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace wrf::io

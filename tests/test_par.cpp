@@ -1,0 +1,177 @@
+// Unit tests: thread pool and the simpi rank runtime.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "par/simpi.hpp"
+#include "par/thread_pool.hpp"
+
+namespace wrf::par {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.parallel_for(5, 5, [&](std::int64_t) { n.fetch_add(1); });
+  pool.parallel_for(5, 3, [&](std::int64_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 0);
+}
+
+TEST(ThreadPool, ExplicitChunking) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(1, 101, [&](std::int64_t i) { sum.fetch_add(i); }, 7);
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(Simpi, RankIdentity) {
+  std::vector<std::atomic<int>> seen(8);
+  run(8, [&](RankCtx& ctx) {
+    EXPECT_EQ(ctx.size(), 8);
+    seen[static_cast<std::size_t>(ctx.rank())].fetch_add(1);
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Simpi, PointToPoint) {
+  run(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {1.0f, 2.0f, 3.0f});
+    } else {
+      const auto v = ctx.recv(0, 7);
+      ASSERT_EQ(v.size(), 3u);
+      EXPECT_FLOAT_EQ(v[1], 2.0f);
+    }
+  });
+}
+
+TEST(Simpi, TagMatchingOutOfOrder) {
+  run(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, /*tag=*/1, {1.0f});
+      ctx.send(1, /*tag=*/2, {2.0f});
+    } else {
+      // Receive in reverse tag order.
+      const auto b = ctx.recv(0, 2);
+      const auto a = ctx.recv(0, 1);
+      EXPECT_FLOAT_EQ(a[0], 1.0f);
+      EXPECT_FLOAT_EQ(b[0], 2.0f);
+    }
+  });
+}
+
+TEST(Simpi, FifoPerSourceAndTag) {
+  run(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        ctx.send(1, 5, {static_cast<float>(i)});
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_FLOAT_EQ(ctx.recv(0, 5)[0], static_cast<float>(i));
+      }
+    }
+  });
+}
+
+TEST(Simpi, RingExchange) {
+  const int n = 6;
+  run(n, [n](RankCtx& ctx) {
+    const int next = (ctx.rank() + 1) % n;
+    const int prev = (ctx.rank() + n - 1) % n;
+    ctx.send(next, 0, {static_cast<float>(ctx.rank())});
+    const auto v = ctx.recv(prev, 0);
+    EXPECT_FLOAT_EQ(v[0], static_cast<float>(prev));
+  });
+}
+
+TEST(Simpi, AllreduceSumAndMax) {
+  run(5, [](RankCtx& ctx) {
+    const double s = ctx.allreduce_sum(ctx.rank() + 1.0);
+    EXPECT_DOUBLE_EQ(s, 15.0);
+    const double m = ctx.allreduce_max(static_cast<double>(ctx.rank()));
+    EXPECT_DOUBLE_EQ(m, 4.0);
+  });
+}
+
+TEST(Simpi, BarrierOrdersPhases) {
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ok{true};
+  run(6, [&](RankCtx& ctx) {
+    phase1.fetch_add(1);
+    ctx.barrier();
+    if (phase1.load() != 6) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Simpi, GpuBindingRoundRobin) {
+  run(8, [](RankCtx& ctx) {
+    EXPECT_EQ(ctx.gpu_binding(4), ctx.rank() % 4);
+    EXPECT_EQ(ctx.gpu_binding(1), 0);
+  });
+}
+
+TEST(Simpi, StatsCountTraffic) {
+  const auto stats = run(2, [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 0, std::vector<float>(100, 1.0f));
+    } else {
+      ctx.recv(0, 0);
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(stats.total_messages(), 1u);
+  EXPECT_EQ(stats.total_bytes(), 400u);
+  EXPECT_EQ(stats.per_rank[0].barriers, 1u);
+}
+
+TEST(Simpi, RankExceptionPropagates) {
+  EXPECT_THROW(run(3,
+                   [](RankCtx& ctx) {
+                     if (ctx.rank() == 1) throw Error("rank 1 exploded");
+                   }),
+               Error);
+}
+
+TEST(Simpi, InvalidDestinationThrows) {
+  EXPECT_THROW(run(2,
+                   [](RankCtx& ctx) {
+                     if (ctx.rank() == 0) ctx.send(5, 0, {1.0f});
+                   }),
+               Error);
+}
+
+TEST(Simpi, ZeroRanksRejected) {
+  EXPECT_THROW(run(0, [](RankCtx&) {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace wrf::par

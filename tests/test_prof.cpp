@@ -1,0 +1,143 @@
+// Unit tests: profiler ranges, nesting, counters, thread merge.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "prof/prof.hpp"
+#include "util/error.hpp"
+
+namespace wrf::prof {
+namespace {
+
+void spin_ms(int ms) {
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(Profiler, BasicRangeRecordsTime) {
+  Profiler p;
+  {
+    ScopedRange r(p, "work");
+    spin_ms(5);
+  }
+  EXPECT_EQ(p.calls("work"), 1u);
+  EXPECT_GE(p.inclusive_sec("work"), 0.004);
+}
+
+TEST(Profiler, NestedExclusiveAttribution) {
+  Profiler p;
+  {
+    ScopedRange outer(p, "outer");
+    spin_ms(4);
+    {
+      ScopedRange inner(p, "inner");
+      spin_ms(8);
+    }
+  }
+  // Inner time is excluded from outer's exclusive but included in
+  // outer's inclusive.
+  EXPECT_GE(p.inclusive_sec("outer"), p.inclusive_sec("inner"));
+  EXPECT_LT(p.exclusive_sec("outer"), p.inclusive_sec("outer"));
+  EXPECT_NEAR(p.exclusive_sec("outer") + p.inclusive_sec("inner"),
+              p.inclusive_sec("outer"), 0.002);
+}
+
+TEST(Profiler, RepeatedCallsAccumulate) {
+  Profiler p;
+  for (int i = 0; i < 10; ++i) {
+    ScopedRange r(p, "loop");
+  }
+  EXPECT_EQ(p.calls("loop"), 10u);
+}
+
+TEST(Profiler, SelfNestedSameName) {
+  Profiler p;
+  {
+    ScopedRange a(p, "rec");
+    {
+      ScopedRange b(p, "rec");
+    }
+  }
+  EXPECT_EQ(p.calls("rec"), 2u);
+}
+
+TEST(Profiler, PopWithoutPushThrows) {
+  Profiler p;
+  EXPECT_THROW(p.pop_range(), Error);
+}
+
+TEST(Profiler, FlatReportSortedByExclusive) {
+  Profiler p;
+  {
+    ScopedRange a(p, "small");
+    spin_ms(2);
+  }
+  {
+    ScopedRange b(p, "big");
+    spin_ms(10);
+  }
+  const auto rows = p.flat_report();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "big");
+  EXPECT_EQ(rows[1].name, "small");
+  // Percentages sum to ~100.
+  EXPECT_NEAR(rows[0].percent_exclusive + rows[1].percent_exclusive, 100.0,
+              1e-9);
+}
+
+TEST(Profiler, CountersAccumulate) {
+  Profiler p;
+  p.add_counter("flops", 100);
+  p.add_counter("flops", 250);
+  EXPECT_EQ(p.counter("flops"), 350u);
+  EXPECT_EQ(p.counter("missing"), 0u);
+}
+
+TEST(Profiler, WorkerThreadsMergeOnOutermostClose) {
+  Profiler p;
+  std::thread t1([&] {
+    ScopedRange r(p, "worker");
+    spin_ms(2);
+  });
+  std::thread t2([&] {
+    ScopedRange r(p, "worker");
+    spin_ms(2);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(p.calls("worker"), 2u);
+}
+
+TEST(Profiler, ResetClears) {
+  Profiler p;
+  {
+    ScopedRange r(p, "x");
+  }
+  p.add_counter("c", 5);
+  p.reset();
+  EXPECT_EQ(p.calls("x"), 0u);
+  EXPECT_EQ(p.counter("c"), 0u);
+}
+
+TEST(Profiler, FormatContainsNames) {
+  Profiler p;
+  {
+    ScopedRange r(p, "fast_sbm");
+  }
+  const std::string rep = p.format_flat_report();
+  EXPECT_NE(rep.find("fast_sbm"), std::string::npos);
+  EXPECT_NE(rep.find("%time"), std::string::npos);
+}
+
+TEST(Profiler, GlobalInstanceIsStable) {
+  Profiler& a = global();
+  Profiler& b = global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace wrf::prof

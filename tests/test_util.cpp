@@ -1,0 +1,167 @@
+// Unit tests: Range, Field3D/Field4D layout and bounds, Rng, constants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+#include "util/field.hpp"
+#include "util/rng.hpp"
+
+namespace wrf {
+namespace {
+
+namespace c = wrf::constants;
+
+TEST(Range, SizeAndContains) {
+  Range r{3, 7};
+  EXPECT_EQ(r.size(), 5);
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(7));
+  EXPECT_FALSE(r.contains(2));
+  EXPECT_FALSE(r.contains(8));
+}
+
+TEST(Range, EmptyAndNegativeBase) {
+  EXPECT_EQ(Range().size(), 0);
+  Range r{-5, -1};
+  EXPECT_EQ(r.size(), 5);
+  EXPECT_TRUE(r.contains(-3));
+}
+
+TEST(Range, Clip) {
+  Range a{0, 10}, b{5, 20};
+  EXPECT_EQ(a.clip(b), (Range{5, 10}));
+  EXPECT_EQ(Range(0, 3).clip(Range(5, 9)).size(), 0);
+}
+
+TEST(Field3D, LayoutIsIFastest) {
+  Field3D<float> f(Range{1, 4}, Range{1, 3}, Range{1, 2});
+  // Consecutive i must be adjacent in memory (WRF order).
+  EXPECT_EQ(f.index(2, 1, 1), f.index(1, 1, 1) + 1);
+  // k stride = ni, j stride = ni*nk.
+  EXPECT_EQ(f.index(1, 2, 1), f.index(1, 1, 1) + 4u);
+  EXPECT_EQ(f.index(1, 1, 2), f.index(1, 1, 1) + 12u);
+}
+
+TEST(Field3D, NegativeLowerBounds) {
+  Field3D<float> f(Range{-2, 2}, Range{0, 1}, Range{-1, 1});
+  f(-2, 0, -1) = 42.0f;
+  f(2, 1, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(f(-2, 0, -1), 42.0f);
+  EXPECT_FLOAT_EQ(f(2, 1, 1), 7.0f);
+  EXPECT_EQ(f.size(), 5u * 2u * 3u);
+}
+
+TEST(Field3D, AtThrowsOutsideRanges) {
+  Field3D<float> f(Range{1, 4}, Range{1, 3}, Range{1, 2});
+  EXPECT_THROW(f.at(0, 1, 1), BoundsError);
+  EXPECT_THROW(f.at(1, 4, 1), BoundsError);
+  EXPECT_THROW(f.at(1, 1, 3), BoundsError);
+  EXPECT_NO_THROW(f.at(4, 3, 2));
+}
+
+TEST(Field3D, FillAndBytes) {
+  Field3D<double> f(Range{0, 9}, Range{0, 4}, Range{0, 1}, 1.5);
+  EXPECT_DOUBLE_EQ(f(5, 2, 1), 1.5);
+  f.fill(-2.0);
+  EXPECT_DOUBLE_EQ(f(0, 0, 0), -2.0);
+  EXPECT_EQ(f.bytes(), f.size() * sizeof(double));
+}
+
+TEST(Field4D, BinIsFastest) {
+  Field4D<float> f(33, Range{1, 4}, Range{1, 3}, Range{1, 2});
+  EXPECT_EQ(f.index(1, 1, 1, 1), f.index(0, 1, 1, 1) + 1u);
+  // Next i jumps by nkr.
+  EXPECT_EQ(f.index(0, 2, 1, 1), f.index(0, 1, 1, 1) + 33u);
+}
+
+TEST(Field4D, SliceIsContiguousAndWritable) {
+  Field4D<float> f(8, Range{0, 3}, Range{0, 2}, Range{0, 1});
+  float* s = f.slice(2, 1, 1);
+  for (int n = 0; n < 8; ++n) s[n] = static_cast<float>(n);
+  for (int n = 0; n < 8; ++n) {
+    EXPECT_FLOAT_EQ(f(n, 2, 1, 1), static_cast<float>(n));
+  }
+  // Adjacent cell unaffected.
+  EXPECT_FLOAT_EQ(f(0, 3, 1, 1), 0.0f);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng base(99);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng base(99);
+  Rng a = base.fork(42);
+  Rng b = base.fork(42);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Constants, EsatIncreasingWithTemperature) {
+  double prev = 0.0;
+  for (double t = 230.0; t <= 310.0; t += 5.0) {
+    const double e = c::esat_liquid(t);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Constants, EsatReferencePoints) {
+  // ~611 Pa at 0 C; ~2.3 kPa at 20 C.
+  EXPECT_NEAR(c::esat_liquid(273.15), 611.2, 1.0);
+  EXPECT_NEAR(c::esat_liquid(293.15), 2339.0, 60.0);
+}
+
+TEST(Constants, IceBelowLiquidSaturationUnderFreezing) {
+  for (double t = 230.0; t < 273.0; t += 5.0) {
+    EXPECT_LT(c::esat_ice(t), c::esat_liquid(t)) << "T=" << t;
+  }
+  // They coincide (within a small tolerance) at 0 C.
+  EXPECT_NEAR(c::esat_ice(273.15), c::esat_liquid(273.15), 2.0);
+}
+
+TEST(Constants, QsatPositiveAndIncreasingWithTemp) {
+  const double p = 85000.0;
+  double prev = 0.0;
+  for (double t = 240.0; t <= 300.0; t += 10.0) {
+    const double q = c::qsat_liquid(t, p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Constants, QsatDecreasesWithPressure) {
+  EXPECT_GT(c::qsat_liquid(280.0, 70000.0), c::qsat_liquid(280.0, 100000.0));
+}
+
+}  // namespace
+}  // namespace wrf
