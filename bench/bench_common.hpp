@@ -29,7 +29,10 @@ inline void print_config_header(const char* what) {
 }
 
 /// The scaled-down CONUS case used for functional measurements.
-inline model::RunConfig bench_case(fsbm::Version v, int nsteps = 2) {
+/// `exec` is the host-dispatch knob (serial | threads:N | device),
+/// swept by benches the same way they sweep FSBM versions.
+inline model::RunConfig bench_case(fsbm::Version v, int nsteps = 2,
+                                   exec::ExecConfig exec = {}) {
   model::RunConfig cfg;
   cfg.nx = 64;
   cfg.ny = 48;
@@ -38,6 +41,7 @@ inline model::RunConfig bench_case(fsbm::Version v, int nsteps = 2) {
   cfg.npy = 2;
   cfg.nsteps = nsteps;
   cfg.version = v;
+  cfg.exec = exec;
   return cfg;
 }
 

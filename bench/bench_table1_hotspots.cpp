@@ -11,6 +11,8 @@
 // "Nsight" view profiles the single rank owning the squall line (load
 // imbalance makes its fast_sbm share larger, as the paper observes).
 
+#include <thread>
+
 #include "bench_common.hpp"
 
 using namespace wrf;
@@ -39,7 +41,7 @@ Shares shares_of(const prof::Profiler& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_config_header("Table I — hotspot time contribution (%)");
 
   // gprof view: all ranks aggregated.
@@ -73,5 +75,35 @@ int main() {
               "(%s)\n",
               agg.fast_sbm > agg.tend ? "yes" : "NO",
               agg.tend > agg.update ? "yes" : "NO");
+
+  // Host-parallelism sweep (exec= knob): the same v0 physics pass, one
+  // rank, dispatched serial vs. the requested execution space.  Pass
+  // `exec=threads:N` to pick the thread count (default: hardware).
+  exec::ExecConfig sweep = exec::exec_from_args(argc, argv);
+  if (sweep.kind == exec::ExecKind::kSerial) {
+    sweep.kind = exec::ExecKind::kThreads;  // default sweep target
+  }
+  auto host_pass_sec = [&](const exec::ExecConfig& e) {
+    model::RunConfig c = bench::bench_case(fsbm::Version::kV0Baseline, 3);
+    c.npx = c.npy = 1;
+    c.exec = e;
+    const auto ps = grid::decompose(c.domain(), 1, 1, c.halo);
+    model::RankModel rank(c, ps[0], nullptr);
+    rank.init();
+    prof::Profiler p;
+    double sbm_sec = 0.0;
+    for (int s = 0; s < c.nsteps; ++s) {
+      sbm_sec += rank.step(p).fsbm.wall_total_sec;
+    }
+    return sbm_sec;
+  };
+  const double t_serial = host_pass_sec(exec::ExecConfig{});
+  const double t_exec = host_pass_sec(sweep);
+  std::printf("\nhost physics pass (fast_sbm, v0, 1 rank): exec sweep "
+              "(%u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  std::printf("  %-16s %10.3f s\n", "serial", t_serial);
+  std::printf("  %-16s %10.3f s   speedup %.2fx\n", sweep.describe().c_str(),
+              t_exec, t_exec > 0.0 ? t_serial / t_exec : 0.0);
   return 0;
 }

@@ -3,7 +3,7 @@
 // storm diagnostics and a diffwrf-style verification against the CPU
 // build — the Section IV / VII-B workflow as a user would run it.
 //
-// Run: ./build/examples/conus_thunderstorm [nx ny nz nsteps]
+// Run: ./build/conus_thunderstorm [nx ny nz nsteps] [exec=threads:N]
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,14 +13,22 @@
 using namespace wrf;
 
 int main(int argc, char** argv) {
+  // Positional [nx ny nz nsteps]; an exec=... argument may sit anywhere.
+  int pos[4] = {72, 54, 30, 12};  // nsteps default: one simulated minute
+  int npos = 0;
+  for (int a = 1; a < argc && npos < 4; ++a) {
+    if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
+    pos[npos++] = std::atoi(argv[a]);
+  }
   model::RunConfig cfg;
-  cfg.nx = argc > 1 ? std::atoi(argv[1]) : 72;
-  cfg.ny = argc > 2 ? std::atoi(argv[2]) : 54;
-  cfg.nz = argc > 3 ? std::atoi(argv[3]) : 30;
-  cfg.nsteps = argc > 4 ? std::atoi(argv[4]) : 12;  // one simulated minute
+  cfg.nx = pos[0];
+  cfg.ny = pos[1];
+  cfg.nz = pos[2];
+  cfg.nsteps = pos[3];
   cfg.npx = 2;
   cfg.npy = 2;
   cfg.version = fsbm::Version::kV3Offload3;
+  cfg.exec = exec::exec_from_args(argc, argv);
   cfg.validate();
 
   std::printf("CONUS-like thunderstorm\n=======================\n%s\n\n",

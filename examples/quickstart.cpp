@@ -3,7 +3,7 @@
 // workflow would show you: the decomposition, the hotspot profile, and
 // the per-version timings.
 //
-// Build & run:   cmake --build build && ./build/examples/quickstart
+// Build & run:   cmake --build build && ./build/quickstart [exec=threads:N]
 
 #include <cstdio>
 
@@ -11,7 +11,7 @@
 
 using namespace wrf;
 
-int main() {
+int main(int argc, char** argv) {
   model::RunConfig cfg;
   cfg.nx = 48;
   cfg.ny = 36;
@@ -20,6 +20,7 @@ int main() {
   cfg.nsteps = 3;
   cfg.npx = 2;
   cfg.npy = 2;
+  cfg.exec = exec::exec_from_args(argc, argv);  // serial | threads:N | device
 
   std::printf("miniWRF-SBM quickstart\n======================\n");
   std::printf("case: %s\n\n", cfg.describe().c_str());

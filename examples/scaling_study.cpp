@@ -3,10 +3,11 @@
 // equal-resource crossover falls.  This drives the same perfmodel the
 // Table VII bench uses, but lets you vary GPUs and rank counts.
 //
-// Run: ./build/examples/scaling_study [ngpus]
+// Run: ./build/scaling_study [ngpus] [exec=threads:N]
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "model/driver.hpp"
 #include "perfmodel/scaling.hpp"
@@ -14,7 +15,12 @@
 using namespace wrf;
 
 int main(int argc, char** argv) {
-  const int ngpus = argc > 1 ? std::atoi(argv[1]) : 16;
+  int ngpus = 16;
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
+    ngpus = std::atoi(argv[a]);
+    break;
+  }
 
   // Measure a work profile from a real scaled-down run.
   model::RunConfig cfg;
@@ -24,6 +30,7 @@ int main(int argc, char** argv) {
   cfg.npx = cfg.npy = 2;
   cfg.nsteps = 2;
   cfg.version = fsbm::Version::kV1LookupOnDemand;
+  cfg.exec = exec::exec_from_args(argc, argv);
   prof::Profiler prof;
   const model::RunResult res = model::run_simulation(cfg, prof);
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify as CI runs it: configure + build + ctest in a
+# Debug/Release matrix with -Wall -Wextra -Werror.
+#
+# Usage: scripts/ci.sh [Debug|Release]     (no argument = both)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+configs=("${1:-Debug}" )
+if [ $# -eq 0 ]; then
+  configs=(Debug Release)
+fi
+
+for cfg in "${configs[@]}"; do
+  build_dir="build-ci-${cfg,,}"
+  echo "=== ${cfg} ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${cfg}" \
+    -DWRF_WERROR=ON
+  cmake --build "${build_dir}" -j "$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+done

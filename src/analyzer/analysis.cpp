@@ -197,8 +197,16 @@ std::string expr_text(const Expr& e) {
     }
     case Expr::kUn:
       return e.name + expr_text(e.args[0]);
-    case Expr::kBin:
-      return "(" + expr_text(e.args[0]) + e.name + expr_text(e.args[1]) + ")";
+    case Expr::kBin: {
+      // Built up with += (not operator+ chains): GCC 12's -Wrestrict
+      // false-positives on `const char* + std::string&&` (PR105651).
+      std::string t = "(";
+      t += expr_text(e.args[0]);
+      t += e.name;
+      t += expr_text(e.args[1]);
+      t += ")";
+      return t;
+    }
   }
   return "?";
 }

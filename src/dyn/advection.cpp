@@ -48,15 +48,18 @@ constexpr double kFlopsPerCell = 66.0;  // 2x flux5 + flux3 + divergence
 
 }  // namespace
 
-AdvStats rk_scalar_tend(const grid::Patch& patch, const Field3D<float>& q,
-                        const AnalyticWinds& winds, const AdvConfig& cfg,
-                        Field3D<float>& tend) {
-  AdvStats st;
+AdvStats rk_scalar_tend(exec::ExecSpace& ex, const grid::Patch& patch,
+                        const Field3D<float>& q, const AnalyticWinds& winds,
+                        const AdvConfig& cfg, Field3D<float>& tend) {
   const int klo = patch.k.lo;
   const int khi = patch.k.hi;
-  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
-    for (int k = klo; k <= khi; ++k) {
-      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+  exec::LaunchParams lp;
+  lp.name = "rk_scalar_tend";
+  lp.collapse = 3;
+  lp.flops_per_iter = kFlopsPerCell;
+  AdvStats st = ex.parallel_reduce<AdvStats>(
+      exec::Range3{patch.ip, patch.k, patch.jp}, lp,
+      [&](AdvStats& pt, int i, int k, int j) {
         // --- x fluxes at i-1/2 and i+1/2 ---
         double s[6];
         for (int m = 0; m < 6; ++m) s[m] = q(i - 3 + m, k, j);
@@ -86,25 +89,26 @@ AdvStats rk_scalar_tend(const grid::Patch& patch, const Field3D<float>& q,
         tend(i, k, j) = static_cast<float>(-(fxp - fxm) / cfg.dx -
                                            (fyp - fym) / cfg.dy -
                                            (fzp - fzm) / cfg.dz);
-        ++st.cells;
-      }
-    }
-  }
+        ++pt.cells;
+      });
   st.flops = static_cast<double>(st.cells) * kFlopsPerCell;
   return st;
 }
 
-AdvStats rk_scalar_tend_bins(const grid::Patch& patch,
+AdvStats rk_scalar_tend_bins(exec::ExecSpace& ex, const grid::Patch& patch,
                              const Field4D<float>& q,
-                             const AnalyticWinds& winds,
-                             const AdvConfig& cfg, Field4D<float>& tend) {
-  AdvStats st;
+                             const AnalyticWinds& winds, const AdvConfig& cfg,
+                             Field4D<float>& tend) {
   const int n = q.n();
   const int klo = patch.k.lo;
   const int khi = patch.k.hi;
-  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
-    for (int k = klo; k <= khi; ++k) {
-      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+  exec::LaunchParams lp;
+  lp.name = "rk_scalar_tend_bins";
+  lp.collapse = 3;
+  lp.flops_per_iter = kFlopsPerCell;
+  AdvStats st = ex.parallel_reduce<AdvStats>(
+      exec::Range3{patch.ip, patch.k, patch.jp}, lp,
+      [&](AdvStats& pt, int i, int k, int j) {
         const double uu = winds.u(i, k, j);
         const double vv = winds.v(i, k, j);
         const double wm = winds.w(i, k, j);
@@ -156,41 +160,43 @@ AdvStats rk_scalar_tend_bins(const grid::Patch& patch,
                                       (fyp - fym) / cfg.dy -
                                       (fzp - fzm) / cfg.dz);
         }
-        st.cells += static_cast<std::uint64_t>(n);
-      }
-    }
-  }
+        pt.cells += static_cast<std::uint64_t>(n);
+      });
   st.flops = static_cast<double>(st.cells) * kFlopsPerCell;
   return st;
 }
 
-AdvStats rk_update_scalar(const grid::Patch& patch, const Field3D<float>& q0,
-                          const Field3D<float>& tend, double dt_stage,
-                          Field3D<float>& q) {
-  AdvStats st;
-  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
-    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
-      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+AdvStats rk_update_scalar(exec::ExecSpace& ex, const grid::Patch& patch,
+                          const Field3D<float>& q0, const Field3D<float>& tend,
+                          double dt_stage, Field3D<float>& q) {
+  exec::LaunchParams lp;
+  lp.name = "rk_update_scalar";
+  lp.collapse = 3;
+  lp.flops_per_iter = 3.0;
+  AdvStats st = ex.parallel_reduce<AdvStats>(
+      exec::Range3{patch.ip, patch.k, patch.jp}, lp,
+      [&](AdvStats& pt, int i, int k, int j) {
         const double v =
             static_cast<double>(q0(i, k, j)) + dt_stage * tend(i, k, j);
         q(i, k, j) = static_cast<float>(v > 0.0 ? v : 0.0);
-        ++st.cells;
-      }
-    }
-  }
+        ++pt.cells;
+      });
   st.flops = static_cast<double>(st.cells) * 3.0;
   return st;
 }
 
-AdvStats rk_update_scalar_bins(const grid::Patch& patch,
+AdvStats rk_update_scalar_bins(exec::ExecSpace& ex, const grid::Patch& patch,
                                const Field4D<float>& q0,
                                const Field4D<float>& tend, double dt_stage,
                                Field4D<float>& q) {
-  AdvStats st;
   const int n = q.n();
-  for (int j = patch.jp.lo; j <= patch.jp.hi; ++j) {
-    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
-      for (int i = patch.ip.lo; i <= patch.ip.hi; ++i) {
+  exec::LaunchParams lp;
+  lp.name = "rk_update_scalar_bins";
+  lp.collapse = 3;
+  lp.flops_per_iter = 3.0;
+  AdvStats st = ex.parallel_reduce<AdvStats>(
+      exec::Range3{patch.ip, patch.k, patch.jp}, lp,
+      [&](AdvStats& pt, int i, int k, int j) {
         const float* s0 = q0.slice(i, k, j);
         const float* tn = tend.slice(i, k, j);
         float* out = q.slice(i, k, j);
@@ -198,10 +204,8 @@ AdvStats rk_update_scalar_bins(const grid::Patch& patch,
           const double v = static_cast<double>(s0[b]) + dt_stage * tn[b];
           out[b] = static_cast<float>(v > 0.0 ? v : 0.0);
         }
-        st.cells += static_cast<std::uint64_t>(n);
-      }
-    }
-  }
+        pt.cells += static_cast<std::uint64_t>(n);
+      });
   st.flops = static_cast<double>(st.cells) * 3.0;
   return st;
 }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "exec/exec.hpp"
 #include "fsbm/state.hpp"
 #include "grid/decomp.hpp"
 #include "util/field.hpp"
@@ -50,36 +51,67 @@ struct AdvConfig {
 struct AdvStats {
   std::uint64_t cells = 0;
   double flops = 0.0;
+
+  /// Partial-merge hook for ExecSpace::parallel_reduce.
+  void merge(const AdvStats& o) {
+    cells += o.cells;
+    flops += o.flops;
+  }
 };
 
 /// Advective tendency of one 3-D scalar over the patch computational
 /// range: tend = -div(V q), 5th-order horizontal / 3rd-order vertical
-/// upwind fluxes.  `q` must have valid halos.
-AdvStats rk_scalar_tend(const grid::Patch& patch, const Field3D<float>& q,
-                        const AnalyticWinds& winds, const AdvConfig& cfg,
-                        Field3D<float>& tend);
+/// upwind fluxes.  `q` must have valid halos.  Cells write only their own
+/// tendency, so the nest dispatches through any execution space.
+AdvStats rk_scalar_tend(exec::ExecSpace& ex, const grid::Patch& patch,
+                        const Field3D<float>& q, const AnalyticWinds& winds,
+                        const AdvConfig& cfg, Field3D<float>& tend);
+inline AdvStats rk_scalar_tend(const grid::Patch& patch,
+                               const Field3D<float>& q,
+                               const AnalyticWinds& winds,
+                               const AdvConfig& cfg, Field3D<float>& tend) {
+  return rk_scalar_tend(exec::serial(), patch, q, winds, cfg, tend);
+}
 
 /// Same tendency for every bin of a 4-D distribution (bin-fastest);
 /// the inner bin loop amortizes stencil index math as WRF's chem loop
 /// does.
-AdvStats rk_scalar_tend_bins(const grid::Patch& patch,
+AdvStats rk_scalar_tend_bins(exec::ExecSpace& ex, const grid::Patch& patch,
                              const Field4D<float>& q,
-                             const AnalyticWinds& winds,
-                             const AdvConfig& cfg, Field4D<float>& tend);
+                             const AnalyticWinds& winds, const AdvConfig& cfg,
+                             Field4D<float>& tend);
+inline AdvStats rk_scalar_tend_bins(const grid::Patch& patch,
+                                    const Field4D<float>& q,
+                                    const AnalyticWinds& winds,
+                                    const AdvConfig& cfg,
+                                    Field4D<float>& tend) {
+  return rk_scalar_tend_bins(exec::serial(), patch, q, winds, cfg, tend);
+}
 
 /// RK stage update: q = max(0, q0 + dt_stage * tend) over the
 /// computational range (positive-definite clip, as WRF's PD limiter
 /// guarantees for moisture scalars).
-AdvStats rk_update_scalar(const grid::Patch& patch,
-                          const Field3D<float>& q0,
-                          const Field3D<float>& tend, double dt_stage,
-                          Field3D<float>& q);
+AdvStats rk_update_scalar(exec::ExecSpace& ex, const grid::Patch& patch,
+                          const Field3D<float>& q0, const Field3D<float>& tend,
+                          double dt_stage, Field3D<float>& q);
+inline AdvStats rk_update_scalar(const grid::Patch& patch,
+                                 const Field3D<float>& q0,
+                                 const Field3D<float>& tend, double dt_stage,
+                                 Field3D<float>& q) {
+  return rk_update_scalar(exec::serial(), patch, q0, tend, dt_stage, q);
+}
 
 /// 4-D variant of the stage update.
-AdvStats rk_update_scalar_bins(const grid::Patch& patch,
+AdvStats rk_update_scalar_bins(exec::ExecSpace& ex, const grid::Patch& patch,
                                const Field4D<float>& q0,
                                const Field4D<float>& tend, double dt_stage,
                                Field4D<float>& q);
+inline AdvStats rk_update_scalar_bins(const grid::Patch& patch,
+                                      const Field4D<float>& q0,
+                                      const Field4D<float>& tend,
+                                      double dt_stage, Field4D<float>& q) {
+  return rk_update_scalar_bins(exec::serial(), patch, q0, tend, dt_stage, q);
+}
 
 /// Zero-gradient fill of halo cells on sides where the patch touches the
 /// global domain boundary (interior sides come from halo exchange).

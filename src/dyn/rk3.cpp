@@ -2,10 +2,12 @@
 
 namespace wrf::dyn {
 
-Rk3::Rk3(const grid::Patch& patch, int nkr, AdvConfig cfg, double dt)
+Rk3::Rk3(const grid::Patch& patch, int nkr, AdvConfig cfg, double dt,
+         exec::ExecSpace* exec)
     : patch_(patch),
       cfg_(cfg),
       dt_(dt),
+      exec_(exec),
       qv0_(patch.im, patch.k, patch.jm),
       qv_tend_(patch.im, patch.k, patch.jm) {
   for (auto& f : ff0_) f = Field4D<float>(nkr, patch.im, patch.k, patch.jm);
@@ -28,15 +30,16 @@ Rk3Stats Rk3::step(fsbm::MicroState& state, const AnalyticWinds& winds,
   const double stage_dt[3] = {dt_ / 3.0, dt_ / 2.0, dt_};
   for (int stage = 0; stage < 3; ++stage) {
     halo_fill(state);
+    exec::ExecSpace& ex = exec_space();
     {
       prof::ScopedRange r(prof, "rk_scalar_tend");
       const AdvStats a =
-          rk_scalar_tend(patch_, state.qv, winds, cfg_, qv_tend_);
+          rk_scalar_tend(ex, patch_, state.qv, winds, cfg_, qv_tend_);
       st.tend.cells += a.cells;
       st.tend.flops += a.flops;
       for (int s = 0; s < fsbm::kNumSpecies; ++s) {
         const AdvStats b = rk_scalar_tend_bins(
-            patch_, state.ff[static_cast<std::size_t>(s)], winds, cfg_,
+            ex, patch_, state.ff[static_cast<std::size_t>(s)], winds, cfg_,
             ff_tend_[static_cast<std::size_t>(s)]);
         st.tend.cells += b.cells;
         st.tend.flops += b.flops;
@@ -44,13 +47,13 @@ Rk3Stats Rk3::step(fsbm::MicroState& state, const AnalyticWinds& winds,
     }
     {
       prof::ScopedRange r(prof, "rk_update_scalar");
-      const AdvStats a = rk_update_scalar(patch_, qv0_, qv_tend_,
+      const AdvStats a = rk_update_scalar(ex, patch_, qv0_, qv_tend_,
                                           stage_dt[stage], state.qv);
       st.update.cells += a.cells;
       st.update.flops += a.flops;
       for (int s = 0; s < fsbm::kNumSpecies; ++s) {
         const AdvStats b = rk_update_scalar_bins(
-            patch_, ff0_[static_cast<std::size_t>(s)],
+            ex, patch_, ff0_[static_cast<std::size_t>(s)],
             ff_tend_[static_cast<std::size_t>(s)], stage_dt[stage],
             state.ff[static_cast<std::size_t>(s)]);
         st.update.cells += b.cells;

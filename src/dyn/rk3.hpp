@@ -25,7 +25,10 @@ struct Rk3Stats {
 /// buffers (sized once; a rank reuses them every step).
 class Rk3 {
  public:
-  Rk3(const grid::Patch& patch, int nkr, AdvConfig cfg, double dt);
+  /// `exec` selects how tendency/update nests are dispatched; nullptr
+  /// means exec::serial().
+  Rk3(const grid::Patch& patch, int nkr, AdvConfig cfg, double dt,
+      exec::ExecSpace* exec = nullptr);
 
   /// Advance qv and all bin fields one step.  `halo_fill(state)` must
   /// leave all advected fields with valid halos; it is invoked before
@@ -35,9 +38,14 @@ class Rk3 {
                 prof::Profiler& prof);
 
  private:
+  exec::ExecSpace& exec_space() const noexcept {
+    return exec_ != nullptr ? *exec_ : exec::serial();
+  }
+
   grid::Patch patch_;
   AdvConfig cfg_;
   double dt_;
+  exec::ExecSpace* exec_ = nullptr;
   Field3D<float> qv0_, qv_tend_;
   std::array<Field4D<float>, fsbm::kNumSpecies> ff0_, ff_tend_;
 };

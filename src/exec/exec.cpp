@@ -1,0 +1,211 @@
+#include "exec/exec.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "gpu/device.hpp"
+#include "par/thread_pool.hpp"
+
+namespace wrf::exec {
+
+// ----------------------------------------------------------------- serial
+
+void SerialSpace::run_tiles(const TilePlan& plan, const LaunchParams&,
+                            const TileFn& fn) {
+  for (std::int64_t t = 0; t < plan.tiles(); ++t) {
+    fn(t, plan.tile_begin(t), plan.tile_end(t));
+  }
+}
+
+// ---------------------------------------------------------------- threads
+
+ThreadedSpace::ThreadedSpace(int nthreads) {
+  if (nthreads > 0) {
+    owned_ = std::make_unique<par::ThreadPool>(nthreads);
+    pool_ = owned_.get();
+  } else {
+    pool_ = &par::shared_pool();
+  }
+}
+
+ThreadedSpace::~ThreadedSpace() = default;
+
+int ThreadedSpace::concurrency() const noexcept { return pool_->size(); }
+
+namespace {
+
+/// Dispatch tiles over a pool with first-exception capture: workers must
+/// never let an exception escape into the pool's task loop (that would
+/// std::terminate), so the wrapper records the first one, skips remaining
+/// tiles, and rethrows on the calling thread after the join.
+void run_tiles_on_pool(par::ThreadPool& pool, const TilePlan& plan,
+                       const TileFn& fn) {
+  std::atomic<bool> failed{false};
+  std::exception_ptr eptr;
+  std::mutex emu;
+  pool.parallel_for(
+      0, plan.tiles(),
+      [&](std::int64_t t) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(t, plan.tile_begin(t), plan.tile_end(t));
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(emu);
+          if (!eptr) eptr = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      },
+      /*chunk=*/1);
+  if (eptr) std::rethrow_exception(eptr);
+}
+
+}  // namespace
+
+void ThreadedSpace::run_tiles(const TilePlan& plan, const LaunchParams&,
+                              const TileFn& fn) {
+  if (plan.tiles() == 0) return;
+  if (plan.tiles() == 1 || pool_->size() == 1) {
+    // One tile (or one worker) gains nothing from dispatch overhead.
+    for (std::int64_t t = 0; t < plan.tiles(); ++t) {
+      fn(t, plan.tile_begin(t), plan.tile_end(t));
+    }
+    return;
+  }
+  run_tiles_on_pool(*pool_, plan, fn);
+}
+
+// ----------------------------------------------------------------- device
+
+DeviceSpace::DeviceSpace(gpu::Device& device, par::ThreadPool* pool)
+    : device_(&device),
+      pool_(pool != nullptr ? pool : &par::shared_pool()) {}
+
+int DeviceSpace::concurrency() const noexcept { return pool_->size(); }
+
+void DeviceSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
+                            const TileFn& fn) {
+  if (plan.tiles() == 0) return;
+  // Functional execution first, tile-deterministic like the host spaces.
+  if (plan.tiles() == 1) {
+    fn(0, plan.tile_begin(0), plan.tile_end(0));
+  } else {
+    run_tiles_on_pool(*pool_, plan, fn);
+  }
+  // Then the performance model: one body-less kernel launch whose
+  // geometry describes the collapsed nest this dispatch stood for.
+  gpu::KernelDesc desc;
+  desc.name = p.name;
+  desc.iterations = plan.total();
+  desc.collapse = p.collapse;
+  desc.regs_per_thread = p.regs_per_thread;
+  desc.workspace_bytes_per_thread = p.workspace_bytes_per_thread;
+  desc.flops_per_iter = p.flops_per_iter;
+  desc.bytes_per_iter = p.bytes_per_iter;
+  desc.double_precision = p.double_precision;
+  const gpu::KernelStats ks = device_->launch(desc);
+  kernel_ms_ += ks.modeled_time_ms;
+  ++dispatches_;
+}
+
+gpu::KernelStats DeviceSpace::launch(const gpu::KernelDesc& desc) {
+  const gpu::KernelStats ks = device_->launch(desc);
+  kernel_ms_ += ks.modeled_time_ms;
+  ++dispatches_;
+  return ks;
+}
+
+double DeviceSpace::copy_to_device(std::uint64_t bytes) {
+  const double before = device_->transfers().modeled_time_ms;
+  device_->map_to(bytes);
+  return device_->transfers().modeled_time_ms - before;
+}
+
+double DeviceSpace::copy_from_device(std::uint64_t bytes) {
+  const double before = device_->transfers().modeled_time_ms;
+  device_->map_from(bytes);
+  return device_->transfers().modeled_time_ms - before;
+}
+
+// ----------------------------------------------------------------- config
+
+ExecConfig ExecConfig::parse(const std::string& s) {
+  ExecConfig cfg;
+  if (s == "serial") {
+    cfg.kind = ExecKind::kSerial;
+    return cfg;
+  }
+  if (s == "device") {
+    cfg.kind = ExecKind::kDevice;
+    return cfg;
+  }
+  if (s == "threads") {
+    cfg.kind = ExecKind::kThreads;
+    cfg.nthreads = 0;
+    return cfg;
+  }
+  const std::string prefix = "threads:";
+  if (s.rfind(prefix, 0) == 0) {
+    const std::string num = s.substr(prefix.size());
+    std::size_t pos = 0;
+    int n = 0;
+    try {
+      n = std::stoi(num, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != num.size() || num.empty() || n < 1) {
+      throw ConfigError("ExecConfig: bad thread count in '" + s +
+                        "' (want threads:N with N >= 1)");
+    }
+    cfg.kind = ExecKind::kThreads;
+    cfg.nthreads = n;
+    return cfg;
+  }
+  throw ConfigError("ExecConfig: unknown exec mode '" + s +
+                    "' (want serial | threads[:N] | device)");
+}
+
+std::string ExecConfig::describe() const {
+  switch (kind) {
+    case ExecKind::kSerial: return "serial";
+    case ExecKind::kDevice: return "device";
+    case ExecKind::kThreads:
+      return nthreads > 0 ? "threads:" + std::to_string(nthreads)
+                          : "threads";
+  }
+  return "?";
+}
+
+std::unique_ptr<ExecSpace> make_space(const ExecConfig& cfg,
+                                      gpu::Device* device) {
+  switch (cfg.kind) {
+    case ExecKind::kSerial:
+      return std::make_unique<SerialSpace>();
+    case ExecKind::kThreads:
+      return std::make_unique<ThreadedSpace>(cfg.nthreads);
+    case ExecKind::kDevice:
+      if (device == nullptr) {
+        throw ConfigError("make_space: exec=device needs a gpu::Device");
+      }
+      return std::make_unique<DeviceSpace>(*device);
+  }
+  throw ConfigError("make_space: unknown ExecKind");
+}
+
+ExecSpace& serial() {
+  static SerialSpace space;
+  return space;
+}
+
+ExecConfig exec_from_args(int argc, char** argv) {
+  const std::string prefix = "exec=";
+  for (int a = 1; a < argc; ++a) {
+    const std::string s = argv[a];
+    if (s.rfind(prefix, 0) == 0) {
+      return ExecConfig::parse(s.substr(prefix.size()));
+    }
+  }
+  return ExecConfig{};
+}
+
+}  // namespace wrf::exec

@@ -69,11 +69,13 @@ void FsbmStats::merge(const FsbmStats& o) {
 }
 
 FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
-                 FsbmParams params, gpu::Device* device)
+                 FsbmParams params, gpu::Device* device,
+                 exec::ExecSpace* exec)
     : patch_(patch),
       version_(version),
       params_(params),
       device_(device),
+      exec_(exec),
       bins_(nkr),
       tables_(bins_),
       call_coal_(patch.im, patch.k, patch.jm, std::uint8_t{0}) {
@@ -86,8 +88,8 @@ FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
   if (offloaded && device_ == nullptr) {
     throw ConfigError("FastSbm: offloaded versions need a gpu::Device");
   }
-  if (version_ == Version::kV0Baseline) {
-    global_cw_ = std::make_unique<CollisionArrays>(nkr);
+  if (device_ != nullptr) {
+    device_space_ = std::make_unique<exec::DeviceSpace>(*device_);
   }
   if (version_ == Version::kV3Offload3) {
     // The temp_arrays module: one pooled slab per automatic array,
@@ -251,7 +253,7 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
       }
     }
   };
-  st.cond_kernel = device_->launch(desc);
+  st.cond_kernel = device_space_->launch(desc);
   st.cells_active += active.load();
   st.cells_coal += coal_cells.load();
   st.cond_flops += desc.flops_total();
@@ -261,79 +263,96 @@ void FastSbm::pass_physics(MicroState& state, FsbmStats& st,
                            prof::Profiler& prof) {
   const bool inline_coal = version_ == Version::kV0Baseline ||
                            version_ == Version::kV1LookupOnDemand;
-  StackWorkspace sw;
   const int nkr = bins_.nkr();
-  const CoalWorkspace w = sw.view(nkr);
 
   CondConfig cond_cfg = params_.cond;
   cond_cfg.dt = params_.dt;
   NuclConfig nucl_cfg = params_.nucl;
   nucl_cfg.dt = params_.dt;
 
-  // Listing 1's j/k/i loop.  WRF runs one OpenMP thread per MPI task in
-  // the paper's configuration, so this pass is serial within a rank.
-  for (int j = patch_.jp.lo; j <= patch_.jp.hi; ++j) {
-    for (int k = patch_.k.lo; k <= patch_.k.hi; ++k) {
-      for (int i = patch_.ip.lo; i <= patch_.ip.hi; ++i) {
+  // Listing 1's j/k/i nest, dispatched through the execution space.
+  // Every cell touches only its own state, so the nest parallelizes over
+  // tiles; statistics go into per-tile FsbmStats partials merged in tile
+  // order, which keeps the result bitwise-identical across executors.
+  exec::LaunchParams lp;
+  lp.name = "pass_physics";
+  lp.collapse = 3;
+  const FsbmStats sum = exec_space().parallel_reduce<FsbmStats>(
+      exec::Range3{patch_.ip, patch_.k, patch_.jp}, lp,
+      [&](FsbmStats& pt, int i, int k, int j) {
         call_coal_(i, k, j) = 0;
-        if (state.temp(i, k, j) <= params_.t_active) continue;
-        ++st.cells_active;
+        if (state.temp(i, k, j) <= params_.t_active) return;
+        ++pt.cells_active;
 
+        StackWorkspace sw;
+        const CoalWorkspace w = sw.view(nkr);
         double temp = state.temp(i, k, j);
         double qv = state.qv(i, k, j);
         const double pres = state.pres(i, k, j);
         load_workspace(state, i, k, j, w);
 
         // Nucleation.
-        const NuclStats ns =
-            jernucl01_ks(bins_, temp, qv, pres, w, nucl_cfg);
-        st.nucl_flops += ns.flops;
+        const NuclStats ns = jernucl01_ks(bins_, temp, qv, pres, w, nucl_cfg);
+        pt.nucl_flops += ns.flops;
 
         // Condensation: warm path above freezing, mixed-phase below.
         const CondStats cs =
             temp >= c::kT0
                 ? onecond1(bins_, temp, qv, pres, w, cond_cfg)
                 : onecond2(bins_, temp, qv, pres, w, cond_cfg);
-        st.cond_flops += cs.flops;
+        pt.cond_flops += cs.flops;
 
         state.temp(i, k, j) = static_cast<float>(temp);
         state.qv(i, k, j) = static_cast<float>(qv);
         store_workspace(state, i, k, j, w);
 
         // Collision gate (TT > 223.15 in Listing 1).
-        if (temp <= params_.t_coal) continue;
+        if (temp <= params_.t_coal) return;
         if (inline_coal) {
-          prof::ScopedRange cr(prof, "coal_bott_new_loop");
+          // No ScopedRange here: per-cell ranges on worker threads would
+          // serialize on the profiler mutex (each pop at depth zero
+          // merges).  Coal wall time goes into the partials instead and
+          // is attributed once per pass below.
           const auto t0 = Clock::now();
           CoalStats cst;
           if (version_ == Version::kV0Baseline) {
-            // kernals_ks refills the *global* collision arrays for this
-            // cell; every entry of all 20 arrays is interpolated whether
-            // used or not.
-            st.kernel_entries += tables_.kernals_ks(pres, *global_cw_);
-            ++st.kernel_table_fills;
-            const KernelSource ks(*global_cw_);
+            // kernals_ks refills the collision arrays for this cell;
+            // every entry of all 20 arrays is interpolated whether used
+            // or not.  The Fortran original keeps ONE global block (the
+            // shared state Codee flagged); one block per executing
+            // thread preserves the per-cell refill cost while making the
+            // pass dispatchable on any ExecSpace.
+            thread_local std::unique_ptr<CollisionArrays> cw;
+            if (!cw || cw->nkr != nkr) {
+              cw = std::make_unique<CollisionArrays>(nkr);
+            }
+            pt.kernel_entries += tables_.kernals_ks(pres, *cw);
+            ++pt.kernel_table_fills;
+            const KernelSource ks(*cw);
             coal_cell_stack(state, i, k, j, ks, cst);
           } else {
             const KernelSource ks(tables_, pres);
             coal_cell_stack(state, i, k, j, ks, cst);
-            st.kernel_entries += cst.kernel_lookups;
+            pt.kernel_entries += cst.kernel_lookups;
           }
-          st.coal_interactions += cst.interactions;
-          st.coal_flops +=
+          pt.coal_interactions += cst.interactions;
+          pt.coal_flops +=
               cst.flops +
               (version_ == Version::kV0Baseline
                    ? 4.0 * kNumPairs * nkr * nkr  // table fill flops
                    : 4.0 * static_cast<double>(cst.kernel_lookups));
-          ++st.cells_coal;
-          st.wall_coal_sec += seconds_since(t0);
+          ++pt.cells_coal;
+          pt.wall_coal_sec += seconds_since(t0);
         } else {
           call_coal_(i, k, j) = 1;
-          ++st.cells_coal;
+          ++pt.cells_coal;
         }
-      }
-    }
+      });
+  if (inline_coal && sum.cells_coal > 0) {
+    prof.add_range_time("coal_bott_new_loop", sum.cells_coal,
+                        sum.wall_coal_sec);
   }
+  st.merge(sum);
 }
 
 void FastSbm::emit_coal_trace(const MicroState& state, int i, int k, int j,
@@ -421,9 +440,7 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
   std::uint64_t h2d = call_coal_.size();
   for (const auto& f : state.ff) h2d += f.bytes();
   h2d += state.temp.bytes() + state.pres.bytes();
-  const double xfer_before = device_->transfers().modeled_time_ms;
-  device_->map_to(h2d);
-  st.h2d_ms += device_->transfers().modeled_time_ms - xfer_before;
+  st.h2d_ms += device_space_->copy_to_device(h2d);
 
   std::atomic<std::uint64_t> interactions{0};
   std::atomic<std::uint64_t> lookups{0};
@@ -491,14 +508,12 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
     }
   };
 
-  st.coal_kernel = device_->launch(desc);
+  st.coal_kernel = device_space_->launch(desc);
 
   // Device -> host: updated distributions.
   std::uint64_t d2h = 0;
   for (const auto& f : state.ff) d2h += f.bytes();
-  const double xfer_before2 = device_->transfers().modeled_time_ms;
-  device_->map_from(d2h);
-  st.d2h_ms += device_->transfers().modeled_time_ms - xfer_before2;
+  st.d2h_ms += device_space_->copy_from_device(d2h);
 
   st.coal_interactions += interactions.load();
   st.kernel_entries += lookups.load();
@@ -514,37 +529,50 @@ void FastSbm::pass_sedimentation(MicroState& state, FsbmStats& st,
   SedConfig cfg = params_.sed;
   cfg.dt = params_.dt;
 
-  std::vector<float> col(static_cast<std::size_t>(nz) * nkr);
-  std::vector<double> rho_col(static_cast<std::size_t>(nz));
-  for (int j = patch_.jp.lo; j <= patch_.jp.hi; ++j) {
-    for (int i = patch_.ip.lo; i <= patch_.ip.hi; ++i) {
-      for (int iz = 0; iz < nz; ++iz) {
-        rho_col[static_cast<std::size_t>(iz)] =
-            state.rho(i, patch_.k.lo + iz, j);
-      }
-      for (int s = 0; s < kNumSpecies; ++s) {
-        auto& f = state.ff[static_cast<std::size_t>(s)];
-        // Gather the column (bin-fastest slices per level).
+  // Columns are independent: the collapse(2) shape of the paper's
+  // sedimentation loops (k runs inside the column solver).  Dispatch the
+  // (i, j) plane through the execution space; each column owns its cell
+  // of `precip`, and stats go into per-tile FsbmStats partials.
+  exec::LaunchParams lp;
+  lp.name = "sedimentation";
+  lp.collapse = 2;
+  lp.grain = patch_.ip.size();  // one j-row of columns per tile
+  const FsbmStats sum = exec_space().parallel_reduce<FsbmStats>(
+      exec::Range3{patch_.ip, Range{0, 0}, patch_.jp}, lp,
+      [&](FsbmStats& pt, int i, int /*k*/, int j) {
+        // Per-thread column buffers (tiles never share a thread
+        // mid-tile, and sediment_column fully overwrites them).
+        thread_local std::vector<float> col;
+        thread_local std::vector<double> rho_col;
+        col.resize(static_cast<std::size_t>(nz) * nkr);
+        rho_col.resize(static_cast<std::size_t>(nz));
         for (int iz = 0; iz < nz; ++iz) {
-          std::memcpy(&col[static_cast<std::size_t>(iz) * nkr],
-                      f.slice(i, patch_.k.lo + iz, j),
-                      static_cast<std::size_t>(nkr) * sizeof(float));
+          rho_col[static_cast<std::size_t>(iz)] =
+              state.rho(i, patch_.k.lo + iz, j);
         }
-        const SedStats ss =
-            sediment_column(bins_, static_cast<Species>(s), col.data(),
-                            rho_col.data(), nz, cfg);
-        for (int iz = 0; iz < nz; ++iz) {
-          std::memcpy(f.slice(i, patch_.k.lo + iz, j),
-                      &col[static_cast<std::size_t>(iz) * nkr],
-                      static_cast<std::size_t>(nkr) * sizeof(float));
+        for (int s = 0; s < kNumSpecies; ++s) {
+          auto& f = state.ff[static_cast<std::size_t>(s)];
+          // Gather the column (bin-fastest slices per level).
+          for (int iz = 0; iz < nz; ++iz) {
+            std::memcpy(&col[static_cast<std::size_t>(iz) * nkr],
+                        f.slice(i, patch_.k.lo + iz, j),
+                        static_cast<std::size_t>(nkr) * sizeof(float));
+          }
+          const SedStats ss =
+              sediment_column(bins_, static_cast<Species>(s), col.data(),
+                              rho_col.data(), nz, cfg);
+          for (int iz = 0; iz < nz; ++iz) {
+            std::memcpy(f.slice(i, patch_.k.lo + iz, j),
+                        &col[static_cast<std::size_t>(iz) * nkr],
+                        static_cast<std::size_t>(nkr) * sizeof(float));
+          }
+          state.precip(i, 0, j) =
+              static_cast<float>(state.precip(i, 0, j) + ss.surface_precip);
+          pt.surface_precip += ss.surface_precip;
+          pt.sed_flops += ss.flops;
         }
-        state.precip(i, 0, j) =
-            static_cast<float>(state.precip(i, 0, j) + ss.surface_precip);
-        st.surface_precip += ss.surface_precip;
-        st.sed_flops += ss.flops;
-      }
-    }
-  }
+      });
+  st.merge(sum);
 }
 
 FsbmStats FastSbm::step(MicroState& state, prof::Profiler& prof) {

@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 
+#include "exec/exec.hpp"
 #include "fsbm/coal_bott.hpp"
 #include "fsbm/kernels.hpp"
 #include "fsbm/nucleation.hpp"
@@ -98,16 +99,29 @@ struct FsbmStats {
   void merge(const FsbmStats& o);
 };
 
-/// One rank's FSBM scheme instance.  Owns the kernel tables, the v0
-/// global collision arrays, and the v3 device pools.
+/// One rank's FSBM scheme instance.  Owns the kernel tables and the v3
+/// device pools.  v0's "global" collision arrays became per-executing-
+/// thread blocks when the host passes moved onto the exec layer (the
+/// shared Fortran globals are exactly what Codee flagged as blocking
+/// parallelization; the per-cell refill cost they imply is preserved).
+///
+/// Statistics are accumulated into per-tile partials and merged in tile
+/// order (FsbmStats::merge), so a threaded pass produces bitwise the
+/// same stats as a serial one — no mutex, no atomics on the host path.
 class FastSbm {
  public:
   /// `device` is required for the offloaded versions and ignored
   /// otherwise.  The device's heap/stack limits control whether the
   /// naive collapse(3) reproduction throws (as on Perlmutter before
   /// NV_ACC_CUDA_HEAPSIZE was raised).
+  ///
+  /// `exec` selects how the *host* loop nests (pass_physics for v0/v1,
+  /// sedimentation) are dispatched; nullptr means exec::serial().  The
+  /// offloaded collision/condensation passes always go through the
+  /// device, independent of `exec`.
   FastSbm(const grid::Patch& patch, int nkr, Version version,
-          FsbmParams params = {}, gpu::Device* device = nullptr);
+          FsbmParams params = {}, gpu::Device* device = nullptr,
+          exec::ExecSpace* exec = nullptr);
 
   /// Advance microphysics one step over the patch's computational range.
   /// Profiler ranges: "fast_sbm" (whole call), "coal_bott_new_loop"
@@ -162,22 +176,26 @@ class FastSbm {
   void emit_coal_trace(const MicroState& state, int i, int k, int j,
                        bool pooled, std::vector<gpu::AccessEvent>& out) const;
 
+  /// The execution space host passes dispatch through (never null).
+  exec::ExecSpace& exec_space() const noexcept {
+    return exec_ != nullptr ? *exec_ : exec::serial();
+  }
+
   grid::Patch patch_;
   Version version_;
   FsbmParams params_;
   gpu::Device* device_;
+  exec::ExecSpace* exec_;
+  /// Offload dispatch wrapper around device_ (launch + transfer
+  /// accounting); set iff device_ is set.
+  std::unique_ptr<exec::DeviceSpace> device_space_;
   BinGrid bins_;
   KernelTables tables_;
-  /// v0's "global variables": one block per rank, reused for every cell,
-  /// which is exactly the shared state Codee flagged as blocking
-  /// parallelization.
-  std::unique_ptr<CollisionArrays> global_cw_;
   /// v3's temp_arrays module: pooled per-cell workspaces on the device.
   std::unique_ptr<Field4D<float>> pool_fl1_, pool_g2_, pool_g3_, pool_g4_,
       pool_g5_;
   Field3D<std::uint8_t> call_coal_;  ///< the predicate array of Listing 6
   std::uint64_t pool_bytes_ = 0;
-  std::mutex coal_stats_mu_;
 };
 
 }  // namespace wrf::fsbm

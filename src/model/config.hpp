@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "exec/exec.hpp"
 #include "fsbm/fast_sbm.hpp"
 #include "gpu/device.hpp"
 #include "grid/decomp.hpp"
@@ -30,6 +31,13 @@ struct RunConfig {
   int nkr = 33;
   fsbm::Version version = fsbm::Version::kV1LookupOnDemand;
   fsbm::FsbmParams fsbm_params;
+
+  /// How host loop nests are dispatched within a rank (WRF's OpenMP
+  /// layer): serial | threads[:N] | device.  Independent of `version`,
+  /// which picks which FSBM passes are *offloaded*; `exec` parallelizes
+  /// whatever stays on the host (physics for v0/v1, sedimentation,
+  /// advection, halo pack/unpack).  Parse with exec::ExecConfig::parse.
+  exec::ExecConfig exec;
 
   // Decomposition.
   int npx = 2;

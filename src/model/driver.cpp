@@ -28,15 +28,18 @@ void RunConfig::validate() const {
   }
   if (dt <= 0.0 || nsteps < 0) throw ConfigError("RunConfig: bad time axis");
   if (ngpus < 1) throw ConfigError("RunConfig: ngpus must be >= 1");
+  if (exec.kind == exec::ExecKind::kThreads && exec.nthreads < 0) {
+    throw ConfigError("RunConfig: exec thread count must be >= 0");
+  }
 }
 
 std::string RunConfig::describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "grid %dx%dx%d dx=%.0fm dt=%.1fs nkr=%d ranks=%dx%d "
-                "version=%s ngpus=%d",
+                "version=%s exec=%s ngpus=%d",
                 nx, ny, nz, dx, dt, nkr, npx, npy,
-                fsbm::version_name(version), ngpus);
+                fsbm::version_name(version), exec.describe().c_str(), ngpus);
   return buf;
 }
 
@@ -44,22 +47,25 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
                      par::RankCtx* ctx)
     : config_(config), patch_(patch), ctx_(ctx),
       state_(patch, config.nkr) {
-  if (config_.offloaded()) {
+  // exec=device needs a simulated device even for host-only versions.
+  if (config_.offloaded() || config_.exec.kind == exec::ExecKind::kDevice) {
     device_ = std::make_unique<gpu::Device>(config_.device_spec);
     device_->set_stack_limit(config_.stack_bytes);
     device_->set_heap_limit(config_.heap_bytes);
   }
+  exec_space_ = exec::make_space(config_.exec, device_.get());
   fsbm::FsbmParams params = config_.fsbm_params;
   params.dt = config_.dt;
   params.sed.dz = config_.dz;
   fsbm_ = std::make_unique<fsbm::FastSbm>(patch_, config_.nkr,
                                           config_.version, params,
-                                          device_.get());
+                                          device_.get(), exec_space_.get());
   dyn::AdvConfig adv;
   adv.dx = config_.dx;
   adv.dy = config_.dx;
   adv.dz = config_.dz;
-  rk3_ = std::make_unique<dyn::Rk3>(patch_, config_.nkr, adv, config_.dt);
+  rk3_ = std::make_unique<dyn::Rk3>(patch_, config_.nkr, adv, config_.dt,
+                                    exec_space_.get());
   winds_.domain = config_.domain();
   winds_.dx = config_.dx;
   winds_.dz = config_.dz;
@@ -76,8 +82,10 @@ void RankModel::halo_fill(fsbm::MicroState& s, double* wall_acc,
   if (ctx_ != nullptr && ctx_->size() > 1) {
     const std::uint64_t bytes_before = ctx_->stats().bytes_sent;
     int seq = halo_seq_;
-    exchange_halo(*ctx_, patch_, s.qv, seq++);
-    for (auto& f : s.ff) exchange_halo_bins(*ctx_, patch_, f, seq++);
+    exchange_halo(*ctx_, patch_, s.qv, seq++, exec_space_.get());
+    for (auto& f : s.ff) {
+      exchange_halo_bins(*ctx_, patch_, f, seq++, exec_space_.get());
+    }
     halo_seq_ = seq;
     *bytes_acc += ctx_->stats().bytes_sent - bytes_before;
   }

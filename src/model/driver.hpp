@@ -72,6 +72,9 @@ class RankModel {
   par::RankCtx* ctx_;
   fsbm::MicroState state_;
   std::unique_ptr<gpu::Device> device_;
+  /// The rank's execution space (the `exec=` knob): dispatches every
+  /// host loop nest — physics, sedimentation, advection, halo pack.
+  std::unique_ptr<exec::ExecSpace> exec_space_;
   std::unique_ptr<fsbm::FastSbm> fsbm_;
   std::unique_ptr<dyn::Rk3> rk3_;
   dyn::AnalyticWinds winds_;

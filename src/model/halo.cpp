@@ -10,69 +10,85 @@ constexpr int kSides = 4;
 
 int tag_for(int seq, Side s) { return seq * kSides + static_cast<int>(s); }
 
-std::vector<float> pack(const Field3D<float>& q, const grid::Patch& patch,
-                        const grid::HaloRect& r) {
-  std::vector<float> buf;
-  buf.reserve(static_cast<std::size_t>(r.cells(patch.k.size())));
-  for (int j = r.j.lo; j <= r.j.hi; ++j) {
-    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
-      for (int i = r.i.lo; i <= r.i.hi; ++i) buf.push_back(q(i, k, j));
-    }
-  }
+/// The (i, k, j) iteration space of one halo strip, in buffer order.
+exec::Range3 rect_range(const grid::Patch& patch, const grid::HaloRect& r) {
+  return exec::Range3{r.i, patch.k, r.j};
+}
+
+/// Flat buffer slot of a cell within the strip (i fastest, then k, then
+/// j — the legacy pack order, kept so message layout is unchanged).
+std::size_t rect_slot(const grid::Patch& patch, const grid::HaloRect& r,
+                      int i, int k, int j) {
+  return (static_cast<std::size_t>(j - r.j.lo) * patch.k.size() +
+          static_cast<std::size_t>(k - patch.k.lo)) *
+             r.i.size() +
+         static_cast<std::size_t>(i - r.i.lo);
+}
+
+exec::LaunchParams pack_params(const char* name) {
+  exec::LaunchParams lp;
+  lp.name = name;
+  lp.collapse = 3;
+  return lp;
+}
+
+std::vector<float> pack(exec::ExecSpace& ex, const Field3D<float>& q,
+                        const grid::Patch& patch, const grid::HaloRect& r) {
+  std::vector<float> buf(static_cast<std::size_t>(r.cells(patch.k.size())));
+  ex.parallel_for(rect_range(patch, r), pack_params("halo_pack"),
+                  [&](int i, int k, int j) {
+                    buf[rect_slot(patch, r, i, k, j)] = q(i, k, j);
+                  });
   return buf;
 }
 
-void unpack(Field3D<float>& q, const grid::Patch& patch,
+void unpack(exec::ExecSpace& ex, Field3D<float>& q, const grid::Patch& patch,
             const grid::HaloRect& r, const std::vector<float>& buf) {
-  std::size_t n = 0;
-  for (int j = r.j.lo; j <= r.j.hi; ++j) {
-    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
-      for (int i = r.i.lo; i <= r.i.hi; ++i) q(i, k, j) = buf[n++];
-    }
-  }
+  ex.parallel_for(rect_range(patch, r), pack_params("halo_unpack"),
+                  [&](int i, int k, int j) {
+                    q(i, k, j) = buf[rect_slot(patch, r, i, k, j)];
+                  });
 }
 
-std::vector<float> pack_bins(const Field4D<float>& q,
+std::vector<float> pack_bins(exec::ExecSpace& ex, const Field4D<float>& q,
                              const grid::Patch& patch,
                              const grid::HaloRect& r) {
   const int nb = q.n();
-  std::vector<float> buf;
-  buf.reserve(static_cast<std::size_t>(r.cells(patch.k.size())) * nb);
-  for (int j = r.j.lo; j <= r.j.hi; ++j) {
-    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
-      for (int i = r.i.lo; i <= r.i.hi; ++i) {
-        const float* s = q.slice(i, k, j);
-        buf.insert(buf.end(), s, s + nb);
-      }
-    }
-  }
+  std::vector<float> buf(static_cast<std::size_t>(r.cells(patch.k.size())) *
+                         nb);
+  ex.parallel_for(rect_range(patch, r), pack_params("halo_pack_bins"),
+                  [&](int i, int k, int j) {
+                    const float* s = q.slice(i, k, j);
+                    float* d = &buf[rect_slot(patch, r, i, k, j) * nb];
+                    for (int b = 0; b < nb; ++b) d[b] = s[b];
+                  });
   return buf;
 }
 
-void unpack_bins(Field4D<float>& q, const grid::Patch& patch,
-                 const grid::HaloRect& r, const std::vector<float>& buf) {
+void unpack_bins(exec::ExecSpace& ex, Field4D<float>& q,
+                 const grid::Patch& patch, const grid::HaloRect& r,
+                 const std::vector<float>& buf) {
   const int nb = q.n();
-  std::size_t n = 0;
-  for (int j = r.j.lo; j <= r.j.hi; ++j) {
-    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
-      for (int i = r.i.lo; i <= r.i.hi; ++i) {
-        float* d = q.slice(i, k, j);
-        for (int b = 0; b < nb; ++b) d[b] = buf[n++];
-      }
-    }
-  }
+  ex.parallel_for(rect_range(patch, r), pack_params("halo_unpack_bins"),
+                  [&](int i, int k, int j) {
+                    const float* s = &buf[rect_slot(patch, r, i, k, j) * nb];
+                    float* d = q.slice(i, k, j);
+                    for (int b = 0; b < nb; ++b) d[b] = s[b];
+                  });
 }
 
 }  // namespace
 
 void exchange_halo(par::RankCtx& ctx, const grid::Patch& patch,
-                   Field3D<float>& q, int seq) {
+                   Field3D<float>& q, int seq, exec::ExecSpace* ex) {
+  exec::ExecSpace& space = ex != nullptr ? *ex : exec::serial();
   // Post all sends first (buffered), then receive: no ordering deadlock.
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
     const int nbr = patch.neighbor[s];
     if (nbr < 0) continue;
-    ctx.send(nbr, tag_for(seq, side), pack(q, patch, patch.send_rect(side)));
+    ctx.send(nbr, tag_for(seq, side),
+             pack(space, q, patch, patch.send_rect(side)));
   }
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
@@ -80,25 +96,26 @@ void exchange_halo(par::RankCtx& ctx, const grid::Patch& patch,
     if (nbr < 0) continue;
     // The neighbor tagged its message with the side *it* sent on.
     const auto buf = ctx.recv(nbr, tag_for(seq, grid::opposite(side)));
-    unpack(q, patch, patch.recv_rect(side), buf);
+    unpack(space, q, patch, patch.recv_rect(side), buf);
   }
 }
 
 void exchange_halo_bins(par::RankCtx& ctx, const grid::Patch& patch,
-                        Field4D<float>& q, int seq) {
+                        Field4D<float>& q, int seq, exec::ExecSpace* ex) {
+  exec::ExecSpace& space = ex != nullptr ? *ex : exec::serial();
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
     const int nbr = patch.neighbor[s];
     if (nbr < 0) continue;
     ctx.send(nbr, tag_for(seq, side),
-             pack_bins(q, patch, patch.send_rect(side)));
+             pack_bins(space, q, patch, patch.send_rect(side)));
   }
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
     const int nbr = patch.neighbor[s];
     if (nbr < 0) continue;
     const auto buf = ctx.recv(nbr, tag_for(seq, grid::opposite(side)));
-    unpack_bins(q, patch, patch.recv_rect(side), buf);
+    unpack_bins(space, q, patch, patch.recv_rect(side), buf);
   }
 }
 

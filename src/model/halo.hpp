@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "grid/decomp.hpp"
 #include "par/simpi.hpp"
 #include "util/field.hpp"
@@ -17,13 +18,17 @@
 namespace wrf::model {
 
 /// Exchange one 3-D field's halos with all interior neighbors.
-/// `seq` must be unique per field within one exchange round.
+/// `seq` must be unique per field within one exchange round.  Pack and
+/// unpack loops dispatch through `ex` (nullptr = serial); every buffer
+/// slot is written by exactly one cell, so any execution space is safe.
 void exchange_halo(par::RankCtx& ctx, const grid::Patch& patch,
-                   Field3D<float>& q, int seq);
+                   Field3D<float>& q, int seq,
+                   exec::ExecSpace* ex = nullptr);
 
 /// Exchange one 4-D (bin) field's halos.
 void exchange_halo_bins(par::RankCtx& ctx, const grid::Patch& patch,
-                        Field4D<float>& q, int seq);
+                        Field4D<float>& q, int seq,
+                        exec::ExecSpace* ex = nullptr);
 
 /// Bytes one rank sends per full exchange of the given field shapes —
 /// used by the communication model without running the exchange.

@@ -54,6 +54,32 @@ void Profiler::pop_range() {
   }
 }
 
+void Profiler::add_range_time(const std::string& name, std::uint64_t calls,
+                              double seconds) {
+  ThreadData& td = tls();
+  Agg& a = td.pending[name];
+  a.calls += calls;
+  a.inclusive += seconds;
+  a.exclusive += seconds;
+  if (!td.stack.empty()) {
+    // Credit the open parent, clamped to its elapsed wall so far: a
+    // parallel dispatch can accumulate more summed worker seconds than
+    // the parent's wall time, and crediting past that would drive the
+    // parent's exclusive time negative.  (gprof-style thread-summed CPU
+    // time for `name`, wall-bounded child attribution for the parent.)
+    OpenRange& parent = td.stack.back();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      parent.start)
+            .count();
+    const double headroom = elapsed - parent.child_time;
+    parent.child_time +=
+        seconds < headroom ? seconds : (headroom > 0.0 ? headroom : 0.0);
+  } else {
+    merge(td);
+  }
+}
+
 void Profiler::merge(ThreadData& td) const {
   if (td.pending.empty()) return;
   std::lock_guard<std::mutex> lk(mu_);

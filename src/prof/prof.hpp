@@ -53,6 +53,15 @@ class Profiler {
   /// Close the innermost open range on the calling thread.
   void pop_range();
 
+  /// Attribute externally measured time as a completed child range of
+  /// the innermost open range on the calling thread (or as a top-level
+  /// range when none is open).  Used by parallelized loop nests that
+  /// accumulate sub-range wall time into per-tile partials and report it
+  /// once per dispatch — per-iteration ScopedRanges on worker threads
+  /// would serialize on the profiler mutex.
+  void add_range_time(const std::string& name, std::uint64_t calls,
+                      double seconds);
+
   /// Add `v` to the named counter (creates it on first use).
   void add_counter(const std::string& name, std::uint64_t v);
 

@@ -64,7 +64,9 @@ TEST(Lexer, CommentsDroppedDirectivesKept) {
 TEST(Lexer, LineNumbersTracked) {
   const auto toks = lex("a = 1\nb = 2\nc = 3\n");
   for (const auto& t : toks) {
-    if (t.kind == Tok::kIdent && t.text == "c") EXPECT_EQ(t.line, 3);
+    if (t.kind == Tok::kIdent && t.text == "c") {
+      EXPECT_EQ(t.line, 3);
+    }
   }
 }
 

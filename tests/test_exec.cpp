@@ -1,0 +1,349 @@
+// Unit tests for the execution-space layer (src/exec): Range3 tiling
+// edge cases, exception propagation out of ThreadedSpace, the
+// determinism contract (bitwise-identical reductions across executors),
+// DeviceSpace dispatch accounting, the exec= knob parser, and
+// serial-vs-threaded FSBM step() equivalence across all five
+// fsbm::Version modes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "gpu/device.hpp"
+#include "model/driver.hpp"
+
+namespace wrf {
+namespace {
+
+using exec::ExecConfig;
+using exec::ExecKind;
+using exec::LaunchParams;
+using exec::Range3;
+using exec::TilePlan;
+
+// ----------------------------------------------------------- Range3
+
+TEST(Range3, SizeAndDecodeOrder) {
+  Range3 r{Range{1, 3}, Range{10, 11}, Range{5, 6}};
+  EXPECT_EQ(r.size(), 3 * 2 * 2);
+  // i fastest, then k, then j (the paper's collapse order).
+  EXPECT_EQ(r.cell(0).i, 1);
+  EXPECT_EQ(r.cell(1).i, 2);
+  EXPECT_EQ(r.cell(3).i, 1);
+  EXPECT_EQ(r.cell(3).k, 11);
+  EXPECT_EQ(r.cell(3).j, 5);
+  EXPECT_EQ(r.cell(6).j, 6);
+  const auto last = r.cell(r.size() - 1);
+  EXPECT_EQ(last.i, 3);
+  EXPECT_EQ(last.k, 11);
+  EXPECT_EQ(last.j, 6);
+}
+
+TEST(Range3, EmptyRangesAreEmpty) {
+  EXPECT_TRUE((Range3{Range{}, Range{1, 5}, Range{1, 5}}).empty());
+  EXPECT_TRUE((Range3{Range{1, 5}, Range{3, 2}, Range{1, 5}}).empty());
+  EXPECT_EQ((Range3{Range{}, Range{}, Range{}}).size(), 0);
+
+  // No body invocations for an empty range, on any space.
+  exec::SerialSpace ser;
+  exec::ThreadedSpace thr(2);
+  int calls = 0;
+  LaunchParams lp;
+  ser.parallel_for(Range3{Range{}, Range{1, 4}, Range{1, 4}}, lp,
+                   [&](int, int, int) { ++calls; });
+  thr.parallel_for(Range3{Range{1, 4}, Range{}, Range{1, 4}}, lp,
+                   [&](int, int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Range3, HaloInclusiveNegativeBounds) {
+  // Memory ranges include halos and may start below zero (ims:ime).
+  Range3 r{Range{-2, 2}, Range{0, 1}, Range{-1, 1}};
+  EXPECT_EQ(r.size(), 5 * 2 * 3);
+  std::vector<int> seen(static_cast<std::size_t>(r.size()), 0);
+  exec::SerialSpace ser;
+  LaunchParams lp;
+  lp.grain = 4;  // force tiles that straddle row boundaries
+  ser.parallel_for(r, lp, [&](int i, int k, int j) {
+    EXPECT_GE(i, -2);
+    EXPECT_LE(i, 2);
+    const std::int64_t flat =
+        (static_cast<std::int64_t>(j + 1) * 2 + k) * 5 + (i + 2);
+    ++seen[static_cast<std::size_t>(flat)];
+  });
+  for (const int v : seen) EXPECT_EQ(v, 1);
+}
+
+// ---------------------------------------------------------- TilePlan
+
+TEST(TilePlan, EdgeCases) {
+  // Empty plan.
+  EXPECT_EQ(TilePlan(0, 8).tiles(), 0);
+  // Grain larger than total: one tile covering everything.
+  TilePlan big(5, 100);
+  EXPECT_EQ(big.tiles(), 1);
+  EXPECT_EQ(big.tile_begin(0), 0);
+  EXPECT_EQ(big.tile_end(0), 5);
+  // Remainder tile is short.
+  TilePlan rem(10, 4);
+  EXPECT_EQ(rem.tiles(), 3);
+  EXPECT_EQ(rem.tile_end(2), 10);
+  EXPECT_EQ(rem.tile_end(2) - rem.tile_begin(2), 2);
+  // Degenerate grain is clamped to 1.
+  EXPECT_EQ(TilePlan(3, 0).tiles(), 3);
+}
+
+TEST(TilePlan, LayoutIndependentOfConcurrency) {
+  // The cut depends only on (total, grain) — this is the determinism
+  // contract's foundation, so pin it.
+  const Range3 r{Range{1, 7}, Range{1, 5}, Range{1, 3}};
+  LaunchParams lp;
+  const TilePlan a = exec::ExecSpace::plan_for(r, lp);
+  EXPECT_EQ(a.grain(), 7 * 5);  // one (i,k) plane per tile by default
+  EXPECT_EQ(a.tiles(), 3);
+}
+
+// --------------------------------------------------- parallel_for/reduce
+
+TEST(ExecSpace, ThreadedVisitsEveryCellOnce) {
+  Range3 r{Range{1, 17}, Range{1, 6}, Range{1, 5}};
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(r.size()));
+  exec::ThreadedSpace thr(4);
+  LaunchParams lp;
+  lp.grain = 7;  // ragged tiles
+  thr.parallel_for(r, lp, [&](int i, int k, int j) {
+    const std::int64_t flat =
+        (static_cast<std::int64_t>(j - 1) * 6 + (k - 1)) * 17 + (i - 1);
+    seen[static_cast<std::size_t>(flat)].fetch_add(1);
+  });
+  for (const auto& v : seen) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ExecSpace, ThreadedExceptionPropagatesOutOfParallelFor) {
+  exec::ThreadedSpace thr(4);
+  Range3 r{Range{1, 32}, Range{1, 8}, Range{1, 8}};
+  LaunchParams lp;
+  lp.grain = 8;
+  EXPECT_THROW(
+      thr.parallel_for(r, lp,
+                       [&](int i, int, int) {
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The space stays usable after a failed dispatch.
+  std::atomic<int> n{0};
+  thr.parallel_for(r, lp, [&](int, int, int) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), r.size());
+}
+
+struct DoubleSum {
+  double v = 0.0;
+  std::uint64_t n = 0;
+  void merge(const DoubleSum& o) {
+    v += o.v;
+    n += o.n;
+  }
+};
+
+TEST(ExecSpace, ReductionBitwiseIdenticalAcrossExecutors) {
+  // Floating-point sums are association-sensitive; the exec layer pins
+  // the association (per-tile, merged in tile order), so every executor
+  // must produce bitwise-identical doubles.
+  Range3 r{Range{1, 40}, Range{1, 12}, Range{1, 9}};
+  LaunchParams lp;
+  auto body = [](DoubleSum& s, int i, int k, int j) {
+    s.v += std::sin(0.1 * i) * std::cos(0.2 * k) + 1e-7 * j;
+    ++s.n;
+  };
+  exec::SerialSpace ser;
+  exec::ThreadedSpace t2(2), t5(5);
+  const DoubleSum a = ser.parallel_reduce<DoubleSum>(r, lp, body);
+  const DoubleSum b = t2.parallel_reduce<DoubleSum>(r, lp, body);
+  const DoubleSum c = t5.parallel_reduce<DoubleSum>(r, lp, body);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.n, c.n);
+  // Bitwise, not approximate.
+  EXPECT_EQ(std::memcmp(&a.v, &b.v, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.v, &c.v, sizeof(double)), 0);
+}
+
+TEST(ExecSpace, FlatDispatchCoversRange) {
+  exec::ThreadedSpace thr(3);
+  LaunchParams lp;
+  std::vector<std::atomic<int>> seen(1000);
+  thr.parallel_for_flat(1000, lp,
+                        [&](std::int64_t f) { seen[static_cast<std::size_t>(f)].fetch_add(1); });
+  for (const auto& v : seen) EXPECT_EQ(v.load(), 1);
+  int calls = 0;
+  thr.parallel_for_flat(0, lp, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+// --------------------------------------------------------- DeviceSpace
+
+TEST(DeviceSpace, FunctionalExecutionPlusModeledLaunch) {
+  gpu::Device dev(gpu::DeviceSpec::test_device());
+  exec::DeviceSpace space(dev);
+  Range3 r{Range{1, 16}, Range{1, 4}, Range{1, 4}};
+  LaunchParams lp;
+  lp.name = "exec_test_kernel";
+  lp.flops_per_iter = 10.0;
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(r.size()));
+  space.parallel_for(r, lp, [&](int i, int k, int j) {
+    const std::int64_t flat =
+        (static_cast<std::int64_t>(j - 1) * 4 + (k - 1)) * 16 + (i - 1);
+    seen[static_cast<std::size_t>(flat)].fetch_add(1);
+  });
+  for (const auto& v : seen) EXPECT_EQ(v.load(), 1);
+  // The dispatch was recorded as a kernel launch with the right geometry.
+  ASSERT_EQ(dev.launches().size(), 1u);
+  EXPECT_EQ(dev.launches()[0].name, "exec_test_kernel");
+  EXPECT_EQ(dev.launches()[0].iterations, r.size());
+  EXPECT_GT(space.kernel_ms(), 0.0);
+  EXPECT_EQ(space.dispatches(), 1u);
+  // Transfer accounting wraps map_to/map_from.
+  const double ms = space.copy_to_device(1 << 20);
+  EXPECT_GT(ms, 0.0);
+  EXPECT_EQ(dev.transfers().h2d_bytes, 1u << 20);
+}
+
+// ------------------------------------------------------------- knob
+
+TEST(ExecConfig, ParseAndDescribe) {
+  EXPECT_EQ(ExecConfig::parse("serial").kind, ExecKind::kSerial);
+  EXPECT_EQ(ExecConfig::parse("device").kind, ExecKind::kDevice);
+  const ExecConfig t = ExecConfig::parse("threads");
+  EXPECT_EQ(t.kind, ExecKind::kThreads);
+  EXPECT_EQ(t.nthreads, 0);
+  const ExecConfig t8 = ExecConfig::parse("threads:8");
+  EXPECT_EQ(t8.kind, ExecKind::kThreads);
+  EXPECT_EQ(t8.nthreads, 8);
+  EXPECT_EQ(t8.describe(), "threads:8");
+  EXPECT_THROW(ExecConfig::parse("threads:0"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("threads:abc"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("threads:8x"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("gpu"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse(""), ConfigError);
+}
+
+TEST(ExecConfig, MakeSpace) {
+  EXPECT_STREQ(exec::make_space(ExecConfig{})->name(), "serial");
+  ExecConfig t;
+  t.kind = ExecKind::kThreads;
+  t.nthreads = 3;
+  auto thr = exec::make_space(t);
+  EXPECT_STREQ(thr->name(), "threads");
+  EXPECT_EQ(thr->concurrency(), 3);
+  ExecConfig d;
+  d.kind = ExecKind::kDevice;
+  EXPECT_THROW(exec::make_space(d), ConfigError);
+  gpu::Device dev(gpu::DeviceSpec::test_device());
+  EXPECT_STREQ(exec::make_space(d, &dev)->name(), "device");
+}
+
+// ------------------------------------- FSBM serial vs threaded step()
+
+model::RunConfig exec_case(fsbm::Version v, const ExecConfig& e) {
+  model::RunConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 12;
+  cfg.nz = 8;
+  cfg.nkr = 33;
+  cfg.nsteps = 2;
+  cfg.version = v;
+  cfg.exec = e;
+  return cfg;
+}
+
+void expect_same_physics(const model::RunResult& a, const model::RunResult& b,
+                         const char* label) {
+  SCOPED_TRACE(label);
+  const fsbm::FsbmStats& fa = a.totals.fsbm;
+  const fsbm::FsbmStats& fb = b.totals.fsbm;
+  // Integer physics counters: identical.
+  EXPECT_EQ(fa.cells_active, fb.cells_active);
+  EXPECT_EQ(fa.cells_coal, fb.cells_coal);
+  EXPECT_EQ(fa.kernel_table_fills, fb.kernel_table_fills);
+  EXPECT_EQ(fa.kernel_entries, fb.kernel_entries);
+  EXPECT_EQ(fa.coal_interactions, fb.coal_interactions);
+  // Floating-point work counters and precip: bitwise (the exec layer
+  // pins the reduction association).
+  EXPECT_EQ(fa.coal_flops, fb.coal_flops);
+  EXPECT_EQ(fa.cond_flops, fb.cond_flops);
+  EXPECT_EQ(fa.nucl_flops, fb.nucl_flops);
+  EXPECT_EQ(fa.sed_flops, fb.sed_flops);
+  EXPECT_EQ(fa.surface_precip, fb.surface_precip);
+  // Full state snapshots: bitwise identical.
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+  for (std::size_t s = 0; s < a.snapshots.size(); ++s) {
+    const auto& va = a.snapshots[s].variables();
+    const auto& vb = b.snapshots[s].variables();
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t v = 0; v < va.size(); ++v) {
+      EXPECT_EQ(va[v].name, vb[v].name);
+      ASSERT_EQ(va[v].data.size(), vb[v].data.size());
+      EXPECT_EQ(std::memcmp(va[v].data.data(), vb[v].data.data(),
+                            va[v].data.size() * sizeof(float)),
+                0)
+          << va[v].name << " differs";
+    }
+  }
+}
+
+TEST(ExecFsbm, SerialVsThreadedBitwiseAcrossAllVersions) {
+  ExecConfig threads;
+  threads.kind = ExecKind::kThreads;
+  threads.nthreads = 3;
+  for (const fsbm::Version v :
+       {fsbm::Version::kV0Baseline, fsbm::Version::kV1LookupOnDemand,
+        fsbm::Version::kV2Offload2, fsbm::Version::kV3Offload3,
+        fsbm::Version::kV3NaiveCollapse3}) {
+    prof::Profiler p1, p2;
+    const model::RunResult serial =
+        model::run_single(exec_case(v, ExecConfig{}), p1);
+    const model::RunResult threaded =
+        model::run_single(exec_case(v, threads), p2);
+    expect_same_physics(serial, threaded, fsbm::version_name(v));
+  }
+}
+
+TEST(ExecFsbm, ThreadCountDoesNotChangeResults) {
+  // Determinism across thread counts, not just vs. serial: the tile cut
+  // never depends on concurrency.
+  ExecConfig t2, t7;
+  t2.kind = t7.kind = ExecKind::kThreads;
+  t2.nthreads = 2;
+  t7.nthreads = 7;
+  prof::Profiler p1, p2;
+  const auto a =
+      model::run_single(exec_case(fsbm::Version::kV1LookupOnDemand, t2), p1);
+  const auto b =
+      model::run_single(exec_case(fsbm::Version::kV1LookupOnDemand, t7), p2);
+  expect_same_physics(a, b, "threads:2 vs threads:7");
+}
+
+TEST(ExecFsbm, MultiRankThreadedMatchesSerial) {
+  // Decomposed run: per-rank exec spaces + threaded halo pack/unpack
+  // must not perturb the solution either.
+  ExecConfig threads;
+  threads.kind = ExecKind::kThreads;
+  threads.nthreads = 2;
+  model::RunConfig cs = exec_case(fsbm::Version::kV1LookupOnDemand, {});
+  cs.npx = cs.npy = 2;
+  cs.nx = 24;
+  cs.ny = 16;
+  model::RunConfig ct = cs;
+  ct.exec = threads;
+  prof::Profiler p1, p2;
+  const auto a = model::run_simulation(cs, p1);
+  const auto b = model::run_simulation(ct, p2);
+  expect_same_physics(a, b, "4 ranks serial vs threads:2");
+}
+
+}  // namespace
+}  // namespace wrf

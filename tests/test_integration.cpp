@@ -28,7 +28,13 @@ io::Snapshot run_and_merge(RunConfig cfg) {
   io::Snapshot merged;
   for (std::size_t r = 0; r < res.snapshots.size(); ++r) {
     for (const auto& v : res.snapshots[r].variables()) {
-      merged.add("r" + std::to_string(r) + "." + v.name, v.dims, v.data);
+      // Built up with += (not operator+ chains): GCC 12's -Wrestrict
+      // false-positives on `const char* + std::string&&` (PR105651).
+      std::string name = "r";
+      name += std::to_string(r);
+      name += ".";
+      name += v.name;
+      merged.add(std::move(name), v.dims, v.data);
     }
   }
   return merged;
