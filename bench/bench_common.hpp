@@ -29,10 +29,12 @@ inline void print_config_header(const char* what) {
 }
 
 /// The scaled-down CONUS case used for functional measurements.
-/// `exec` is the host-dispatch knob (serial | threads:N | device),
-/// swept by benches the same way they sweep FSBM versions.
+/// `exec` is the host-dispatch knob (serial | threads:N | device) and
+/// `halo` the exchange mode (sync | overlap), swept by benches the same
+/// way they sweep FSBM versions.
 inline model::RunConfig bench_case(fsbm::Version v, int nsteps = 2,
-                                   exec::ExecConfig exec = {}) {
+                                   exec::ExecConfig exec = {},
+                                   dyn::HaloMode halo = dyn::HaloMode::kSync) {
   model::RunConfig cfg;
   cfg.nx = 64;
   cfg.ny = 48;
@@ -42,6 +44,7 @@ inline model::RunConfig bench_case(fsbm::Version v, int nsteps = 2,
   cfg.nsteps = nsteps;
   cfg.version = v;
   cfg.exec = exec;
+  cfg.halo_mode = halo;
   return cfg;
 }
 

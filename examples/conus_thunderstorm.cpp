@@ -4,6 +4,7 @@
 // build — the Section IV / VII-B workflow as a user would run it.
 //
 // Run: ./build/conus_thunderstorm [nx ny nz nsteps] [exec=threads:N]
+//      [halo=sync|overlap]
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,11 +14,12 @@
 using namespace wrf;
 
 int main(int argc, char** argv) {
-  // Positional [nx ny nz nsteps]; an exec=... argument may sit anywhere.
+  // Positional [nx ny nz nsteps]; exec=... / halo=... may sit anywhere.
   int pos[4] = {72, 54, 30, 12};  // nsteps default: one simulated minute
   int npos = 0;
   for (int a = 1; a < argc && npos < 4; ++a) {
     if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
+    if (std::string(argv[a]).rfind("halo=", 0) == 0) continue;
     pos[npos++] = std::atoi(argv[a]);
   }
   model::RunConfig cfg;
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
   cfg.npy = 2;
   cfg.version = fsbm::Version::kV3Offload3;
   cfg.exec = exec::exec_from_args(argc, argv);
+  cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);
   cfg.validate();
 
   std::printf("CONUS-like thunderstorm\n=======================\n%s\n\n",

@@ -3,7 +3,8 @@
 // workflow would show you: the decomposition, the hotspot profile, and
 // the per-version timings.
 //
-// Build & run:   cmake --build build && ./build/quickstart [exec=threads:N]
+// Build & run:
+//   cmake --build build && ./build/quickstart [exec=threads:N] [halo=overlap]
 
 #include <cstdio>
 
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   cfg.npx = 2;
   cfg.npy = 2;
   cfg.exec = exec::exec_from_args(argc, argv);  // serial | threads:N | device
+  cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);  // sync | overlap
 
   std::printf("miniWRF-SBM quickstart\n======================\n");
   std::printf("case: %s\n\n", cfg.describe().c_str());

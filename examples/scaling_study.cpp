@@ -3,7 +3,7 @@
 // equal-resource crossover falls.  This drives the same perfmodel the
 // Table VII bench uses, but lets you vary GPUs and rank counts.
 //
-// Run: ./build/scaling_study [ngpus] [exec=threads:N]
+// Run: ./build/scaling_study [ngpus] [exec=threads:N] [halo=sync|overlap]
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   int ngpus = 16;
   for (int a = 1; a < argc; ++a) {
     if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
+    if (std::string(argv[a]).rfind("halo=", 0) == 0) continue;
     ngpus = std::atoi(argv[a]);
     break;
   }
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   cfg.nsteps = 2;
   cfg.version = fsbm::Version::kV1LookupOnDemand;
   cfg.exec = exec::exec_from_args(argc, argv);
+  cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);
   prof::Profiler prof;
   const model::RunResult res = model::run_simulation(cfg, prof);
 

@@ -1,23 +1,46 @@
 #!/usr/bin/env bash
 # Tier-1 verify as CI runs it: configure + build + ctest in a
-# Debug/Release matrix with -Wall -Wextra -Werror.
+# Debug/Release matrix with -Wall -Wextra -Werror, plus a
+# ThreadSanitizer configuration covering the concurrency layers
+# (simpi requests, exec spaces, halo overlap).
 #
-# Usage: scripts/ci.sh [Debug|Release]     (no argument = both)
+# Usage: scripts/ci.sh [Debug|Release|tsan]     (no argument = Debug+Release)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-configs=("${1:-Debug}" )
-if [ $# -eq 0 ]; then
-  configs=(Debug Release)
-fi
-
-for cfg in "${configs[@]}"; do
-  build_dir="build-ci-${cfg,,}"
+run_matrix_config() {
+  local cfg="$1"
+  local build_dir="build-ci-${cfg,,}"
   echo "=== ${cfg} ==="
   cmake -B "${build_dir}" -S . \
     -DCMAKE_BUILD_TYPE="${cfg}" \
     -DWRF_WERROR=ON
   cmake --build "${build_dir}" -j "$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
-done
+}
+
+run_tsan() {
+  # TSan build of the thread-heavy suites: the simpi request layer
+  # (test_par), the execution spaces (test_exec), and the phased halo
+  # exchange with comms/compute overlap (test_halo_overlap).
+  local build_dir="build-ci-tsan"
+  echo "=== ThreadSanitizer ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DWRF_TSAN=ON
+  cmake --build "${build_dir}" -j "$(nproc)" \
+    --target test_par test_exec test_halo_overlap
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "${build_dir}" --output-on-failure \
+      -R '^(test_par|test_exec|test_halo_overlap)$'
+}
+
+if [ $# -eq 0 ]; then
+  run_matrix_config Debug
+  run_matrix_config Release
+elif [ "${1}" = "tsan" ]; then
+  run_tsan
+else
+  run_matrix_config "${1}"
+fi

@@ -49,8 +49,9 @@ constexpr double kFlopsPerCell = 66.0;  // 2x flux5 + flux3 + divergence
 }  // namespace
 
 AdvStats rk_scalar_tend(exec::ExecSpace& ex, const grid::Patch& patch,
-                        const Field3D<float>& q, const AnalyticWinds& winds,
-                        const AdvConfig& cfg, Field3D<float>& tend) {
+                        const exec::Range3& r, const Field3D<float>& q,
+                        const AnalyticWinds& winds, const AdvConfig& cfg,
+                        Field3D<float>& tend) {
   const int klo = patch.k.lo;
   const int khi = patch.k.hi;
   exec::LaunchParams lp;
@@ -58,7 +59,7 @@ AdvStats rk_scalar_tend(exec::ExecSpace& ex, const grid::Patch& patch,
   lp.collapse = 3;
   lp.flops_per_iter = kFlopsPerCell;
   AdvStats st = ex.parallel_reduce<AdvStats>(
-      exec::Range3{patch.ip, patch.k, patch.jp}, lp,
+      r, lp,
       [&](AdvStats& pt, int i, int k, int j) {
         // --- x fluxes at i-1/2 and i+1/2 ---
         double s[6];
@@ -96,7 +97,7 @@ AdvStats rk_scalar_tend(exec::ExecSpace& ex, const grid::Patch& patch,
 }
 
 AdvStats rk_scalar_tend_bins(exec::ExecSpace& ex, const grid::Patch& patch,
-                             const Field4D<float>& q,
+                             const exec::Range3& r, const Field4D<float>& q,
                              const AnalyticWinds& winds, const AdvConfig& cfg,
                              Field4D<float>& tend) {
   const int n = q.n();
@@ -107,7 +108,7 @@ AdvStats rk_scalar_tend_bins(exec::ExecSpace& ex, const grid::Patch& patch,
   lp.collapse = 3;
   lp.flops_per_iter = kFlopsPerCell;
   AdvStats st = ex.parallel_reduce<AdvStats>(
-      exec::Range3{patch.ip, patch.k, patch.jp}, lp,
+      r, lp,
       [&](AdvStats& pt, int i, int k, int j) {
         const double uu = winds.u(i, k, j);
         const double vv = winds.v(i, k, j);

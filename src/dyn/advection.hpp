@@ -47,6 +47,12 @@ struct AdvConfig {
   double dz = 400.0;
 };
 
+/// Horizontal half-width of the widest advection stencil (5th-order
+/// upwind reads i±3 / j±3).  This fixes both the patch halo width and
+/// the shell depth of the comms/compute-overlap split: cells at least
+/// this far inside the computational range never read a halo cell.
+constexpr int kStencilWidth = 3;
+
 /// Work counters for the perf model.
 struct AdvStats {
   std::uint64_t cells = 0;
@@ -59,13 +65,25 @@ struct AdvStats {
   }
 };
 
-/// Advective tendency of one 3-D scalar over the patch computational
-/// range: tend = -div(V q), 5th-order horizontal / 3rd-order vertical
-/// upwind fluxes.  `q` must have valid halos.  Cells write only their own
-/// tendency, so the nest dispatches through any execution space.
+/// Advective tendency of one 3-D scalar over a sub-range `r` of the
+/// patch computational range: tend = -div(V q), 5th-order horizontal /
+/// 3rd-order vertical upwind fluxes.  `q` must have valid halos within
+/// `kStencilWidth` of `r` (interior sub-ranges tolerate stale halos).
+/// Cells write only their own tendency, so the nest dispatches through
+/// any execution space.
 AdvStats rk_scalar_tend(exec::ExecSpace& ex, const grid::Patch& patch,
-                        const Field3D<float>& q, const AnalyticWinds& winds,
-                        const AdvConfig& cfg, Field3D<float>& tend);
+                        const exec::Range3& r, const Field3D<float>& q,
+                        const AnalyticWinds& winds, const AdvConfig& cfg,
+                        Field3D<float>& tend);
+
+/// Full computational range.
+inline AdvStats rk_scalar_tend(exec::ExecSpace& ex, const grid::Patch& patch,
+                               const Field3D<float>& q,
+                               const AnalyticWinds& winds,
+                               const AdvConfig& cfg, Field3D<float>& tend) {
+  return rk_scalar_tend(ex, patch, exec::Range3{patch.ip, patch.k, patch.jp},
+                        q, winds, cfg, tend);
+}
 inline AdvStats rk_scalar_tend(const grid::Patch& patch,
                                const Field3D<float>& q,
                                const AnalyticWinds& winds,
@@ -75,11 +93,21 @@ inline AdvStats rk_scalar_tend(const grid::Patch& patch,
 
 /// Same tendency for every bin of a 4-D distribution (bin-fastest);
 /// the inner bin loop amortizes stencil index math as WRF's chem loop
-/// does.
+/// does.  Sub-range variant first, full-range wrappers below.
 AdvStats rk_scalar_tend_bins(exec::ExecSpace& ex, const grid::Patch& patch,
-                             const Field4D<float>& q,
+                             const exec::Range3& r, const Field4D<float>& q,
                              const AnalyticWinds& winds, const AdvConfig& cfg,
                              Field4D<float>& tend);
+inline AdvStats rk_scalar_tend_bins(exec::ExecSpace& ex,
+                                    const grid::Patch& patch,
+                                    const Field4D<float>& q,
+                                    const AnalyticWinds& winds,
+                                    const AdvConfig& cfg,
+                                    Field4D<float>& tend) {
+  return rk_scalar_tend_bins(ex, patch,
+                             exec::Range3{patch.ip, patch.k, patch.jp}, q,
+                             winds, cfg, tend);
+}
 inline AdvStats rk_scalar_tend_bins(const grid::Patch& patch,
                                     const Field4D<float>& q,
                                     const AnalyticWinds& winds,

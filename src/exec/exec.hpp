@@ -22,6 +22,7 @@
 // reductions for the same (range, grain), which is what the
 // serial-vs-threaded determinism tests assert.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -74,6 +75,38 @@ struct Range3 {
   /// lanes do.
   std::int64_t plane() const noexcept {
     return static_cast<std::int64_t>(i.size()) * k.size();
+  }
+
+  /// The sub-range at least `depth` cells inside the i/j faces (k is
+  /// never decomposed, so it is untouched).  With halos refreshed only
+  /// at range edges, interior cells of a `depth`-wide-stencil nest are
+  /// safe to compute with *stale* halos — the comms/compute overlap
+  /// contract.  Empty when the range is thinner than 2*depth.
+  Range3 interior(int depth) const noexcept {
+    return Range3{Range{i.lo + depth, i.hi - depth}, k,
+                  Range{j.lo + depth, j.hi - depth}};
+  }
+
+  /// Partition of `*this` minus `interior(depth)` into at most four
+  /// disjoint pieces, in the fixed order {south, north, west, east}
+  /// (j-strips first, then i-strips spanning only interior j rows).
+  /// Pieces may be empty; their union with `interior(depth)` is exactly
+  /// `*this`.  The cut and its order are a pure function of the range,
+  /// which is what keeps overlap execution bitwise identical to sync.
+  std::array<Range3, 4> shell(int depth) const noexcept {
+    const int jlo_s = j.lo, jhi_s = j.lo + depth - 1 < j.hi
+                                         ? j.lo + depth - 1
+                                         : j.hi;
+    int jlo_n = j.hi - depth + 1;
+    if (jlo_n < j.lo + depth) jlo_n = j.lo + depth;  // never dip into south
+    const Range j_mid{j.lo + depth, j.hi - depth};
+    const int ihi_w = i.lo + depth - 1 < i.hi ? i.lo + depth - 1 : i.hi;
+    int ilo_e = i.hi - depth + 1;
+    if (ilo_e < i.lo + depth) ilo_e = i.lo + depth;  // never dip into west
+    return {Range3{i, k, Range{jlo_s, jhi_s}},
+            Range3{i, k, Range{jlo_n, j.hi}},
+            Range3{Range{i.lo, ihi_w}, k, j_mid},
+            Range3{Range{ilo_e, i.hi}, k, j_mid}};
   }
 };
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "dyn/rk3.hpp"
 #include "exec/exec.hpp"
 #include "fsbm/fast_sbm.hpp"
 #include "gpu/device.hpp"
@@ -38,6 +39,13 @@ struct RunConfig {
   /// whatever stays on the host (physics for v0/v1, sedimentation,
   /// advection, halo pack/unpack).  Parse with exec::ExecConfig::parse.
   exec::ExecConfig exec;
+
+  /// The `halo=` knob: sync posts and completes each stage's exchange
+  /// before any tendency; overlap computes interior tiles between the
+  /// HaloExchange begin/finish phases (bitwise-identical results —
+  /// asserted in tests/test_halo_overlap.cpp).  Parse with
+  /// dyn::parse_halo_mode / dyn::halo_mode_from_args.
+  dyn::HaloMode halo_mode = dyn::HaloMode::kSync;
 
   // Decomposition.
   int npx = 2;

@@ -31,15 +31,19 @@ void RunConfig::validate() const {
   if (exec.kind == exec::ExecKind::kThreads && exec.nthreads < 0) {
     throw ConfigError("RunConfig: exec thread count must be >= 0");
   }
+  if (halo < dyn::kStencilWidth) {
+    throw ConfigError("RunConfig: halo narrower than the advection stencil");
+  }
 }
 
 std::string RunConfig::describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "grid %dx%dx%d dx=%.0fm dt=%.1fs nkr=%d ranks=%dx%d "
-                "version=%s exec=%s ngpus=%d",
+                "version=%s exec=%s halo=%s ngpus=%d",
                 nx, ny, nz, dx, dt, nkr, npx, npy,
-                fsbm::version_name(version), exec.describe().c_str(), ngpus);
+                fsbm::version_name(version), exec.describe().c_str(),
+                dyn::halo_mode_name(halo_mode), ngpus);
   return buf;
 }
 
@@ -65,7 +69,12 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
   adv.dy = config_.dx;
   adv.dz = config_.dz;
   rk3_ = std::make_unique<dyn::Rk3>(patch_, config_.nkr, adv, config_.dt,
-                                    exec_space_.get());
+                                    exec_space_.get(), config_.halo_mode);
+  // The rank's halo plan: registration order defines the tag schedule,
+  // so every rank registers qv then the bin fields, identically.
+  halo_ = std::make_unique<HaloExchange>(patch_, exec_space_.get());
+  halo_->add(&state_.qv);
+  for (auto& f : state_.ff) halo_->add_bins(&f);
   winds_.domain = config_.domain();
   winds_.dx = config_.dx;
   winds_.dz = config_.dz;
@@ -76,36 +85,48 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
 
 void RankModel::init() { init_case_conus(config_, state_); }
 
-void RankModel::halo_fill(fsbm::MicroState& s, double* wall_acc,
-                          std::uint64_t* bytes_acc) {
+void RankModel::halo_begin(fsbm::MicroState& s, StepStats* st) {
   const auto t0 = Clock::now();
   if (ctx_ != nullptr && ctx_->size() > 1) {
-    const std::uint64_t bytes_before = ctx_->stats().bytes_sent;
-    int seq = halo_seq_;
-    exchange_halo(*ctx_, patch_, s.qv, seq++, exec_space_.get());
-    for (auto& f : s.ff) {
-      exchange_halo_bins(*ctx_, patch_, f, seq++, exec_space_.get());
+    if (&s != &state_) {
+      throw Error("RankModel: halo plan is bound to this rank's state");
     }
-    halo_seq_ = seq;
-    *bytes_acc += ctx_->stats().bytes_sent - bytes_before;
+    const std::uint64_t bytes_before = ctx_->stats().bytes_sent;
+    halo_->begin(*ctx_);  // whole field set posted; sends happen here
+    st->halo_bytes += ctx_->stats().bytes_sent - bytes_before;
   }
-  // Domain-edge boundary conditions (zero-gradient).
+  st->halo_wall_sec += seconds_since(t0);
+}
+
+void RankModel::halo_finish(fsbm::MicroState& s, StepStats* st) {
+  const auto t0 = Clock::now();
+  if (ctx_ != nullptr && ctx_->size() > 1) {
+    halo_->finish(*ctx_);
+  }
+  // Domain-edge boundary conditions (zero-gradient).  After the unpack:
+  // the west/east fills read corner rows delivered by the exchange.
   dyn::fill_domain_boundaries(patch_, s.qv);
   for (auto& f : s.ff) dyn::fill_domain_boundaries_bins(patch_, f);
-  *wall_acc += seconds_since(t0);
+  st->halo_wall_sec += seconds_since(t0);
 }
+
+/// Adapter handing RankModel's phased halo refresh to dyn::Rk3, with the
+/// per-step stats threaded through.
+struct RankHaloPhases final : dyn::HaloPhases {
+  RankModel* model;
+  StepStats* st;
+  RankHaloPhases(RankModel* m, StepStats* s) : model(m), st(s) {}
+  void begin(fsbm::MicroState& s) override { model->halo_begin(s, st); }
+  void finish(fsbm::MicroState& s) override { model->halo_finish(s, st); }
+};
 
 StepStats RankModel::step(prof::Profiler& prof) {
   StepStats st;
   const auto t0 = Clock::now();
   {
     prof::ScopedRange r(prof, "solve_interval");
-    st.dyn = rk3_->step(
-        state_, winds_,
-        [this, &st](fsbm::MicroState& s) {
-          halo_fill(s, &st.halo_wall_sec, &st.halo_bytes);
-        },
-        prof);
+    RankHaloPhases phases(this, &st);
+    st.dyn = rk3_->step(state_, winds_, phases, prof);
     st.fsbm = fsbm_->step(state_, prof);
   }
   st.wall_sec = seconds_since(t0);

@@ -13,6 +13,7 @@
 #include "io/snapshot.hpp"
 #include "model/case_conus.hpp"
 #include "model/config.hpp"
+#include "model/halo.hpp"
 #include "par/simpi.hpp"
 #include "prof/prof.hpp"
 
@@ -64,8 +65,13 @@ class RankModel {
   io::Snapshot snapshot() const;
 
  private:
-  void halo_fill(fsbm::MicroState& s, double* wall_acc,
-                 std::uint64_t* bytes_acc);
+  friend struct RankHaloPhases;  // the dyn::HaloPhases adapter (driver.cpp)
+
+  /// Phase 1 of the per-stage halo refresh: pack + post the whole field
+  /// set through the HaloExchange plan (nothing waited on).
+  void halo_begin(fsbm::MicroState& s, StepStats* st);
+  /// Phase 2: wait + unpack, then domain-edge boundary fill.
+  void halo_finish(fsbm::MicroState& s, StepStats* st);
 
   RunConfig config_;
   grid::Patch patch_;
@@ -77,8 +83,10 @@ class RankModel {
   std::unique_ptr<exec::ExecSpace> exec_space_;
   std::unique_ptr<fsbm::FastSbm> fsbm_;
   std::unique_ptr<dyn::Rk3> rk3_;
+  /// The rank's halo plan: qv + every bin field, one round per RK3
+  /// stage, tags a pure function of (round, field, side).
+  std::unique_ptr<HaloExchange> halo_;
   dyn::AnalyticWinds winds_;
-  int halo_seq_ = 0;
 };
 
 /// Result of a complete multi-rank run.

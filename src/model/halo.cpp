@@ -8,6 +8,9 @@ namespace {
 
 constexpr int kSides = 4;
 
+/// Legacy single-field tag: (sequence, side), used only by the blocking
+/// convenience functions below (disjoint from HaloExchange tags only
+/// within one test's traffic — don't mix the two on one RankCtx).
 int tag_for(int seq, Side s) { return seq * kSides + static_cast<int>(s); }
 
 /// The (i, k, j) iteration space of one halo strip, in buffer order.
@@ -79,43 +82,147 @@ void unpack_bins(exec::ExecSpace& ex, Field4D<float>& q,
 
 }  // namespace
 
+// ------------------------------------------------------------ HaloExchange
+
+HaloExchange::HaloExchange(const grid::Patch& patch, exec::ExecSpace* ex)
+    : patch_(patch), ex_(ex) {}
+
+void HaloExchange::add(Field3D<float>* q) {
+  if (q == nullptr) throw Error("HaloExchange::add: null field");
+  if (fields() >= kMaxFields) throw Error("HaloExchange: too many fields");
+  entries_.push_back(Entry{q, nullptr});
+  for (int s = 0; s < kSides; ++s) {
+    if (patch_.neighbor[s] < 0) continue;
+    bytes_per_round_ +=
+        static_cast<std::uint64_t>(
+            patch_.send_rect(static_cast<Side>(s)).cells(patch_.k.size())) *
+        sizeof(float);
+  }
+}
+
+void HaloExchange::add_bins(Field4D<float>* q) {
+  if (q == nullptr) throw Error("HaloExchange::add_bins: null field");
+  if (fields() >= kMaxFields) throw Error("HaloExchange: too many fields");
+  entries_.push_back(Entry{nullptr, q});
+  for (int s = 0; s < kSides; ++s) {
+    if (patch_.neighbor[s] < 0) continue;
+    bytes_per_round_ +=
+        static_cast<std::uint64_t>(
+            patch_.send_rect(static_cast<Side>(s)).cells(patch_.k.size())) *
+        q->n() * sizeof(float);
+  }
+}
+
+void HaloExchange::begin(par::RankCtx& ctx) {
+  if (in_flight_) {
+    throw Error("HaloExchange::begin: previous round not finished");
+  }
+  in_flight_ = true;
+  exec::ExecSpace& space = ex_ != nullptr ? *ex_ : exec::serial();
+  // All sends first (eager-buffered: posting order is deadlock-free),
+  // field-major so every rank walks the same (field, side) schedule.
+  for (int f = 0; f < fields(); ++f) {
+    const Entry& e = entries_[static_cast<std::size_t>(f)];
+    for (int s = 0; s < kSides; ++s) {
+      const auto side = static_cast<Side>(s);
+      const int nbr = patch_.neighbor[s];
+      if (nbr < 0) continue;
+      const grid::HaloRect rect = patch_.send_rect(side);
+      ctx.isend(nbr, tag(round_, f, side),
+                e.f3 != nullptr ? pack(space, *e.f3, patch_, rect)
+                                : pack_bins(space, *e.f4, patch_, rect));
+    }
+  }
+  // Then every receive of the round, none waited on: the whole round is
+  // in flight before any unpack.
+  for (int f = 0; f < fields(); ++f) {
+    for (int s = 0; s < kSides; ++s) {
+      const auto side = static_cast<Side>(s);
+      const int nbr = patch_.neighbor[s];
+      if (nbr < 0) continue;
+      // The neighbor tagged its message with the side *it* sent on.
+      PostedRecv pr;
+      pr.req = ctx.irecv(nbr, tag(round_, f, grid::opposite(side)));
+      pr.field = f;
+      pr.side = side;
+      recvs_.push_back(pr);
+    }
+  }
+}
+
+void HaloExchange::finish(par::RankCtx& /*ctx*/) {
+  if (!in_flight_) {
+    throw Error("HaloExchange::finish: no round in flight");
+  }
+  exec::ExecSpace& space = ex_ != nullptr ? *ex_ : exec::serial();
+  // Drain in posting order (this is where overlap shows up as reduced
+  // wait_sec); unpack rectangles are disjoint, order deterministic.
+  for (auto& pr : recvs_) {
+    const std::vector<float> buf = pr.req.wait();
+    const Entry& e = entries_[static_cast<std::size_t>(pr.field)];
+    const grid::HaloRect rect = patch_.recv_rect(pr.side);
+    if (e.f3 != nullptr) {
+      unpack(space, *e.f3, patch_, rect, buf);
+    } else {
+      unpack_bins(space, *e.f4, patch_, rect, buf);
+    }
+  }
+  recvs_.clear();
+  ++round_;
+  in_flight_ = false;
+}
+
+// ------------------------------------------- single-field conveniences
+
 void exchange_halo(par::RankCtx& ctx, const grid::Patch& patch,
                    Field3D<float>& q, int seq, exec::ExecSpace* ex) {
   exec::ExecSpace& space = ex != nullptr ? *ex : exec::serial();
-  // Post all sends first (buffered), then receive: no ordering deadlock.
+  // Post all sends and receives first (nonblocking), then drain: the
+  // one-field version of the HaloExchange round.
+  std::vector<par::Request> reqs;
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
     const int nbr = patch.neighbor[s];
     if (nbr < 0) continue;
-    ctx.send(nbr, tag_for(seq, side),
-             pack(space, q, patch, patch.send_rect(side)));
+    ctx.isend(nbr, tag_for(seq, side),
+              pack(space, q, patch, patch.send_rect(side)));
   }
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
     const int nbr = patch.neighbor[s];
     if (nbr < 0) continue;
-    // The neighbor tagged its message with the side *it* sent on.
-    const auto buf = ctx.recv(nbr, tag_for(seq, grid::opposite(side)));
-    unpack(space, q, patch, patch.recv_rect(side), buf);
+    reqs.push_back(ctx.irecv(nbr, tag_for(seq, grid::opposite(side))));
+  }
+  std::size_t r = 0;
+  for (int s = 0; s < kSides; ++s) {
+    const auto side = static_cast<Side>(s);
+    if (patch.neighbor[s] < 0) continue;
+    unpack(space, q, patch, patch.recv_rect(side), reqs[r++].wait());
   }
 }
 
 void exchange_halo_bins(par::RankCtx& ctx, const grid::Patch& patch,
                         Field4D<float>& q, int seq, exec::ExecSpace* ex) {
   exec::ExecSpace& space = ex != nullptr ? *ex : exec::serial();
+  std::vector<par::Request> reqs;
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
     const int nbr = patch.neighbor[s];
     if (nbr < 0) continue;
-    ctx.send(nbr, tag_for(seq, side),
-             pack_bins(space, q, patch, patch.send_rect(side)));
+    ctx.isend(nbr, tag_for(seq, side),
+              pack_bins(space, q, patch, patch.send_rect(side)));
   }
   for (int s = 0; s < kSides; ++s) {
     const auto side = static_cast<Side>(s);
     const int nbr = patch.neighbor[s];
     if (nbr < 0) continue;
-    const auto buf = ctx.recv(nbr, tag_for(seq, grid::opposite(side)));
-    unpack_bins(space, q, patch, patch.recv_rect(side), buf);
+    reqs.push_back(ctx.irecv(nbr, tag_for(seq, grid::opposite(side))));
+  }
+  std::size_t r = 0;
+  for (int s = 0; s < kSides; ++s) {
+    const auto side = static_cast<Side>(s);
+    if (patch.neighbor[s] < 0) continue;
+    unpack_bins(space, q, patch, patch.recv_rect(side), reqs[r++].wait());
   }
 }
 

@@ -2,12 +2,26 @@
 // Halo exchange between neighboring patches over simpi.
 //
 // WRF's HALO_* registry generates pack/exchange/unpack code per field
-// set; here the same job is done generically for Field3D/Field4D.  The
-// protocol is deadlock-free with simpi's buffered sends: every rank
-// first posts all its sends, then receives from each interior neighbor.
-// Message tags encode (sequence, side) so multiple fields can be
-// exchanged back-to-back.
+// set; here the same job is done generically for Field3D/Field4D by a
+// `HaloExchange` plan object built once per rank from the patch and the
+// registered field set.  One exchange round is two phases:
+//
+//   begin()  — pack every field's send strips (via ExecSpace) and post
+//              all isends and irecvs for the round: qv and every bin
+//              field in one round, nothing waited on;
+//   finish() — wait_all on the receives and unpack.
+//
+// Between the two phases the caller may compute on interior cells (the
+// comms/compute overlap of dyn::Rk3 under halo=overlap); calling them
+// back to back is the classic blocking exchange.  The protocol is
+// deadlock-free with simpi's buffered sends, and message tags are a
+// pure function of (round, field, side) — bounded, with no per-step
+// "sequence counter" growth — so rounds may proceed without a barrier:
+// simpi's non-overtaking rule keeps same-tag messages from consecutive
+// rounds ordered, and the round parity in the tag keeps the tag space
+// finite.
 
+#include <cstdint>
 #include <vector>
 
 #include "exec/exec.hpp"
@@ -17,15 +31,73 @@
 
 namespace wrf::model {
 
-/// Exchange one 3-D field's halos with all interior neighbors.
-/// `seq` must be unique per field within one exchange round.  Pack and
-/// unpack loops dispatch through `ex` (nullptr = serial); every buffer
-/// slot is written by exactly one cell, so any execution space is safe.
+/// Per-rank halo-exchange plan for a fixed field set.
+class HaloExchange {
+ public:
+  /// Pack/unpack loops dispatch through `ex` (nullptr = serial); every
+  /// buffer slot is written by exactly one cell, so any execution space
+  /// is safe.
+  explicit HaloExchange(const grid::Patch& patch,
+                        exec::ExecSpace* ex = nullptr);
+
+  /// Register fields.  Registration order defines the field index used
+  /// in tags, so every rank must register the same set in the same
+  /// order.  Pointers must stay valid for the plan's lifetime.
+  void add(Field3D<float>* q);
+  void add_bins(Field4D<float>* q);
+
+  int fields() const noexcept { return static_cast<int>(entries_.size()); }
+
+  /// Phase 1: pack and post all isends, then post all irecvs, for every
+  /// registered field — one round, nothing blocking.
+  void begin(par::RankCtx& ctx);
+
+  /// Phase 2: wait for all receives of the round and unpack them.
+  void finish(par::RankCtx& ctx);
+
+  bool in_flight() const noexcept { return in_flight_; }
+  int rounds() const noexcept { return round_; }
+
+  /// Bytes this rank sends in one begin() (interior sides only).
+  std::uint64_t bytes_per_round() const noexcept { return bytes_per_round_; }
+
+  /// Message tag for (round, field, side): bounded and bijective over
+  /// the in-flight window (at most two rounds can coexist, so round
+  /// parity suffices to keep consecutive rounds' tags distinct).
+  static int tag(int round, int field, grid::Side side) noexcept {
+    return ((round & 1) * kMaxFields + field) * 4 + static_cast<int>(side);
+  }
+  static constexpr int kMaxFields = 64;
+
+ private:
+  struct Entry {
+    Field3D<float>* f3 = nullptr;
+    Field4D<float>* f4 = nullptr;
+  };
+  struct PostedRecv {
+    par::Request req;
+    int field = 0;
+    grid::Side side = grid::Side::kWest;  ///< side we receive on
+  };
+
+  grid::Patch patch_;
+  exec::ExecSpace* ex_;
+  std::vector<Entry> entries_;
+  std::vector<PostedRecv> recvs_;  ///< the round's receives, posting order
+  std::uint64_t bytes_per_round_ = 0;
+  int round_ = 0;
+  bool in_flight_ = false;
+};
+
+/// Exchange one 3-D field's halos with all interior neighbors,
+/// blocking.  `seq` must be unique per field within one exchange round.
+/// Single-field convenience kept for tests; the model driver exchanges
+/// its whole field set through a HaloExchange plan.
 void exchange_halo(par::RankCtx& ctx, const grid::Patch& patch,
                    Field3D<float>& q, int seq,
                    exec::ExecSpace* ex = nullptr);
 
-/// Exchange one 4-D (bin) field's halos.
+/// Exchange one 4-D (bin) field's halos, blocking.
 void exchange_halo_bins(par::RankCtx& ctx, const grid::Patch& patch,
                         Field4D<float>& q, int seq,
                         exec::ExecSpace* ex = nullptr);

@@ -1,5 +1,7 @@
 #include "par/simpi.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <thread>
@@ -7,15 +9,39 @@
 namespace wrf::par {
 
 namespace {
+
 struct Message {
   int source = 0;
   int tag = 0;
   std::vector<float> data;
 };
+
+/// Thrown into ranks woken from a blocking call after another rank
+/// failed.  run() discards these in favor of the original exception.
+struct AbortError : Error {
+  AbortError() : Error("simpi: aborted because a peer rank failed") {}
+};
+
+using Clock = std::chrono::steady_clock;
+
 }  // namespace
 
+/// One posted nonblocking operation.  Guarded by the owning rank's
+/// mailbox mutex: the owner polls/waits under it, and a sender may
+/// complete a pending receive under it (direct delivery).
+struct RequestState {
+  bool is_recv = false;
+  bool complete = false;
+  bool counted = false;  ///< recv stats recorded by the owner's thread
+  int peer = -1;
+  int tag = 0;
+  std::vector<float> data;
+};
+
 /// Shared state for one simpi run.  Mailboxes are per destination rank;
-/// matching is by (source, tag) FIFO, like MPI with a single communicator.
+/// matching is by (source, tag) FIFO, like MPI with a single
+/// communicator: messages match in send order, posted receives in
+/// posting order.
 class Comm {
  public:
   explicit Comm(int nranks)
@@ -23,55 +49,101 @@ class Comm {
 
   int size() const noexcept { return nranks_; }
 
-  void send(int src, int dest, int tag, const std::vector<float>& data) {
+  void isend(int src, int dest, int tag, std::vector<float> data) {
     if (dest < 0 || dest >= nranks_) {
       throw Error("simpi send: destination rank " + std::to_string(dest) +
                   " out of range");
     }
+    const std::uint64_t bytes = data.size() * sizeof(float);
+    Box& box = mailbox_[static_cast<std::size_t>(dest)];
     {
-      std::lock_guard<std::mutex> lk(mailbox_[dest].mu);
-      mailbox_[dest].queue.push_back(Message{src, tag, data});
+      std::lock_guard<std::mutex> lk(box.mu);
+      // Direct delivery into the oldest matching posted receive, else
+      // enqueue for a future irecv to claim.
+      bool delivered = false;
+      for (auto it = box.pending.begin(); it != box.pending.end(); ++it) {
+        RequestState& st = **it;
+        if (!st.complete && st.peer == src && st.tag == tag) {
+          st.data = std::move(data);
+          st.complete = true;
+          box.pending.erase(it);
+          delivered = true;
+          break;
+        }
+      }
+      if (!delivered) box.queue.push_back(Message{src, tag, std::move(data)});
     }
-    mailbox_[dest].cv.notify_all();
-    auto& st = stats_[src];
+    box.cv.notify_all();
+    auto& st = stats_[static_cast<std::size_t>(src)];
     st.messages_sent += 1;
-    st.bytes_sent += data.size() * sizeof(float);
+    st.bytes_sent += bytes;
   }
 
-  std::vector<float> recv(int me, int source, int tag) {
+  std::shared_ptr<RequestState> post_irecv(int me, int source, int tag) {
     if (source < 0 || source >= nranks_) {
       throw Error("simpi recv: source rank " + std::to_string(source) +
                   " out of range");
     }
-    Box& box = mailbox_[me];
-    std::unique_lock<std::mutex> lk(box.mu);
-    for (;;) {
-      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-        if (it->source == source && it->tag == tag) {
-          std::vector<float> out = std::move(it->data);
-          box.queue.erase(it);
-          return out;
-        }
+    auto state = std::make_shared<RequestState>();
+    state->is_recv = true;
+    state->peer = source;
+    state->tag = tag;
+    Box& box = mailbox_[static_cast<std::size_t>(me)];
+    std::lock_guard<std::mutex> lk(box.mu);
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        state->data = std::move(it->data);
+        state->complete = true;
+        box.queue.erase(it);
+        return state;
       }
-      box.cv.wait(lk);
     }
+    box.pending.push_back(state);
+    return state;
+  }
+
+  bool request_test(int owner, RequestState& st) {
+    if (!st.is_recv) return true;  // eager sends complete at post time
+    Box& box = mailbox_[static_cast<std::size_t>(owner)];
+    std::lock_guard<std::mutex> lk(box.mu);
+    if (st.complete) count_recv(owner, st);
+    return st.complete;
+  }
+
+  /// Block until `st` completes; accumulates the blocked time into the
+  /// owner's wait_sec.  Throws AbortError if the run is aborted first.
+  void request_wait(int owner, RequestState& st) {
+    if (!st.is_recv) return;
+    Box& box = mailbox_[static_cast<std::size_t>(owner)];
+    std::unique_lock<std::mutex> lk(box.mu);
+    if (!st.complete) {
+      const auto t0 = Clock::now();
+      box.cv.wait(lk, [&] { return st.complete || aborted_; });
+      stats_[static_cast<std::size_t>(owner)].wait_sec +=
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (!st.complete) throw AbortError();
+    }
+    count_recv(owner, st);
   }
 
   void barrier(int me) {
     std::unique_lock<std::mutex> lk(coll_mu_);
+    if (aborted_) throw AbortError();
     const std::uint64_t gen = barrier_gen_;
     if (++barrier_count_ == nranks_) {
       barrier_count_ = 0;
       ++barrier_gen_;
       coll_cv_.notify_all();
     } else {
-      coll_cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+      coll_cv_.wait(lk, [&] { return barrier_gen_ != gen || aborted_; });
+      if (barrier_gen_ == gen) throw AbortError();
     }
-    stats_[me].barriers += 1;
+    stats_[static_cast<std::size_t>(me)].barriers += 1;
   }
 
   double allreduce(int me, double v, bool is_max) {
     std::unique_lock<std::mutex> lk(coll_mu_);
+    if (aborted_) throw AbortError();
     if (red_count_ == 0) {
       red_acc_ = v;
     } else {
@@ -84,25 +156,54 @@ class Comm {
       ++red_gen_;
       coll_cv_.notify_all();
     } else {
-      coll_cv_.wait(lk, [&] { return red_gen_ != gen; });
+      coll_cv_.wait(lk, [&] { return red_gen_ != gen || aborted_; });
+      if (red_gen_ == gen) throw AbortError();
     }
-    stats_[me].reductions += 1;
+    stats_[static_cast<std::size_t>(me)].reductions += 1;
     return red_result_;
   }
 
-  const CommStats& stats(int rank) const { return stats_[rank]; }
+  /// Wake every blocked rank; their blocking calls throw AbortError.
+  void abort() {
+    aborted_.store(true);
+    // Empty lock sections: a waiter either observes the flag before
+    // sleeping or is woken by the notify that follows the lock.
+    for (auto& box : mailbox_) {
+      { std::lock_guard<std::mutex> lk(box.mu); }
+      box.cv.notify_all();
+    }
+    { std::lock_guard<std::mutex> lk(coll_mu_); }
+    coll_cv_.notify_all();
+  }
+
+  const CommStats& stats(int rank) const {
+    return stats_[static_cast<std::size_t>(rank)];
+  }
   std::vector<CommStats> all_stats() const { return stats_; }
 
  private:
   struct Box {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Message> queue;
+    std::deque<Message> queue;                            ///< unclaimed messages
+    std::deque<std::shared_ptr<RequestState>> pending;    ///< unmatched irecvs
   };
+
+  /// Record a completed receive in the owner's stats, once, from the
+  /// owner's own thread (called under the owner's box mutex at the first
+  /// completion observation, so stats stay single-writer).
+  void count_recv(int owner, RequestState& st) {
+    if (st.counted) return;
+    st.counted = true;
+    auto& s = stats_[static_cast<std::size_t>(owner)];
+    s.messages_recvd += 1;
+    s.bytes_recvd += st.data.size() * sizeof(float);
+  }
 
   int nranks_;
   std::vector<Box> mailbox_;
   std::vector<CommStats> stats_;
+  std::atomic<bool> aborted_{false};
 
   std::mutex coll_mu_;
   std::condition_variable coll_cv_;
@@ -114,14 +215,47 @@ class Comm {
   double red_result_ = 0.0;
 };
 
+bool Request::test() {
+  if (!valid()) throw Error("simpi: test() on an invalid request");
+  return comm_->request_test(owner_, *state_);
+}
+
+std::vector<float> Request::wait() {
+  if (!valid()) throw Error("simpi: wait() on an invalid request");
+  comm_->request_wait(owner_, *state_);
+  return std::move(state_->data);
+}
+
 int RankCtx::size() const noexcept { return comm_.size(); }
 
+Request RankCtx::isend(int dest, int tag, std::vector<float> data) {
+  comm_.isend(rank_, dest, tag, std::move(data));
+  // Eager protocol: the payload is already buffered (or delivered), so
+  // the request is born complete.
+  auto state = std::make_shared<RequestState>();
+  state->is_recv = false;
+  state->complete = true;
+  state->peer = dest;
+  state->tag = tag;
+  return Request(&comm_, rank_, std::move(state));
+}
+
+Request RankCtx::irecv(int source, int tag) {
+  return Request(&comm_, rank_, comm_.post_irecv(rank_, source, tag));
+}
+
+void RankCtx::wait_all(std::vector<Request>& reqs) {
+  for (auto& r : reqs) {
+    if (r.valid()) comm_.request_wait(rank_, *r.state_);
+  }
+}
+
 void RankCtx::send(int dest, int tag, const std::vector<float>& data) {
-  comm_.send(rank_, dest, tag, data);
+  comm_.isend(rank_, dest, tag, data);
 }
 
 std::vector<float> RankCtx::recv(int source, int tag) {
-  return comm_.recv(rank_, source, tag);
+  return irecv(source, tag).wait();
 }
 
 void RankCtx::barrier() { comm_.barrier(rank_); }
@@ -155,6 +289,24 @@ std::uint64_t RunStats::total_bytes() const {
   return n;
 }
 
+std::uint64_t RunStats::total_messages_recvd() const {
+  std::uint64_t n = 0;
+  for (const auto& s : per_rank) n += s.messages_recvd;
+  return n;
+}
+
+std::uint64_t RunStats::total_bytes_recvd() const {
+  std::uint64_t n = 0;
+  for (const auto& s : per_rank) n += s.bytes_recvd;
+  return n;
+}
+
+double RunStats::total_wait_sec() const {
+  double t = 0.0;
+  for (const auto& s : per_rank) t += s.wait_sec;
+  return t;
+}
+
 RunStats run(int nranks, const std::function<void(RankCtx&)>& fn) {
   if (nranks <= 0) throw ConfigError("simpi::run: nranks must be positive");
   Comm comm(nranks);
@@ -166,8 +318,12 @@ RunStats run(int nranks, const std::function<void(RankCtx&)>& fn) {
       RankCtx ctx(comm, r);
       try {
         fn(ctx);
+      } catch (const AbortError&) {
+        // Secondary failure: the rank whose exception triggered the
+        // abort already recorded the original error.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        comm.abort();  // wake peers blocked on this rank — no leaked threads
       }
     });
   }

@@ -11,9 +11,14 @@
 // (Perlmutter Slingshot-like constants) when reproducing Table VII, where
 // the 256-core CPU run becomes communication-dominated.
 //
-// simpi is deliberately a subset of MPI: blocking send/recv with
-// unbounded buffering (send never blocks), barrier, allreduce.  That is
-// exactly the set WRF's halo exchange layer needs.
+// Messaging is request-based, like MPI's nonblocking layer: `isend`
+// returns an already-complete request (eager protocol, unbounded
+// buffering), `irecv` posts a receive matched by (source, tag) in posting
+// order, and `test` / `wait` / `wait_all` complete requests.  The
+// blocking `send` / `recv` calls are thin wrappers over it.  Time a rank
+// spends blocked in `wait` is accumulated in `CommStats::wait_sec`, which
+// is what lets the perf model price comms/compute overlap: halo traffic
+// that is fully overlapped shows up as bytes moved but ~zero wait.
 
 #include <condition_variable>
 #include <cstdint>
@@ -31,11 +36,44 @@ namespace wrf::par {
 struct CommStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_recvd = 0;  ///< receives completed (observed)
+  std::uint64_t bytes_recvd = 0;
+  double wait_sec = 0.0;             ///< time blocked in wait/wait_all
   std::uint64_t barriers = 0;
   std::uint64_t reductions = 0;
 };
 
 class Comm;  // shared state owned by run()
+struct RequestState;
+
+/// Handle to one nonblocking operation.  Copyable (handles share the
+/// underlying operation); default-constructed handles are invalid.
+/// Like its RankCtx, a Request must only be used from the rank thread
+/// that posted it.
+class Request {
+ public:
+  Request() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Nonblocking completion probe (an MPI_Test that keeps the payload).
+  bool test();
+
+  /// Block until complete.  Returns the received payload for a recv
+  /// request (moved out — a second wait returns empty) and an empty
+  /// vector for a send request.  Throws Error if the run was aborted by
+  /// another rank's exception while waiting.
+  std::vector<float> wait();
+
+ private:
+  friend class RankCtx;
+  Request(Comm* comm, int owner, std::shared_ptr<RequestState> state)
+      : comm_(comm), owner_(owner), state_(std::move(state)) {}
+
+  Comm* comm_ = nullptr;
+  int owner_ = -1;  ///< rank that posted the request
+  std::shared_ptr<RequestState> state_;
+};
 
 /// Per-rank handle passed to the rank function.
 ///
@@ -48,11 +86,25 @@ class RankCtx {
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
 
-  /// Blocking-buffered send: copies `data` into the destination mailbox
-  /// and returns immediately (an eager-protocol MPI_Send).
+  /// Nonblocking eager send: copies `data` into the destination mailbox
+  /// (or a matching posted irecv) and returns an already-complete
+  /// request.  Never blocks — an eager-protocol MPI_Isend.
+  Request isend(int dest, int tag, std::vector<float> data);
+
+  /// Nonblocking receive matched by (source, tag).  Requests from the
+  /// same (source, tag) match messages in posting order, messages match
+  /// in send order (MPI's non-overtaking rule).
+  Request irecv(int source, int tag);
+
+  /// Wait for every request in `reqs` (any order of completion).  The
+  /// payloads stay retrievable afterwards via each request's `wait()`,
+  /// which then returns immediately.
+  void wait_all(std::vector<Request>& reqs);
+
+  /// Blocking-buffered send: `isend` with the request dropped.
   void send(int dest, int tag, const std::vector<float>& data);
 
-  /// Blocking receive matched by (source, tag), in-order per pair.
+  /// Blocking receive: `irecv(source, tag).wait()`.
   std::vector<float> recv(int source, int tag);
 
   /// Collective barrier over all ranks.
@@ -82,12 +134,16 @@ struct RunStats {
   std::vector<CommStats> per_rank;
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes() const;
+  std::uint64_t total_messages_recvd() const;
+  std::uint64_t total_bytes_recvd() const;
+  double total_wait_sec() const;
 };
 
 /// Spawn `nranks` threads, run `fn(ctx)` on each, join, and return the
 /// communication statistics.  Exceptions thrown by rank functions are
 /// captured and rethrown (the first one, by rank order) after all ranks
-/// have been joined, so a failing rank cannot leak threads.
+/// have been joined; the run is aborted so ranks blocked in wait /
+/// recv / barrier are woken (and fail) instead of leaking threads.
 RunStats run(int nranks, const std::function<void(RankCtx&)>& fn);
 
 }  // namespace wrf::par

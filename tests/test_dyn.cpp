@@ -197,12 +197,11 @@ TEST(Rk3, ConservesTracerWithPeriodicLikeInterior) {
   for (int j = p.jp.lo; j <= p.jp.hi; ++j)
     for (int k = p.k.lo; k <= p.k.hi; ++k)
       for (int i = p.ip.lo; i <= p.ip.hi; ++i) qv0 += state.qv(i, k, j);
-  rk3.step(state, winds,
-           [&](fsbm::MicroState& s) {
-             fill_domain_boundaries(p, s.qv);
-             for (auto& f : s.ff) fill_domain_boundaries_bins(p, f);
-           },
-           prof);
+  HaloFillFn halo([&](fsbm::MicroState& s) {
+    fill_domain_boundaries(p, s.qv);
+    for (auto& f : s.ff) fill_domain_boundaries_bins(p, f);
+  });
+  rk3.step(state, winds, halo, prof);
   double qv1 = 0.0;
   for (int j = p.jp.lo; j <= p.jp.hi; ++j)
     for (int k = p.k.lo; k <= p.k.hi; ++k)

@@ -79,6 +79,56 @@ TEST(Range3, HaloInclusiveNegativeBounds) {
   for (const int v : seen) EXPECT_EQ(v, 1);
 }
 
+TEST(Range3, InteriorShrinksIAndJOnly) {
+  Range3 r{Range{1, 10}, Range{1, 4}, Range{1, 8}};
+  const Range3 in = r.interior(3);
+  EXPECT_EQ(in.i.lo, 4);
+  EXPECT_EQ(in.i.hi, 7);
+  EXPECT_EQ(in.j.lo, 4);
+  EXPECT_EQ(in.j.hi, 5);
+  EXPECT_EQ(in.k.lo, 1);  // k never decomposed
+  EXPECT_EQ(in.k.hi, 4);
+  // Too thin: interior empty.
+  EXPECT_TRUE((Range3{Range{1, 6}, Range{1, 4}, Range{1, 8}})
+                  .interior(3)
+                  .empty());
+}
+
+TEST(Range3, ShellPlusInteriorPartitionsTheRange) {
+  // Every cell lands in exactly one of {interior, 4 shell pieces}, for
+  // comfortable, thin, and empty shapes.
+  const Range3 shapes[] = {
+      Range3{Range{1, 12}, Range{1, 3}, Range{1, 9}},
+      Range3{Range{1, 6}, Range{1, 2}, Range{1, 9}},   // thin in i
+      Range3{Range{1, 12}, Range{1, 2}, Range{1, 5}},  // thin in j
+      Range3{Range{1, 4}, Range{1, 2}, Range{1, 4}},   // thin in both
+      Range3{Range{1, 12}, Range{1, 2}, Range{}},      // empty
+  };
+  for (const auto& r : shapes) {
+    std::vector<int> hits(static_cast<std::size_t>(r.size()), 0);
+    auto mark = [&](const exec::Range3& piece) {
+      for (int j = piece.j.lo; j <= piece.j.hi; ++j)
+        for (int k = piece.k.lo; k <= piece.k.hi; ++k)
+          for (int i = piece.i.lo; i <= piece.i.hi; ++i) {
+            const std::int64_t flat =
+                (static_cast<std::int64_t>(j - r.j.lo) * r.k.size() +
+                 (k - r.k.lo)) *
+                    r.i.size() +
+                (i - r.i.lo);
+            ++hits[static_cast<std::size_t>(flat)];
+          }
+    };
+    mark(r.interior(3));
+    std::int64_t shell_cells = 0;
+    for (const auto& piece : r.shell(3)) {
+      mark(piece);
+      shell_cells += piece.size();
+    }
+    for (const int h : hits) EXPECT_EQ(h, 1);
+    EXPECT_EQ(r.interior(3).size() + shell_cells, r.size());
+  }
+}
+
 // ---------------------------------------------------------- TilePlan
 
 TEST(TilePlan, EdgeCases) {
