@@ -5,12 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <vector>
 
 #include "dyn/advection.hpp"
 #include "fsbm/coal_bott.hpp"
 #include "fsbm/kernels.hpp"
 #include "fsbm/onecond.hpp"
+#include "fsbm/sedimentation.hpp"
 #include "util/constants.hpp"
 #include "util/rng.hpp"
 
@@ -117,6 +119,76 @@ void BM_Onecond1(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Onecond1);
+
+constexpr int kSedNz = 24;
+
+/// A column of sparse random spectra (level-major, bin fastest) plus an
+/// exponential density profile, as the sedimentation pass sees them.
+void random_sed_column(Rng& rng, std::vector<float>& g,
+                       std::vector<double>& rho) {
+  g.assign(static_cast<std::size_t>(kSedNz) * 33, 0.0f);
+  rho.resize(static_cast<std::size_t>(kSedNz));
+  for (int iz = 0; iz < kSedNz; ++iz) {
+    rho[static_cast<std::size_t>(iz)] = 1.2 * std::exp(-iz * 0.06);
+    for (int k = 8; k < 30; ++k) {
+      if (rng.uniform() < 0.4) {
+        g[static_cast<std::size_t>(iz) * 33 + k] =
+            static_cast<float>(1e-4 * rng.uniform());
+      }
+    }
+  }
+}
+
+/// The per-column oracle: terminal-velocity lookups paid per
+/// (bin, level, substep).
+void BM_SedimentColumn(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<float> base;
+  std::vector<double> rho;
+  random_sed_column(rng, base, rho);
+  fsbm::SedConfig cfg;
+  for (auto _ : state) {
+    auto g = base;
+    benchmark::DoNotOptimize(
+        fsbm::sediment_column(bins33(), fsbm::Species::kLiquid, g.data(),
+                              rho.data(), kSedNz, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * kSedNz * 33);
+}
+BENCHMARK(BM_SedimentColumn);
+
+/// The blocked solver at N columns: one power-law lookup per bin per
+/// block, density corrections shared across bins, lockstep substeps.
+void BM_SedimentBlock(benchmark::State& state) {
+  const int ncol = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<float> base_blk(static_cast<std::size_t>(kSedNz) * 33 * ncol);
+  std::vector<double> rho_blk(static_cast<std::size_t>(kSedNz) * ncol);
+  for (int c = 0; c < ncol; ++c) {
+    std::vector<float> g;
+    std::vector<double> rho;
+    random_sed_column(rng, g, rho);
+    for (int iz = 0; iz < kSedNz; ++iz) {
+      rho_blk[static_cast<std::size_t>(iz) * ncol + c] =
+          rho[static_cast<std::size_t>(iz)];
+      for (int k = 0; k < 33; ++k) {
+        base_blk[(static_cast<std::size_t>(iz) * 33 + k) * ncol + c] =
+            g[static_cast<std::size_t>(iz) * 33 + k];
+      }
+    }
+  }
+  fsbm::SedConfig cfg;
+  std::vector<double> precip(static_cast<std::size_t>(ncol));
+  for (auto _ : state) {
+    auto g = base_blk;
+    benchmark::DoNotOptimize(
+        fsbm::sediment_block(bins33(), fsbm::Species::kLiquid, g.data(),
+                             rho_blk.data(), kSedNz, ncol, cfg,
+                             precip.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * kSedNz * 33 * ncol);
+}
+BENCHMARK(BM_SedimentBlock)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
 
 /// The 5th/3rd-order advection tendency for one 32^3-ish patch.
 void BM_RkScalarTend(benchmark::State& state) {

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   for (int a = 1; a < argc && npos < 4; ++a) {
     if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
     if (std::string(argv[a]).rfind("halo=", 0) == 0) continue;
+    if (std::string(argv[a]).rfind("sed=", 0) == 0) continue;
     pos[npos++] = std::atoi(argv[a]);
   }
   model::RunConfig cfg;
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   cfg.version = fsbm::Version::kV3Offload3;
   cfg.exec = exec::exec_from_args(argc, argv);
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);
+  cfg.sed = fsbm::sed_from_args(argc, argv);
   cfg.validate();
 
   std::printf("CONUS-like thunderstorm\n=======================\n%s\n\n",

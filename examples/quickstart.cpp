@@ -5,6 +5,7 @@
 //
 // Build & run:
 //   cmake --build build && ./build/quickstart [exec=threads:N] [halo=overlap]
+//                                             [sed=block:8]
 
 #include <cstdio>
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   cfg.npy = 2;
   cfg.exec = exec::exec_from_args(argc, argv);  // serial | threads:N | device
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);  // sync | overlap
+  cfg.sed = fsbm::sed_from_args(argc, argv);    // column | block:N
 
   std::printf("miniWRF-SBM quickstart\n======================\n");
   std::printf("case: %s\n\n", cfg.describe().c_str());

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   for (int a = 1; a < argc; ++a) {
     if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
     if (std::string(argv[a]).rfind("halo=", 0) == 0) continue;
+    if (std::string(argv[a]).rfind("sed=", 0) == 0) continue;
     ngpus = std::atoi(argv[a]);
     break;
   }
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   cfg.version = fsbm::Version::kV1LookupOnDemand;
   cfg.exec = exec::exec_from_args(argc, argv);
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);
+  cfg.sed = fsbm::sed_from_args(argc, argv);
   prof::Profiler prof;
   const model::RunResult res = model::run_simulation(cfg, prof);
 

@@ -2,7 +2,12 @@
 # Tier-1 verify as CI runs it: configure + build + ctest in a
 # Debug/Release matrix with -Wall -Wextra -Werror, plus a
 # ThreadSanitizer configuration covering the concurrency layers
-# (simpi requests, exec spaces, halo overlap).
+# (simpi requests, exec spaces, halo overlap, blocked sedimentation).
+#
+# The Debug+Release matrix deliberately runs the FSBM property suite
+# (test_fsbm_properties) at both optimization levels so FP-contract
+# differences between the column and blocked sedimentation solvers
+# would surface as bitwise-equivalence failures.
 #
 # Usage: scripts/ci.sh [Debug|Release|tsan]     (no argument = Debug+Release)
 
@@ -22,18 +27,21 @@ run_matrix_config() {
 
 run_tsan() {
   # TSan build of the thread-heavy suites: the simpi request layer
-  # (test_par), the execution spaces (test_exec), and the phased halo
-  # exchange with comms/compute overlap (test_halo_overlap).
+  # (test_par), the execution spaces + blocked sedimentation dispatch
+  # (test_exec), the phased halo exchange with comms/compute overlap
+  # (test_halo_overlap), and the FSBM property suite (its determinism
+  # law reuses the per-thread gather/scatter block buffers across
+  # threaded runs).
   local build_dir="build-ci-tsan"
   echo "=== ThreadSanitizer ==="
   cmake -B "${build_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DWRF_TSAN=ON
   cmake --build "${build_dir}" -j "$(nproc)" \
-    --target test_par test_exec test_halo_overlap
+    --target test_par test_exec test_halo_overlap test_fsbm_properties
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(test_par|test_exec|test_halo_overlap)$'
+      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties)$'
 }
 
 if [ $# -eq 0 ]; then

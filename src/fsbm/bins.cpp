@@ -55,7 +55,7 @@ BinGrid::BinGrid(int nkr) : nkr_(nkr), dln_(std::log(2.0)) {
   }
 }
 
-double BinGrid::terminal_velocity(Species s, int k, double rho_air) const {
+double BinGrid::terminal_velocity_base(Species s, int k) const {
   // Piecewise power laws v = a * (r / r_ref)^b, capped, per class —
   // Stokes regime for droplets, Best-number-like fits for precipitation.
   const double r = radius(s, k);
@@ -92,9 +92,16 @@ double BinGrid::terminal_velocity(Species s, int k, double rho_air) const {
     default:
       v = 0.0;
   }
+  return v;
+}
+
+double BinGrid::density_correction(double rho_air) {
   // Air-density correction: falls faster in thin air.  rho0 = 1.225.
-  const double corr = std::sqrt(1.225 / (rho_air > 0.05 ? rho_air : 0.05));
-  return v * corr;
+  return std::sqrt(1.225 / (rho_air > 0.05 ? rho_air : 0.05));
+}
+
+double BinGrid::terminal_velocity(Species s, int k, double rho_air) const {
+  return terminal_velocity_base(s, k) * density_correction(rho_air);
 }
 
 int BinGrid::bin_floor(double m) const {

@@ -66,7 +66,25 @@ class BinGrid {
   /// (kg/m^3).  Power-law fits per class with the (rho0/rho)^0.5 density
   /// correction — the pressure dependence behind the two-level kernel
   /// tables.
+  ///
+  /// Factored as terminal_velocity_base(s, k) * density_correction(rho):
+  /// the base power-law is the expensive part (pow/sqrt on the radius)
+  /// and depends only on (species, bin), while the correction depends
+  /// only on the level's air density.  The blocked sedimentation solver
+  /// exploits the split — one base lookup per bin per block, one
+  /// correction per (level, column) per block — and the product is
+  /// evaluated with exactly the same operations as this function, so
+  /// both paths are bitwise identical.
   double terminal_velocity(Species s, int k, double rho_air) const;
+
+  /// The capped power-law fall speed of bin k of species s at reference
+  /// air density (1.225 kg/m^3) — terminal_velocity without the density
+  /// correction.
+  double terminal_velocity_base(Species s, int k) const;
+
+  /// The (rho0/rho)^0.5 air-density correction factor (falls faster in
+  /// thin air); rho is floored at 0.05 kg/m^3.
+  static double density_correction(double rho_air);
 
   /// Index of the largest bin whose mass is <= m (clamped to [0,nkr-1]).
   /// Used by the collision gain term to place coalesced mass.

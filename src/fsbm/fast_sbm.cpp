@@ -1,5 +1,6 @@
 #include "fsbm/fast_sbm.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -59,6 +60,10 @@ void FsbmStats::merge(const FsbmStats& o) {
   cond_flops += o.cond_flops;
   nucl_flops += o.nucl_flops;
   sed_flops += o.sed_flops;
+  sed_substeps += o.sed_substeps;
+  sed_lockstep_substeps += o.sed_lockstep_substeps;
+  sed_tv_lookups += o.sed_tv_lookups;
+  sed_corr_evals += o.sed_corr_evals;
   surface_precip += o.surface_precip;
   wall_total_sec += o.wall_total_sec;
   wall_coal_sec += o.wall_coal_sec;
@@ -523,6 +528,10 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
 
 void FastSbm::pass_sedimentation(MicroState& state, FsbmStats& st,
                                  prof::Profiler& prof) {
+  if (params_.sed_dispatch.kind == SedDispatch::Kind::kBlock) {
+    pass_sedimentation_blocked(state, st, prof);
+    return;
+  }
   prof::ScopedRange sr(prof, "sedimentation");
   const int nkr = bins_.nkr();
   const int nz = patch_.k.size();
@@ -570,8 +579,140 @@ void FastSbm::pass_sedimentation(MicroState& state, FsbmStats& st,
               static_cast<float>(state.precip(i, 0, j) + ss.surface_precip);
           pt.surface_precip += ss.surface_precip;
           pt.sed_flops += ss.flops;
+          pt.sed_substeps += ss.substeps;
+          pt.sed_lockstep_substeps += ss.lockstep_substeps;
+          pt.sed_tv_lookups += ss.tv_lookups;
+          pt.sed_corr_evals += ss.corr_evals;
         }
       });
+  st.merge(sum);
+}
+
+void FastSbm::pass_sedimentation_blocked(MicroState& state, FsbmStats& st,
+                                         prof::Profiler& prof) {
+  prof::ScopedRange sr(prof, "sedimentation");
+  const int nkr = bins_.nkr();
+  const int nz = patch_.k.size();
+  const int klo = patch_.k.lo;
+  SedConfig cfg = params_.sed;
+  cfg.dt = params_.dt;
+  const int nb = std::max(1, params_.sed_dispatch.block);
+
+  // Same tile plan as the per-column path (one j-row of columns per
+  // tile, a pure function of the range), so per-tile stat partials merge
+  // in the same order and the two dispatch modes produce bitwise-equal
+  // run statistics, not just bitwise-equal state.  Within a tile,
+  // columns are taken in flat order in chunks of `nb`; the last chunk of
+  // a tile may be ragged (ncol < nb).
+  exec::LaunchParams lp;
+  lp.name = "sedimentation";
+  lp.collapse = 2;
+  lp.grain = patch_.ip.size();
+  const exec::Range3 range{patch_.ip, Range{0, 0}, patch_.jp};
+  if (range.empty()) return;
+  const exec::TilePlan plan = exec::ExecSpace::plan_for(range, lp);
+  std::vector<FsbmStats> parts(static_cast<std::size_t>(plan.tiles()));
+  exec_space().run_tiles(
+      plan, lp, [&](std::int64_t t, std::int64_t b, std::int64_t e) {
+        FsbmStats& pt = parts[static_cast<std::size_t>(t)];
+        // Reusable per-thread block buffers.  Every entry a block reads
+        // is written by its own gather first (ragged blocks use a
+        // shorter column stride, so no stale data from a wider previous
+        // block can leak through — the seed-determinism test guards
+        // this).
+        thread_local std::vector<float> g_blk;
+        thread_local std::vector<double> rho_blk;
+        thread_local std::vector<double> precip_col;
+        thread_local std::vector<double> precip_mat;
+        thread_local std::vector<int> ci, cj;
+        g_blk.resize(static_cast<std::size_t>(nb) * nz * nkr);
+        rho_blk.resize(static_cast<std::size_t>(nb) * nz);
+        precip_col.resize(static_cast<std::size_t>(nb));
+        precip_mat.resize(static_cast<std::size_t>(nb) * kNumSpecies);
+        ci.resize(static_cast<std::size_t>(nb));
+        cj.resize(static_cast<std::size_t>(nb));
+
+        for (std::int64_t c0 = b; c0 < e; c0 += nb) {
+          const int ncol =
+              static_cast<int>(std::min<std::int64_t>(nb, e - c0));
+          const auto nc = static_cast<std::size_t>(ncol);
+          for (int c = 0; c < ncol; ++c) {
+            const exec::Range3::Cell cell = range.cell(c0 + c);
+            ci[static_cast<std::size_t>(c)] = cell.i;
+            cj[static_cast<std::size_t>(c)] = cell.j;
+          }
+          // Gather densities once per block (shared by all species).
+          for (int iz = 0; iz < nz; ++iz) {
+            for (int c = 0; c < ncol; ++c) {
+              rho_blk[static_cast<std::size_t>(iz) * nc +
+                      static_cast<std::size_t>(c)] =
+                  state.rho(ci[static_cast<std::size_t>(c)], klo + iz,
+                            cj[static_cast<std::size_t>(c)]);
+            }
+          }
+          for (int s = 0; s < kNumSpecies; ++s) {
+            auto& f = state.ff[static_cast<std::size_t>(s)];
+            // Gather: transpose bin-fastest level slices into the
+            // column-minor SoA block.
+            for (int iz = 0; iz < nz; ++iz) {
+              for (int c = 0; c < ncol; ++c) {
+                const float* sl =
+                    f.slice(ci[static_cast<std::size_t>(c)], klo + iz,
+                            cj[static_cast<std::size_t>(c)]);
+                float* dst =
+                    g_blk.data() + static_cast<std::size_t>(iz) * nkr * nc +
+                    static_cast<std::size_t>(c);
+                for (int k = 0; k < nkr; ++k) {
+                  dst[static_cast<std::size_t>(k) * nc] = sl[k];
+                }
+              }
+            }
+            const SedStats ss = sediment_block(
+                bins_, static_cast<Species>(s), g_blk.data(), rho_blk.data(),
+                nz, ncol, cfg, precip_col.data());
+            // Scatter back.
+            for (int iz = 0; iz < nz; ++iz) {
+              for (int c = 0; c < ncol; ++c) {
+                float* sl = f.slice(ci[static_cast<std::size_t>(c)], klo + iz,
+                                    cj[static_cast<std::size_t>(c)]);
+                const float* src =
+                    g_blk.data() + static_cast<std::size_t>(iz) * nkr * nc +
+                    static_cast<std::size_t>(c);
+                for (int k = 0; k < nkr; ++k) {
+                  sl[k] = src[static_cast<std::size_t>(k) * nc];
+                }
+              }
+            }
+            for (int c = 0; c < ncol; ++c) {
+              precip_mat[static_cast<std::size_t>(c) * kNumSpecies +
+                         static_cast<std::size_t>(s)] = precip_col[c];
+            }
+            pt.sed_flops += ss.flops;
+            pt.sed_substeps += ss.substeps;
+            pt.sed_lockstep_substeps += ss.lockstep_substeps;
+            pt.sed_tv_lookups += ss.tv_lookups;
+            pt.sed_corr_evals += ss.corr_evals;
+          }
+          // Accumulate precipitation in (column, species) order — the
+          // same association the per-column path uses, which keeps
+          // FsbmStats::surface_precip bitwise identical across the two
+          // dispatch modes.
+          for (int c = 0; c < ncol; ++c) {
+            const int i = ci[static_cast<std::size_t>(c)];
+            const int j = cj[static_cast<std::size_t>(c)];
+            for (int s = 0; s < kNumSpecies; ++s) {
+              const double p =
+                  precip_mat[static_cast<std::size_t>(c) * kNumSpecies +
+                             static_cast<std::size_t>(s)];
+              state.precip(i, 0, j) =
+                  static_cast<float>(state.precip(i, 0, j) + p);
+              pt.surface_precip += p;
+            }
+          }
+        }
+      });
+  FsbmStats sum;
+  for (const FsbmStats& part : parts) sum.merge(part);
   st.merge(sum);
 }
 

@@ -47,6 +47,14 @@ struct RunConfig {
   /// dyn::parse_halo_mode / dyn::halo_mode_from_args.
   dyn::HaloMode halo_mode = dyn::HaloMode::kSync;
 
+  /// The `sed=` knob: column dispatches sedimentation one column at a
+  /// time (the unamortized oracle); block:N gathers N columns per tile
+  /// into a per-thread SoA block and runs the blocked solver with
+  /// lockstep CFL sub-stepping (bitwise-identical state and stats —
+  /// asserted in tests/test_fsbm_properties.cpp and tests/test_exec.cpp).
+  /// Parse with fsbm::SedDispatch::parse / fsbm::sed_from_args.
+  fsbm::SedDispatch sed;
+
   // Decomposition.
   int npx = 2;
   int npy = 2;

@@ -34,16 +34,21 @@ void RunConfig::validate() const {
   if (halo < dyn::kStencilWidth) {
     throw ConfigError("RunConfig: halo narrower than the advection stencil");
   }
+  if (sed.kind == fsbm::SedDispatch::Kind::kBlock &&
+      (sed.block < 1 || sed.block > 4096)) {
+    throw ConfigError("RunConfig: sed block width outside [1, 4096]");
+  }
 }
 
 std::string RunConfig::describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "grid %dx%dx%d dx=%.0fm dt=%.1fs nkr=%d ranks=%dx%d "
-                "version=%s exec=%s halo=%s ngpus=%d",
+                "version=%s exec=%s halo=%s sed=%s ngpus=%d",
                 nx, ny, nz, dx, dt, nkr, npx, npy,
                 fsbm::version_name(version), exec.describe().c_str(),
-                dyn::halo_mode_name(halo_mode), ngpus);
+                dyn::halo_mode_name(halo_mode), sed.describe().c_str(),
+                ngpus);
   return buf;
 }
 
@@ -61,6 +66,7 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
   fsbm::FsbmParams params = config_.fsbm_params;
   params.dt = config_.dt;
   params.sed.dz = config_.dz;
+  params.sed_dispatch = config_.sed;
   fsbm_ = std::make_unique<fsbm::FastSbm>(patch_, config_.nkr,
                                           config_.version, params,
                                           device_.get(), exec_space_.get());

@@ -1,0 +1,474 @@
+// Property-test harness for the bin microphysics: randomized trials
+// asserting the laws every solver refactor must preserve —
+//
+//   * mass conservation: rho-weighted water mass + surface precip is
+//     constant to an ulp-scaled tolerance (float stores round once per
+//     cell update, so the bound scales with the substep count);
+//   * non-negativity: no bin goes negative under sedimentation (any CFL
+//     regime) or collision-coalescence;
+//   * zero-velocity fixed point: vel_scale = 0 leaves the state bitwise
+//     untouched and produces no precip and no substeps;
+//   * single-bin analytic check: constant-velocity upwind transport has
+//     the closed-form binomial solution, and the mean fall distance is
+//     v * dt;
+//   * block/column equivalence: sediment_block is bitwise identical to
+//     sediment_column per column for any block width (N = 1, ragged,
+//     8) — the safety net under the blocked tentpole;
+//   * seed determinism: the same RunConfig run twice produces identical
+//     RunStats and state hashes for both sed=column and sed=block:8
+//     (guards the per-thread gather/scatter block-buffer reuse).
+//
+// The harness runs each law over many RNG-driven trials (species, grid
+// size, density profile, time step all randomized) so future solver
+// changes get shaken against the whole parameter box, not one snapshot.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "fsbm/coal_bott.hpp"
+#include "fsbm/kernels.hpp"
+#include "fsbm/sedimentation.hpp"
+#include "model/driver.hpp"
+#include "util/rng.hpp"
+
+namespace wrf::fsbm {
+namespace {
+
+constexpr int kNkr = 33;
+
+const BinGrid& bins33() {
+  static const BinGrid b(kNkr);
+  return b;
+}
+
+struct ColumnSample {
+  int nz = 0;
+  std::vector<float> g;     ///< level-major, bin fastest
+  std::vector<double> rho;  ///< per-level density
+};
+
+ColumnSample random_column(Rng& rng, int nz) {
+  ColumnSample s;
+  s.nz = nz;
+  s.g.assign(static_cast<std::size_t>(nz) * kNkr, 0.0f);
+  s.rho.resize(static_cast<std::size_t>(nz));
+  const double rho0 = rng.uniform(0.6, 1.3);
+  const double lapse = rng.uniform(0.01, 0.09);
+  for (int iz = 0; iz < nz; ++iz) {
+    s.rho[static_cast<std::size_t>(iz)] = rho0 * std::exp(-iz * lapse);
+    for (int k = 0; k < kNkr; ++k) {
+      if (rng.uniform() < 0.35) {
+        s.g[static_cast<std::size_t>(iz) * kNkr + k] =
+            static_cast<float>(1e-4 * rng.uniform());
+      }
+    }
+  }
+  return s;
+}
+
+Species random_species(Rng& rng) {
+  return static_cast<Species>(rng.bounded(kNumSpecies));
+}
+
+SedConfig random_cfg(Rng& rng) {
+  SedConfig cfg;
+  cfg.dt = rng.uniform(2.0, 120.0);
+  cfg.dz = rng.uniform(100.0, 600.0);
+  return cfg;
+}
+
+/// rho-weighted column mass — the quantity upwind transport conserves.
+double column_mass(const ColumnSample& s) {
+  double q = 0.0;
+  for (int iz = 0; iz < s.nz; ++iz) {
+    for (int k = 0; k < kNkr; ++k) {
+      q += s.rho[static_cast<std::size_t>(iz)] *
+           s.g[static_cast<std::size_t>(iz) * kNkr + k];
+    }
+  }
+  return q;
+}
+
+/// Pack N independent columns into the column-minor SoA block layout.
+void pack_block(const std::vector<ColumnSample>& cols, int nz,
+                std::vector<float>& g_blk, std::vector<double>& rho_blk) {
+  const int ncol = static_cast<int>(cols.size());
+  g_blk.resize(static_cast<std::size_t>(nz) * kNkr * ncol);
+  rho_blk.resize(static_cast<std::size_t>(nz) * ncol);
+  for (int c = 0; c < ncol; ++c) {
+    for (int iz = 0; iz < nz; ++iz) {
+      rho_blk[static_cast<std::size_t>(iz) * ncol + c] =
+          cols[static_cast<std::size_t>(c)].rho[static_cast<std::size_t>(iz)];
+      for (int k = 0; k < kNkr; ++k) {
+        g_blk[(static_cast<std::size_t>(iz) * kNkr + k) * ncol + c] =
+            cols[static_cast<std::size_t>(c)]
+                .g[static_cast<std::size_t>(iz) * kNkr + k];
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- mass conservation
+
+TEST(FsbmProperties, SedimentationConservesMassUlpScaled) {
+  Rng rng(0xC0115EEDull);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nz = 4 + static_cast<int>(rng.bounded(36));
+    ColumnSample s = random_column(rng, nz);
+    const Species sp = random_species(rng);
+    const SedConfig cfg = random_cfg(rng);
+    const double before = column_mass(s);
+    const SedStats st =
+        sediment_column(bins33(), sp, s.g.data(), s.rho.data(), nz, cfg);
+    const double after = column_mass(s);
+    // Each of the flops/8 float cell-updates rounds once; an ulp-scaled
+    // linear accumulation bound covers the worst case.
+    const double updates = st.flops / 8.0 + nz;
+    const double tol =
+        before * static_cast<double>(std::numeric_limits<float>::epsilon()) *
+            updates +
+        1e-300;
+    EXPECT_NEAR(after + st.surface_precip * s.rho[0], before, tol)
+        << "trial " << trial << " species " << species_name(sp);
+  }
+}
+
+TEST(FsbmProperties, BlockedSedimentationConservesMassUlpScaled) {
+  Rng rng(0xB10CC0115ull);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nz = 4 + static_cast<int>(rng.bounded(30));
+    const int ncol = 1 + static_cast<int>(rng.bounded(11));
+    std::vector<ColumnSample> cols;
+    double before = 0.0;
+    for (int c = 0; c < ncol; ++c) {
+      cols.push_back(random_column(rng, nz));
+      before += column_mass(cols.back());
+    }
+    std::vector<float> g_blk;
+    std::vector<double> rho_blk;
+    pack_block(cols, nz, g_blk, rho_blk);
+    const Species sp = random_species(rng);
+    const SedConfig cfg = random_cfg(rng);
+    std::vector<double> precip(static_cast<std::size_t>(ncol));
+    const SedStats st = sediment_block(bins33(), sp, g_blk.data(),
+                                       rho_blk.data(), nz, ncol, cfg,
+                                       precip.data());
+    double after = 0.0;
+    for (int c = 0; c < ncol; ++c) {
+      for (int iz = 0; iz < nz; ++iz) {
+        for (int k = 0; k < kNkr; ++k) {
+          after += rho_blk[static_cast<std::size_t>(iz) * ncol + c] *
+                   g_blk[(static_cast<std::size_t>(iz) * kNkr + k) * ncol + c];
+        }
+      }
+      after += precip[static_cast<std::size_t>(c)] * rho_blk[c];
+    }
+    const double updates = st.flops / 8.0 + nz * ncol;
+    const double tol =
+        before * static_cast<double>(std::numeric_limits<float>::epsilon()) *
+            updates +
+        1e-300;
+    EXPECT_NEAR(after, before, tol) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------- non-negativity
+
+TEST(FsbmProperties, SedimentationNeverGoesNegative) {
+  Rng rng(0x0DDF00Dull);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nz = 4 + static_cast<int>(rng.bounded(28));
+    ColumnSample s = random_column(rng, nz);
+    const Species sp = random_species(rng);
+    SedConfig cfg = random_cfg(rng);
+    cfg.dt = rng.uniform(2.0, 600.0);  // include heavy-CFL regimes
+    sediment_column(bins33(), sp, s.g.data(), s.rho.data(), nz, cfg);
+    for (const float v : s.g) {
+      ASSERT_GE(v, 0.0f) << "trial " << trial;
+    }
+  }
+}
+
+TEST(FsbmProperties, CoalescenceNeverGoesNegative) {
+  static const KernelTables tables(bins33());
+  Rng rng(0xC0A1F00Dull);
+  float buf[(4 + kIceMax) * kMaxNkr];
+  CoalWorkspace w;
+  w.fl1 = buf;
+  w.g2 = buf + kNkr;
+  w.g3 = buf + kNkr * (1 + kIceMax);
+  w.g4 = buf + kNkr * (2 + kIceMax);
+  w.g5 = buf + kNkr * (3 + kIceMax);
+  const int wsize = (4 + kIceMax) * kNkr;
+  for (int trial = 0; trial < 40; ++trial) {
+    for (int n = 0; n < wsize; ++n) {
+      buf[n] = rng.uniform() < 0.3
+                   ? static_cast<float>(1e-4 * rng.uniform())
+                   : 0.0f;
+    }
+    const double temp = rng.uniform(235.0, 300.0);  // warm and mixed-phase
+    const double pres = rng.uniform(45000.0, 101000.0);
+    CoalConfig cfg;
+    cfg.dt = rng.uniform(2.0, 30.0);
+    const KernelSource ks(tables, pres);
+    coal_bott_new(bins33(), temp, ks, w, cfg);
+    for (int n = 0; n < wsize; ++n) {
+      ASSERT_GE(buf[n], 0.0f) << "trial " << trial << " entry " << n;
+    }
+  }
+}
+
+// --------------------------------------------- zero-velocity fixed point
+
+TEST(FsbmProperties, ZeroVelocityIsAFixedPoint) {
+  Rng rng(0xF1CED0ull);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nz = 4 + static_cast<int>(rng.bounded(20));
+    ColumnSample s = random_column(rng, nz);
+    const std::vector<float> orig = s.g;
+    SedConfig cfg = random_cfg(rng);
+    cfg.vel_scale = 0.0;
+    const SedStats st = sediment_column(bins33(), random_species(rng),
+                                        s.g.data(), s.rho.data(), nz, cfg);
+    EXPECT_EQ(std::memcmp(s.g.data(), orig.data(),
+                          orig.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(st.surface_precip, 0.0);
+    EXPECT_EQ(st.substeps, 0u);
+    EXPECT_EQ(st.lockstep_substeps, 0u);
+
+    // Same law for the blocked solver.
+    std::vector<ColumnSample> cols(3, s);
+    std::vector<float> g_blk;
+    std::vector<double> rho_blk;
+    pack_block(cols, nz, g_blk, rho_blk);
+    const std::vector<float> blk_orig = g_blk;
+    std::vector<double> precip(3);
+    const SedStats bt = sediment_block(bins33(), random_species(rng),
+                                       g_blk.data(), rho_blk.data(), nz, 3,
+                                       cfg, precip.data());
+    EXPECT_EQ(std::memcmp(g_blk.data(), blk_orig.data(),
+                          blk_orig.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(bt.surface_precip, 0.0);
+    EXPECT_EQ(bt.substeps, 0u);
+    EXPECT_EQ(bt.lockstep_substeps, 0u);
+  }
+}
+
+// -------------------------------------------- single-bin analytic check
+
+TEST(FsbmProperties, SingleBinMatchesAnalyticUpwindSolution) {
+  // Uniform density => constant fall speed v.  First-order upwind with
+  // courant c for n substeps spreads a delta at level L into the
+  // binomial  g[L-m] = g0 * C(n, m) c^m (1-c)^(n-m),  m = 0..n, and the
+  // mean fall distance is n*c*dz = v*dt exactly.
+  const int nz = 40;
+  const int src = 30;
+  const int bin = 24;  // mid-size raindrop
+  const Species sp = Species::kLiquid;
+  std::vector<double> rho(static_cast<std::size_t>(nz), 1.0);
+  std::vector<float> g(static_cast<std::size_t>(nz) * kNkr, 0.0f);
+  const float g0 = 1.0e-3f;
+  g[static_cast<std::size_t>(src) * kNkr + bin] = g0;
+  SedConfig cfg;
+  cfg.dt = 120.0;
+  cfg.dz = 150.0;
+  const double v = bins33().terminal_velocity(sp, bin, rho[0]);
+  const int n =
+      std::max(1, static_cast<int>(std::ceil(v * cfg.dt / cfg.dz)));
+  const double c = v * (cfg.dt / n) / cfg.dz;
+  ASSERT_LE(c, 1.0 + 1e-12);
+  ASSERT_GE(src - n, 0) << "source too low: spread would hit the surface";
+
+  const SedStats st =
+      sediment_column(bins33(), sp, g.data(), rho.data(), nz, cfg);
+  // substeps covers every bin (all have positive fall speed); the
+  // tracked bin alone contributes its n.
+  EXPECT_GE(st.substeps, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(st.surface_precip, 0.0);
+
+  // Binomial coefficients iteratively (n is small).
+  std::vector<double> expect(static_cast<std::size_t>(n) + 1);
+  double coeff = 1.0;
+  for (int m = 0; m <= n; ++m) {
+    expect[static_cast<std::size_t>(m)] = static_cast<double>(g0) * coeff *
+                                          std::pow(c, m) *
+                                          std::pow(1.0 - c, n - m);
+    coeff = coeff * (n - m) / (m + 1);
+  }
+  double mean_drop = 0.0;
+  for (int iz = 0; iz < nz; ++iz) {
+    const double got = g[static_cast<std::size_t>(iz) * kNkr + bin];
+    const int m = src - iz;
+    const double want =
+        (m >= 0 && m <= n) ? expect[static_cast<std::size_t>(m)] : 0.0;
+    EXPECT_NEAR(got, want, static_cast<double>(g0) * 1e-5) << "level " << iz;
+    mean_drop += got * m;
+  }
+  mean_drop = mean_drop / static_cast<double>(g0) * cfg.dz;
+  EXPECT_NEAR(mean_drop, v * cfg.dt, v * cfg.dt * 1e-5);
+
+  // The blocked solver reproduces the same analytic solution.
+  std::vector<float> g_blk(static_cast<std::size_t>(nz) * kNkr, 0.0f);
+  g_blk[static_cast<std::size_t>(src) * kNkr + bin] = g0;
+  std::vector<double> precip(1);
+  sediment_block(bins33(), sp, g_blk.data(), rho.data(), nz, 1, cfg,
+                 precip.data());
+  EXPECT_EQ(std::memcmp(g_blk.data(), g.data(), g.size() * sizeof(float)), 0);
+}
+
+// -------------------------------------- block vs column bitwise identity
+
+TEST(FsbmProperties, BlockMatchesColumnBitwiseForAnyWidth) {
+  Rng rng(0xB17B17ull);
+  for (const int ncol : {1, 3, 5, 8}) {  // odd widths = ragged tails
+    for (int trial = 0; trial < 8; ++trial) {
+      const int nz = 4 + static_cast<int>(rng.bounded(30));
+      const Species sp = random_species(rng);
+      const SedConfig cfg = random_cfg(rng);
+      std::vector<ColumnSample> cols;
+      for (int c = 0; c < ncol; ++c) cols.push_back(random_column(rng, nz));
+
+      // Oracle: each column solved independently.
+      std::vector<ColumnSample> oracle = cols;
+      std::vector<SedStats> ost;
+      std::uint64_t substeps_sum = 0;
+      for (auto& col : oracle) {
+        ost.push_back(sediment_column(bins33(), sp, col.g.data(),
+                                      col.rho.data(), nz, cfg));
+        substeps_sum += ost.back().substeps;
+      }
+
+      std::vector<float> g_blk;
+      std::vector<double> rho_blk;
+      pack_block(cols, nz, g_blk, rho_blk);
+      std::vector<double> precip(static_cast<std::size_t>(ncol));
+      const SedStats bt = sediment_block(bins33(), sp, g_blk.data(),
+                                         rho_blk.data(), nz, ncol, cfg,
+                                         precip.data());
+
+      for (int c = 0; c < ncol; ++c) {
+        SCOPED_TRACE("ncol=" + std::to_string(ncol) + " col=" +
+                     std::to_string(c) + " trial=" + std::to_string(trial));
+        for (int iz = 0; iz < nz; ++iz) {
+          for (int k = 0; k < kNkr; ++k) {
+            const float a =
+                oracle[static_cast<std::size_t>(c)]
+                    .g[static_cast<std::size_t>(iz) * kNkr + k];
+            const float b =
+                g_blk[(static_cast<std::size_t>(iz) * kNkr + k) * ncol + c];
+            ASSERT_EQ(std::memcmp(&a, &b, sizeof(float)), 0)
+                << "iz=" << iz << " k=" << k << " a=" << a << " b=" << b;
+          }
+        }
+        const double pa = ost[static_cast<std::size_t>(c)].surface_precip;
+        const double pb = precip[static_cast<std::size_t>(c)];
+        EXPECT_EQ(std::memcmp(&pa, &pb, sizeof(double)), 0);
+      }
+      // Per-column CFL substeps are dispatch-invariant; the lockstep
+      // count is what the block actually marched (<= sum, >= max).
+      EXPECT_EQ(bt.substeps, substeps_sum);
+      EXPECT_LE(bt.lockstep_substeps, bt.substeps);
+    }
+  }
+}
+
+TEST(FsbmProperties, BlockAmortizesTerminalVelocityLookups) {
+  Rng rng(0xA3071Cull);
+  const int nz = 24;
+  const int ncol = 8;
+  std::vector<ColumnSample> cols;
+  for (int c = 0; c < ncol; ++c) cols.push_back(random_column(rng, nz));
+  SedConfig cfg;
+
+  std::uint64_t col_lookups = 0;
+  std::vector<ColumnSample> oracle = cols;
+  for (auto& col : oracle) {
+    col_lookups += sediment_column(bins33(), Species::kLiquid, col.g.data(),
+                                   col.rho.data(), nz, cfg)
+                       .tv_lookups;
+  }
+  std::vector<float> g_blk;
+  std::vector<double> rho_blk;
+  pack_block(cols, nz, g_blk, rho_blk);
+  std::vector<double> precip(static_cast<std::size_t>(ncol));
+  const SedStats bt =
+      sediment_block(bins33(), Species::kLiquid, g_blk.data(), rho_blk.data(),
+                     nz, ncol, cfg, precip.data());
+  // One power-law evaluation per bin per block...
+  EXPECT_EQ(bt.tv_lookups, static_cast<std::uint64_t>(kNkr));
+  // ...versus one per (bin, level, 1 + substep) per column: amortized by
+  // far more than the block width N.
+  EXPECT_GE(col_lookups, bt.tv_lookups * ncol * nz);
+  // Density corrections: once per (level, column), shared across bins.
+  EXPECT_EQ(bt.corr_evals, static_cast<std::uint64_t>(nz) * ncol);
+}
+
+// ------------------------------------------------- seed determinism
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t h = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t n = 0; n < bytes; ++n) {
+    h ^= p[n];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t state_hash(const model::RunResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& snap : r.snapshots) {
+    for (const auto& v : snap.variables()) {
+      h = fnv1a(v.name.data(), v.name.size(), h);
+      h = fnv1a(v.data.data(), v.data.size() * sizeof(float), h);
+    }
+  }
+  return h;
+}
+
+void expect_identical_stats(const FsbmStats& a, const FsbmStats& b) {
+  EXPECT_EQ(a.cells_active, b.cells_active);
+  EXPECT_EQ(a.cells_coal, b.cells_coal);
+  EXPECT_EQ(a.kernel_entries, b.kernel_entries);
+  EXPECT_EQ(a.coal_interactions, b.coal_interactions);
+  EXPECT_EQ(a.sed_substeps, b.sed_substeps);
+  EXPECT_EQ(a.sed_lockstep_substeps, b.sed_lockstep_substeps);
+  EXPECT_EQ(a.sed_tv_lookups, b.sed_tv_lookups);
+  EXPECT_EQ(a.sed_corr_evals, b.sed_corr_evals);
+  // Doubles bitwise: the exec layer pins reduction association.
+  EXPECT_EQ(std::memcmp(&a.surface_precip, &b.surface_precip,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.sed_flops, &b.sed_flops, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.cond_flops, &b.cond_flops, sizeof(double)), 0);
+}
+
+TEST(FsbmProperties, SeedDeterminismForColumnAndBlockDispatch) {
+  for (const char* mode : {"column", "block:8"}) {
+    SCOPED_TRACE(mode);
+    model::RunConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 12;
+    cfg.nz = 8;
+    cfg.nsteps = 2;
+    cfg.sed = SedDispatch::parse(mode);
+    // Two threads so the per-thread block buffers actually get reused
+    // across tiles and runs.
+    cfg.exec.kind = exec::ExecKind::kThreads;
+    cfg.exec.nthreads = 2;
+    prof::Profiler p1, p2;
+    const model::RunResult a = model::run_single(cfg, p1);
+    const model::RunResult b = model::run_single(cfg, p2);
+    expect_identical_stats(a.totals.fsbm, b.totals.fsbm);
+    EXPECT_EQ(state_hash(a), state_hash(b));
+  }
+}
+
+}  // namespace
+}  // namespace wrf::fsbm
