@@ -40,10 +40,17 @@ int main() {
   std::printf("  %-18s %10.4f %10.4f  s\n", "overall", v1.overall_sec,
               v2.overall_sec);
   std::printf("  v2 kernel %.2f ms + H2D %.2f ms + D2H %.2f ms; occupancy "
-              "%.2f%% (%s-limited)\n\n",
+              "%.2f%% (%s-limited)\n",
               v2.kernel_ms, v2.h2d_ms, v2.d2h_ms,
               100.0 * v2.kernel->occupancy.achieved,
               v2.kernel->occupancy.limiter);
+  std::printf("  v2 transfer traffic per step: H2D %.1f MB in %llu maps, "
+              "D2H %.1f MB in %llu maps (res=step re-maps every field; "
+              "see bench_residency for the res=persist collapse)\n\n",
+              static_cast<double>(v2.fsbm_stats.h2d_bytes) / 1e6,
+              static_cast<unsigned long long>(v2.fsbm_stats.h2d_transfers),
+              static_cast<double>(v2.fsbm_stats.d2h_bytes) / 1e6,
+              static_cast<unsigned long long>(v2.fsbm_stats.d2h_transfers));
 
   const bench::PaperRow rows[] = {
       {"coal loop speedup (current)", 6.47,

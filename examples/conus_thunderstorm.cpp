@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   cfg.exec = exec::exec_from_args(argc, argv);
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);
   cfg.sed = fsbm::sed_from_args(argc, argv);
+  cfg.res = mem::residency_from_args(argc, argv);
   cfg.validate();
 
   std::printf("CONUS-like thunderstorm\n=======================\n%s\n\n",

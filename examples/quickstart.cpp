@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cfg.exec = exec::exec_from_args(argc, argv);  // serial | threads:N | device
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);  // sync | overlap
   cfg.sed = fsbm::sed_from_args(argc, argv);    // column | block:N
+  cfg.res = mem::residency_from_args(argc, argv);  // step | persist
 
   std::printf("miniWRF-SBM quickstart\n======================\n");
   std::printf("case: %s\n\n", cfg.describe().c_str());

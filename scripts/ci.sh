@@ -44,11 +44,25 @@ run_tsan() {
       -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties)$'
 }
 
+run_bench_smoke() {
+  # Smoke the residency bench harness on a tiny grid: asserts the
+  # res=persist >=5x steady-state traffic reduction (bench exit code)
+  # and that the JSON distillation pipeline stays runnable.
+  echo "=== bench_json smoke ==="
+  BENCH_SMOKE=1 BUILD=build-ci-release \
+    OUT=build-ci-release/BENCH_residency_smoke.json \
+    scripts/bench_json.sh
+}
+
 if [ $# -eq 0 ]; then
   run_matrix_config Debug
   run_matrix_config Release
+  run_bench_smoke
 elif [ "${1}" = "tsan" ]; then
   run_tsan
+elif [ "${1}" = "bench" ]; then
+  run_matrix_config Release
+  run_bench_smoke
 else
   run_matrix_config "${1}"
 fi

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "gpu/device.hpp"
+#include "mem/residency.hpp"
 #include "par/thread_pool.hpp"
 
 namespace wrf::exec {
@@ -80,6 +81,13 @@ DeviceSpace::DeviceSpace(gpu::Device& device, par::ThreadPool* pool)
     : device_(&device),
       pool_(pool != nullptr ? pool : &par::shared_pool()) {}
 
+DeviceSpace::~DeviceSpace() = default;
+
+mem::DataRegion& DeviceSpace::region() {
+  if (!region_) region_ = std::make_unique<mem::DataRegion>(*device_);
+  return *region_;
+}
+
 int DeviceSpace::concurrency() const noexcept { return pool_->size(); }
 
 void DeviceSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
@@ -112,18 +120,6 @@ gpu::KernelStats DeviceSpace::launch(const gpu::KernelDesc& desc) {
   kernel_ms_ += ks.modeled_time_ms;
   ++dispatches_;
   return ks;
-}
-
-double DeviceSpace::copy_to_device(std::uint64_t bytes) {
-  const double before = device_->transfers().modeled_time_ms;
-  device_->map_to(bytes);
-  return device_->transfers().modeled_time_ms - before;
-}
-
-double DeviceSpace::copy_from_device(std::uint64_t bytes) {
-  const double before = device_->transfers().modeled_time_ms;
-  device_->map_from(bytes);
-  return device_->transfers().modeled_time_ms - before;
 }
 
 // ----------------------------------------------------------------- config

@@ -40,6 +40,9 @@ class Device;
 struct KernelDesc;
 struct KernelStats;
 }
+namespace wrf::mem {
+class DataRegion;
+}
 
 namespace wrf::exec {
 
@@ -269,12 +272,15 @@ class ThreadedSpace final : public ExecSpace {
 /// Simulated-device execution: functional execution of the tiles on the
 /// host pool (bit-for-bit, tile-deterministic like every other space)
 /// plus a gpusim kernel launch per dispatch for the performance model,
-/// and `map(to:)` / `map(from:)` transfer accounting helpers.
+/// and a device data environment (mem::DataRegion) giving launches named
+/// persistent buffers with dirty tracking instead of raw byte-counter
+/// transfers.
 class DeviceSpace final : public ExecSpace {
  public:
   /// `device` must outlive the space.  `pool` defaults to the shared
   /// pool (the same one gpusim itself uses for functional execution).
   explicit DeviceSpace(gpu::Device& device, par::ThreadPool* pool = nullptr);
+  ~DeviceSpace() override;
 
   const char* name() const noexcept override { return "device"; }
   int concurrency() const noexcept override;
@@ -287,10 +293,12 @@ class DeviceSpace final : public ExecSpace {
   /// launches with traces); recorded like any other dispatch.
   gpu::KernelStats launch(const gpu::KernelDesc& desc);
 
-  /// `map(to:)` / `map(from:)` with modeled-time accounting.  Returns
-  /// the modeled milliseconds this transfer added.
-  double copy_to_device(std::uint64_t bytes);
-  double copy_from_device(std::uint64_t bytes);
+  /// The space's device data environment: a field table of named device
+  /// buffers with `target data` map/update verbs and per-field dirty
+  /// ranges (see mem/residency.hpp).  Created on first use and owned by
+  /// the space; field registration and residency policy (`res=step` vs
+  /// `res=persist`) belong to the caller.
+  mem::DataRegion& region();
 
   /// Modeled kernel milliseconds dispatched through this space.
   double kernel_ms() const noexcept { return kernel_ms_; }
@@ -299,6 +307,7 @@ class DeviceSpace final : public ExecSpace {
  private:
   gpu::Device* device_;
   par::ThreadPool* pool_;
+  std::unique_ptr<mem::DataRegion> region_;
   double kernel_ms_ = 0.0;
   std::uint64_t dispatches_ = 0;
 };

@@ -69,8 +69,28 @@ void FsbmStats::merge(const FsbmStats& o) {
   wall_coal_sec += o.wall_coal_sec;
   h2d_ms += o.h2d_ms;
   d2h_ms += o.d2h_ms;
+  h2d_bytes += o.h2d_bytes;
+  d2h_bytes += o.d2h_bytes;
+  h2d_transfers += o.h2d_transfers;
+  d2h_transfers += o.d2h_transfers;
   if (o.coal_kernel) coal_kernel = o.coal_kernel;
   if (o.cond_kernel) cond_kernel = o.cond_kernel;
+}
+
+void FsbmStats::charge_transfer_delta(const gpu::TransferStats& t0,
+                                      const gpu::TransferStats& now) {
+  const std::uint64_t h2d = now.h2d_bytes - t0.h2d_bytes;
+  const std::uint64_t d2h = now.d2h_bytes - t0.d2h_bytes;
+  h2d_bytes += h2d;
+  d2h_bytes += d2h;
+  h2d_transfers += now.h2d_count - t0.h2d_count;
+  d2h_transfers += now.d2h_count - t0.d2h_count;
+  const double ms = now.modeled_time_ms - t0.modeled_time_ms;
+  const double total = static_cast<double>(h2d) + static_cast<double>(d2h);
+  if (total > 0) {
+    h2d_ms += ms * (static_cast<double>(h2d) / total);
+    d2h_ms += ms * (static_cast<double>(d2h) / total);
+  }
 }
 
 FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
@@ -95,6 +115,32 @@ FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
   }
   if (device_ != nullptr) {
     device_space_ = std::make_unique<exec::DeviceSpace>(*device_);
+  }
+  exec_device_ = dynamic_cast<exec::DeviceSpace*>(exec_) != nullptr;
+  if (offloaded) {
+    // Register the scheme's field table once: every buffer the offloaded
+    // passes touch, sized from the patch memory ranges.  Registration
+    // allocates nothing; residency policy decides below.
+    region_ = &device_space_->region();
+    const std::uint64_t cells3 =
+        static_cast<std::uint64_t>(patch_.im.size()) * patch_.k.size() *
+        patch_.jm.size();
+    ids_.call_coal =
+        region_->add_field("call_coal", call_coal_.size() * sizeof(std::uint8_t));
+    ids_.temp = region_->add_field("temp", cells3 * sizeof(float));
+    ids_.qv = region_->add_field("qv", cells3 * sizeof(float));
+    ids_.pres = region_->add_field("pres", cells3 * sizeof(float));
+    for (int s = 0; s < kNumSpecies; ++s) {
+      ids_.ff[static_cast<std::size_t>(s)] = region_->add_field(
+          std::string("ff_") + species_name(static_cast<Species>(s)),
+          cells3 * static_cast<std::uint64_t>(nkr) * sizeof(float));
+    }
+    if (params_.residency == mem::ResidencyMode::kPersist) {
+      // res=persist: pin the whole domain resident up front, through the
+      // capacity check — a domain that does not fit fails here with the
+      // paper-style out-of-memory error instead of at the first launch.
+      for (int f = 0; f < region_->fields(); ++f) region_->map_alloc(f);
+    }
   }
   if (version_ == Version::kV3Offload3) {
     // The temp_arrays module: one pooled slab per automatic array,
@@ -179,6 +225,68 @@ void FastSbm::coal_cell_pooled(MicroState& state, int i, int k, int j,
   cst.flops += one.flops;
 }
 
+void FastSbm::mark_written(const std::vector<mem::FieldId>& ids,
+                           bool on_device) {
+  if (!persist()) return;
+  for (const mem::FieldId f : ids) {
+    if (f == mem::kInvalidField) continue;
+    if (on_device) {
+      // Read coherence: a device kernel consumed current operands, so
+      // any pending host-side writes must have crossed h2d before it
+      // ran (the first step's initial-state upload lands here; steady
+      // state moves nothing).  Only then does its own write advance the
+      // device copy.
+      region_->update_to(f);
+      region_->mark_device_dirty(f);
+    } else {
+      // Same rule, d2h direction: a host pass consumed current values,
+      // so pending device-kernel writes must have crossed d2h before
+      // it ran — only then does the host write stale the device copy.
+      region_->update_from(f);
+      region_->mark_host_dirty(f);
+    }
+  }
+}
+
+void FastSbm::mark_transport_writes(FsbmStats* st) {
+  if (!persist()) return;
+  const gpu::TransferStats t0 = device_->transfers();
+  std::vector<mem::FieldId> w{ids_.qv};
+  w.insert(w.end(), ids_.ff.begin(), ids_.ff.end());
+  mark_written(w, exec_device_);
+  if (st != nullptr) st->charge_transfer_delta(t0, device_->transfers());
+}
+
+void FastSbm::mark_pass_writes(FsbmStats& st, bool on_device, bool thermo) {
+  if (!persist()) return;
+  const gpu::TransferStats t0 = device_->transfers();
+  std::vector<mem::FieldId> w;
+  if (thermo) w = {ids_.temp, ids_.qv, ids_.call_coal};
+  w.insert(w.end(), ids_.ff.begin(), ids_.ff.end());
+  mark_written(w, on_device);
+  st.charge_transfer_delta(t0, device_->transfers());
+}
+
+void FastSbm::mark_coal_writes(const MicroState& state) {
+  // Walk in memory order (j slowest, i fastest) so the per-cell slice
+  // ranges arrive ascending and adjacent active cells coalesce into one
+  // span — cloud regions are i-contiguous.
+  const auto& f0 = state.ff[0];
+  const std::uint64_t slice_bytes =
+      static_cast<std::uint64_t>(bins_.nkr()) * sizeof(float);
+  for (int j = patch_.jp.lo; j <= patch_.jp.hi; ++j) {
+    for (int k = patch_.k.lo; k <= patch_.k.hi; ++k) {
+      for (int i = patch_.ip.lo; i <= patch_.ip.hi; ++i) {
+        if (call_coal_(i, k, j) == 0) continue;
+        const std::uint64_t off = f0.index(0, i, k, j) * sizeof(float);
+        for (const mem::FieldId f : ids_.ff) {
+          region_->mark_device_dirty(f, off, slice_bytes);
+        }
+      }
+    }
+  }
+}
+
 void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
                                 prof::Profiler& prof) {
   // §VIII: the condensation loops offloaded "using a similar approach" —
@@ -258,7 +366,42 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
       }
     }
   };
+  {
+    // The condensation kernel consumes the thermo + bin fields.
+    // res=persist brings the resident operands current (dirty bytes
+    // only); res=step opens a per-launch `target data` region like the
+    // coal pass, so the two modes stay comparable for this launch too.
+    const gpu::TransferStats t0 = device_->transfers();
+    if (persist()) {
+      region_->update_to(ids_.temp);
+      region_->update_to(ids_.qv);
+      region_->update_to(ids_.pres);
+      for (const mem::FieldId f : ids_.ff) region_->update_to(f);
+    } else {
+      region_->map_to(ids_.temp);
+      region_->map_to(ids_.qv);
+      region_->map_to(ids_.pres);
+      region_->map_to(ids_.call_coal);
+      for (const mem::FieldId f : ids_.ff) region_->map_to(f);
+    }
+    st.charge_transfer_delta(t0, device_->transfers());
+  }
   st.cond_kernel = device_space_->launch(desc);
+  if (persist()) {
+    // Kernel writes: thermo state, bins, and the refilled predicate
+    // advance the device copy (operands were flushed above, so the
+    // read-coherence flush inside moves nothing here).
+    mark_pass_writes(st, /*on_device=*/true, /*thermo=*/true);
+  } else {
+    // Close the per-launch region: the kernel's outputs map back d2h.
+    const gpu::TransferStats t0 = device_->transfers();
+    region_->map_from(ids_.temp);
+    region_->map_from(ids_.qv);
+    region_->map_from(ids_.call_coal);
+    for (const mem::FieldId f : ids_.ff) region_->map_from(f);
+    region_->unmap_all();
+    st.charge_transfer_delta(t0, device_->transfers());
+  }
   st.cells_active += active.load();
   st.cells_coal += coal_cells.load();
   st.cond_flops += desc.flops_total();
@@ -358,6 +501,10 @@ void FastSbm::pass_physics(MicroState& state, FsbmStats& st,
                         sum.wall_coal_sec);
   }
   st.merge(sum);
+  // Residency: this pass rewrote the thermo state, the bins, and the
+  // predicate — host-side under a host space (device copy stale), as a
+  // device kernel under exec=device (device copy advanced).
+  mark_pass_writes(st, exec_device_, /*thermo=*/true);
 }
 
 void FastSbm::emit_coal_trace(const MicroState& state, int i, int k, int j,
@@ -442,10 +589,26 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
   const bool collapse3 = version_ != Version::kV2Offload2;
 
   // Host -> device: bin distributions, thermodynamic fields, predicate.
-  std::uint64_t h2d = call_coal_.size();
-  for (const auto& f : state.ff) h2d += f.bytes();
-  h2d += state.temp.bytes() + state.pres.bytes();
-  st.h2d_ms += device_space_->copy_to_device(h2d);
+  // res=step opens a per-launch `target data` region — allocate + upload
+  // every field through the capacity check, the paper's as-ported
+  // behavior.  res=persist issues `target update to` of only the dirty
+  // bytes: halo shell strips and whatever host-side passes wrote since
+  // the device copy was last current.
+  {
+    const gpu::TransferStats t0 = device_->transfers();
+    if (persist()) {
+      region_->update_to(ids_.call_coal);
+      for (const mem::FieldId f : ids_.ff) region_->update_to(f);
+      region_->update_to(ids_.temp);
+      region_->update_to(ids_.pres);
+    } else {
+      region_->map_to(ids_.call_coal);
+      for (const mem::FieldId f : ids_.ff) region_->map_to(f);
+      region_->map_to(ids_.temp);
+      region_->map_to(ids_.pres);
+    }
+    st.charge_transfer_delta(t0, device_->transfers());
+  }
 
   std::atomic<std::uint64_t> interactions{0};
   std::atomic<std::uint64_t> lookups{0};
@@ -515,10 +678,27 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
 
   st.coal_kernel = device_space_->launch(desc);
 
-  // Device -> host: updated distributions.
-  std::uint64_t d2h = 0;
-  for (const auto& f : state.ff) d2h += f.bytes();
-  st.d2h_ms += device_space_->copy_from_device(d2h);
+  // Device -> host: updated distributions.  res=step closes the data
+  // region (full bin-field map(from:) + delete).  res=persist marks the
+  // kernel's writes device-dirty at bin-slice granularity through the
+  // predicate array and flushes exactly those slices d2h here (host
+  // passes consume them next), while under exec=device the fields stay
+  // resident (the next consumer is another device-dispatched nest).
+  {
+    const gpu::TransferStats t0 = device_->transfers();
+    if (persist()) {
+      if (exec_device_) {
+        for (const mem::FieldId f : ids_.ff) region_->mark_device_dirty(f);
+      } else {
+        mark_coal_writes(state);
+        for (const mem::FieldId f : ids_.ff) region_->update_from(f);
+      }
+    } else {
+      for (const mem::FieldId f : ids_.ff) region_->map_from(f);
+      region_->unmap_all();
+    }
+    st.charge_transfer_delta(t0, device_->transfers());
+  }
 
   st.coal_interactions += interactions.load();
   st.kernel_entries += lookups.load();
@@ -586,6 +766,9 @@ void FastSbm::pass_sedimentation(MicroState& state, FsbmStats& st,
         }
       });
   st.merge(sum);
+  // Residency: sedimentation rewrote every bin column (host-side under a
+  // host space; modeled as a device kernel under exec=device).
+  mark_pass_writes(st, exec_device_, /*thermo=*/false);
 }
 
 void FastSbm::pass_sedimentation_blocked(MicroState& state, FsbmStats& st,
@@ -714,6 +897,8 @@ void FastSbm::pass_sedimentation_blocked(MicroState& state, FsbmStats& st,
   FsbmStats sum;
   for (const FsbmStats& part : parts) sum.merge(part);
   st.merge(sum);
+  // Residency: same dirty marks as the per-column path (see above).
+  mark_pass_writes(st, exec_device_, /*thermo=*/false);
 }
 
 FsbmStats FastSbm::step(MicroState& state, prof::Profiler& prof) {

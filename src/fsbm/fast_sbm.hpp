@@ -35,6 +35,7 @@
 #include "fsbm/sedimentation.hpp"
 #include "fsbm/state.hpp"
 #include "gpu/device.hpp"
+#include "mem/residency.hpp"
 #include "prof/prof.hpp"
 
 namespace wrf::fsbm {
@@ -77,6 +78,15 @@ struct FsbmParams {
   /// only sedimentation on the host.
   bool offload_condensation = false;
   int cond_regs_per_thread = 72;
+
+  /// The `res=` knob (offloaded versions only; a no-op for v0/v1).
+  /// kStep opens a per-launch `target data` region around every
+  /// collision pass — all fields h2d before, bin fields d2h after, the
+  /// paper's as-ported behavior.  kPersist keeps the fields resident on
+  /// the device across steps with per-field dirty tracking, so steady-
+  /// state transfers shrink to what actually changed hands (see
+  /// mem/residency.hpp and the README data-environment section).
+  mem::ResidencyMode residency = mem::ResidencyMode::kStep;
 };
 
 /// Per-call statistics (work counters drive src/perfmodel).
@@ -106,6 +116,21 @@ struct FsbmStats {
   std::optional<gpu::KernelStats> cond_kernel;  ///< §VIII extension
   double h2d_ms = 0.0;
   double d2h_ms = 0.0;
+  /// Transfer traffic of the microphysics passes in bytes and transfer
+  /// counts (gpu::TransferStats deltas) — what the residency sweep
+  /// reports; res=persist collapses these while the physics stays
+  /// bitwise identical.
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t h2d_transfers = 0;
+  std::uint64_t d2h_transfers = 0;
+
+  /// Charge the device transfer delta [t0, now) into these counters.
+  /// The link rate is direction-independent, so the modeled-ms delta
+  /// splits exactly in proportion to the byte deltas (a one-direction
+  /// bracket attributes its full ms to that direction, bitwise).
+  void charge_transfer_delta(const gpu::TransferStats& t0,
+                             const gpu::TransferStats& now);
 
   void merge(const FsbmStats& o);
 };
@@ -146,6 +171,39 @@ class FastSbm {
   /// Device bytes the v3 pools occupy (0 for host versions); used by the
   /// perfmodel's ranks-per-GPU memory analysis.
   std::uint64_t pool_bytes() const noexcept { return pool_bytes_; }
+
+  /// Field registrations of this scheme's device data environment
+  /// (all kInvalidField for host-only versions).
+  struct ResidencyFields {
+    ResidencyFields() { ff.fill(mem::kInvalidField); }
+    mem::FieldId qv = mem::kInvalidField;
+    mem::FieldId temp = mem::kInvalidField;
+    mem::FieldId pres = mem::kInvalidField;
+    mem::FieldId call_coal = mem::kInvalidField;
+    std::array<mem::FieldId, kNumSpecies> ff;
+  };
+  const ResidencyFields& residency_fields() const noexcept { return ids_; }
+
+  /// The device data environment the offloaded passes transfer through
+  /// (nullptr for host-only versions).  Under res=persist the model
+  /// driver binds this region into the halo exchange so unpacked shell
+  /// strips mark sub-field dirty ranges.
+  mem::DataRegion* region() noexcept { return region_; }
+
+  /// Bytes pinned resident on the device under res=persist (0 under
+  /// res=step, where maps are per-launch transients).
+  std::uint64_t resident_bytes() const noexcept {
+    return region_ != nullptr ? region_->resident_bytes() : 0;
+  }
+
+  /// res=persist: the dynamics transport (an RK3 stage update) rewrote
+  /// qv and every bin field — stale the device copies (host exec
+  /// spaces) or advance them (exec=device models the tendency/update
+  /// nests as device kernels, whose read-coherence flush may move h2d
+  /// bytes; they are charged into `st` when given).  The model driver
+  /// calls this before each halo round after the first and once after
+  /// the final stage.  No-op unless res=persist.
+  void mark_transport_writes(FsbmStats* st = nullptr);
 
  private:
   struct CellRef {
@@ -198,6 +256,29 @@ class FastSbm {
     return exec_ != nullptr ? *exec_ : exec::serial();
   }
 
+  bool persist() const noexcept {
+    return region_ != nullptr &&
+           params_.residency == mem::ResidencyMode::kPersist;
+  }
+
+  /// Mark the fields a pass wrote: host passes stale the device copy
+  /// (host-dirty); passes dispatched on the device (exec=device, or the
+  /// offloaded kernels themselves) advance the device copy instead
+  /// (device-dirty, after a read-coherence h2d flush of pending host
+  /// writes — the kernel consumed current operands).  No-op unless
+  /// res=persist.
+  void mark_written(const std::vector<mem::FieldId>& ids, bool on_device);
+
+  /// Shared pass epilogue: mark_written for the bin fields (plus the
+  /// thermo state + predicate when `thermo`), charging any
+  /// read-coherence flush bytes into `st`.  No-op unless res=persist.
+  void mark_pass_writes(FsbmStats& st, bool on_device, bool thermo);
+
+  /// Strip-granular device-dirty marks for the collision kernel's
+  /// writes: one bin-slice range per predicate-flagged cell, walked in
+  /// memory order so adjacent active cells coalesce.
+  void mark_coal_writes(const MicroState& state);
+
   grid::Patch patch_;
   Version version_;
   FsbmParams params_;
@@ -213,6 +294,13 @@ class FastSbm {
       pool_g5_;
   Field3D<std::uint8_t> call_coal_;  ///< the predicate array of Listing 6
   std::uint64_t pool_bytes_ = 0;
+  /// The device data environment (owned by device_space_); null for
+  /// host-only versions.
+  mem::DataRegion* region_ = nullptr;
+  ResidencyFields ids_;
+  /// True when `exec` is a DeviceSpace: host passes are then modeled as
+  /// device-resident kernels, so their writes advance the device copy.
+  bool exec_device_ = false;
 };
 
 }  // namespace wrf::fsbm

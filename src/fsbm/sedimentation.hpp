@@ -33,6 +33,12 @@
 // Each column therefore performs exactly the arithmetic the per-column
 // solver would, which is what makes the blocked path bitwise identical
 // for any block width and any block composition.
+//
+// Device residency: both solvers run host-side and rewrite every bin
+// column, so under res=persist the fast_sbm sedimentation passes mark
+// the full bin fields dirty in their epilogues (host-dirty under a host
+// exec space, device-dirty under exec=device where the pass is modeled
+// as a device kernel) — see FastSbm::mark_written and mem/residency.hpp.
 
 #include <cstdint>
 #include <string>

@@ -84,33 +84,78 @@ Device::Device(DeviceSpec spec, par::ThreadPool* pool)
       stack_limit_(spec_.default_stack_bytes),
       heap_limit_(spec_.default_heap_bytes) {}
 
-void Device::map_to(std::uint64_t bytes) {
-  transfers_.h2d_bytes += bytes;
-  transfers_.modeled_time_ms +=
-      static_cast<double>(bytes) / (spec_.host_link_gbs * 1e6);
-}
-
-void Device::map_from(std::uint64_t bytes) {
-  transfers_.d2h_bytes += bytes;
-  transfers_.modeled_time_ms +=
-      static_cast<double>(bytes) / (spec_.host_link_gbs * 1e6);
-}
-
-void Device::enter_data_alloc(std::uint64_t bytes) {
+void Device::check_capacity(std::uint64_t bytes, const std::string& what) const {
   if (allocated_ + bytes > spec_.dram_bytes) {
     throw DeviceError(
         DeviceError::kOutOfMemory,
-        "CUDA error: out of memory (device allocation of " +
-            std::to_string(bytes) + " B exceeds " +
+        "CUDA error: out of memory (" + what + " of " +
+            std::to_string(bytes) + " B on top of " +
+            std::to_string(allocated_) + " B allocated exceeds " +
             std::to_string(spec_.dram_bytes) + " B capacity on " + spec_.name +
             ")");
   }
+}
+
+void Device::update_to(std::uint64_t bytes) {
+  transfers_.h2d_bytes += bytes;
+  ++transfers_.h2d_count;
+  transfers_.modeled_time_ms +=
+      static_cast<double>(bytes) / (spec_.host_link_gbs * 1e6);
+}
+
+void Device::update_from(std::uint64_t bytes) {
+  transfers_.d2h_bytes += bytes;
+  ++transfers_.d2h_count;
+  transfers_.modeled_time_ms +=
+      static_cast<double>(bytes) / (spec_.host_link_gbs * 1e6);
+}
+
+void Device::map_to(std::uint64_t bytes) {
+  check_capacity(bytes, "transient map(to:)");
+  update_to(bytes);
+}
+
+void Device::map_from(std::uint64_t bytes) {
+  check_capacity(bytes, "transient map(from:)");
+  update_from(bytes);
+}
+
+void Device::enter_data_alloc(std::uint64_t bytes) {
+  check_capacity(bytes, "device allocation");
   allocated_ += bytes;
   transfers_.alloc_bytes += bytes;
 }
 
 void Device::exit_data_delete(std::uint64_t bytes) {
   allocated_ = bytes > allocated_ ? 0 : allocated_ - bytes;
+}
+
+void Device::alloc_named(const std::string& name, std::uint64_t bytes) {
+  if (named_.count(name) != 0) {
+    throw Error("Device::alloc_named: '" + name + "' already allocated");
+  }
+  check_capacity(bytes, "persistent allocation '" + name + "'");
+  named_[name] = bytes;
+  allocated_ += bytes;
+  transfers_.alloc_bytes += bytes;
+}
+
+void Device::free_named(const std::string& name) {
+  const auto it = named_.find(name);
+  if (it == named_.end()) {
+    throw Error("Device::free_named: no allocation named '" + name + "'");
+  }
+  allocated_ = it->second > allocated_ ? 0 : allocated_ - it->second;
+  named_.erase(it);
+}
+
+bool Device::has_named(const std::string& name) const {
+  return named_.count(name) != 0;
+}
+
+std::uint64_t Device::named_bytes(const std::string& name) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? 0 : it->second;
 }
 
 namespace {

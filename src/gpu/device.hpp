@@ -143,10 +143,14 @@ struct KernelStats {
   const char* bound = "";             ///< "memory" | "compute" | "latency"
 };
 
-/// Cumulative host<->device transfer bookkeeping.
+/// Cumulative host<->device transfer bookkeeping.  Byte totals and
+/// transfer counts surface through FsbmStats/StepStats and the bench
+/// tables so residency wins are visible as bytes, not only modeled time.
 struct TransferStats {
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_bytes = 0;
+  std::uint64_t h2d_count = 0;  ///< number of h2d transfers issued
+  std::uint64_t d2h_count = 0;  ///< number of d2h transfers issued
   std::uint64_t alloc_bytes = 0;
   double modeled_time_ms = 0.0;
 };
@@ -172,16 +176,41 @@ class Device {
   void set_heap_limit(std::uint64_t bytes) { heap_limit_ = bytes; }
   std::uint64_t heap_limit() const noexcept { return heap_limit_; }
 
-  /// `map(to:)`: host-to-device copy of `bytes`.
+  /// `map(to:)`: host-to-device copy of `bytes` into a *transient*
+  /// buffer.  The buffer must fit beside the persistent allocations, so
+  /// this checks capacity (DeviceError::kOutOfMemory) without charging
+  /// it — the transient allocation dies with the enclosing launch.
+  /// Persistent buffers go through `alloc_named` + `update_to` instead
+  /// so their bytes stay charged against `dram_bytes`.
   void map_to(std::uint64_t bytes);
-  /// `map(from:)`: device-to-host copy of `bytes`.
+  /// `map(from:)`: device-to-host copy of `bytes` (same transient
+  /// capacity check as map_to).
   void map_from(std::uint64_t bytes);
+  /// `target update to/from(...)`: copy into/out of memory that is
+  /// already device-resident — transfer accounting only, no capacity
+  /// interaction.  The DataRegion dirty-range updates price through
+  /// these.
+  void update_to(std::uint64_t bytes);
+  void update_from(std::uint64_t bytes);
   /// `target enter data map(alloc:)`: device allocation without copy.
   /// Throws DeviceError(kOutOfMemory) when capacity would be exceeded.
   void enter_data_alloc(std::uint64_t bytes);
   /// `target exit data map(delete:)`.
   void exit_data_delete(std::uint64_t bytes);
   std::uint64_t allocated_bytes() const noexcept { return allocated_; }
+
+  /// Named persistent allocations — the backing store of the residency
+  /// subsystem's field table (mem::DataRegion).  `alloc_named` charges
+  /// `bytes` against `dram_bytes` through the same capacity check as
+  /// `enter_data_alloc` and throws DeviceError(kOutOfMemory) with the
+  /// paper-style message when the domain does not fit; allocating an
+  /// existing name again is an error (the DataRegion enforces presence
+  /// semantics above this).
+  void alloc_named(const std::string& name, std::uint64_t bytes);
+  void free_named(const std::string& name);
+  bool has_named(const std::string& name) const;
+  /// Size of a named allocation; 0 when absent.
+  std::uint64_t named_bytes(const std::string& name) const;
 
   /// Launch one kernel: functional execution + performance model.
   /// Throws DeviceError(kLaunchOutOfStack) if the kernel's per-thread
@@ -212,11 +241,16 @@ class Device {
                        double dram_bytes, double l2_bytes, double l1_hit,
                        double l2_hit, bool traced, const char** bound) const;
 
+  /// Shared capacity check: throws kOutOfMemory when `bytes` more would
+  /// not fit; charges nothing.
+  void check_capacity(std::uint64_t bytes, const std::string& what) const;
+
   DeviceSpec spec_;
   par::ThreadPool* pool_;
   std::uint64_t stack_limit_;
   std::uint64_t heap_limit_;
   std::uint64_t allocated_ = 0;
+  std::map<std::string, std::uint64_t> named_;
   TransferStats transfers_;
   std::vector<KernelStats> launches_;
   double total_kernel_ms_ = 0.0;

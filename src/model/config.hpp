@@ -9,6 +9,7 @@
 #include "fsbm/fast_sbm.hpp"
 #include "gpu/device.hpp"
 #include "grid/decomp.hpp"
+#include "mem/residency.hpp"
 
 namespace wrf::model {
 
@@ -54,6 +55,15 @@ struct RunConfig {
   /// asserted in tests/test_fsbm_properties.cpp and tests/test_exec.cpp).
   /// Parse with fsbm::SedDispatch::parse / fsbm::sed_from_args.
   fsbm::SedDispatch sed;
+
+  /// The `res=` knob: step re-maps every offloaded field h2d/d2h around
+  /// each collision launch (the paper's as-ported behavior); persist
+  /// keeps the fields resident on the device across steps with per-field
+  /// dirty tracking, so steady-state traffic shrinks to dirty strips
+  /// (bitwise-identical state and physics stats either way — asserted in
+  /// tests/test_exec.cpp).  A no-op for the host-only versions.  Parse
+  /// with mem::parse_residency / mem::residency_from_args.
+  mem::ResidencyMode res = mem::ResidencyMode::kStep;
 
   // Decomposition.
   int npx = 2;

@@ -44,11 +44,11 @@ std::string RunConfig::describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "grid %dx%dx%d dx=%.0fm dt=%.1fs nkr=%d ranks=%dx%d "
-                "version=%s exec=%s halo=%s sed=%s ngpus=%d",
+                "version=%s exec=%s halo=%s sed=%s res=%s ngpus=%d",
                 nx, ny, nz, dx, dt, nkr, npx, npy,
                 fsbm::version_name(version), exec.describe().c_str(),
                 dyn::halo_mode_name(halo_mode), sed.describe().c_str(),
-                ngpus);
+                mem::residency_name(res), ngpus);
   return buf;
 }
 
@@ -67,6 +67,7 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
   params.dt = config_.dt;
   params.sed.dz = config_.dz;
   params.sed_dispatch = config_.sed;
+  params.residency = config_.res;
   fsbm_ = std::make_unique<fsbm::FastSbm>(patch_, config_.nkr,
                                           config_.version, params,
                                           device_.get(), exec_space_.get());
@@ -77,10 +78,22 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
   rk3_ = std::make_unique<dyn::Rk3>(patch_, config_.nkr, adv, config_.dt,
                                     exec_space_.get(), config_.halo_mode);
   // The rank's halo plan: registration order defines the tag schedule,
-  // so every rank registers qv then the bin fields, identically.
+  // so every rank registers qv then the bin fields, identically.  Under
+  // res=persist the scheme's data region is bound in, so unpacked shell
+  // strips mark sub-field dirty ranges instead of staling whole fields.
   halo_ = std::make_unique<HaloExchange>(patch_, exec_space_.get());
-  halo_->add(&state_.qv);
-  for (auto& f : state_.ff) halo_->add_bins(&f);
+  const fsbm::FastSbm::ResidencyFields& rf = fsbm_->residency_fields();
+  const bool persist = config_.res == mem::ResidencyMode::kPersist &&
+                       fsbm_->region() != nullptr;
+  if (persist) halo_->set_region(fsbm_->region());
+  // Register the region field ids only under persist: they are what
+  // makes the plan precompute and drive the dirty-strip updates.
+  halo_->add(&state_.qv, persist ? rf.qv : mem::kInvalidField);
+  for (int s = 0; s < fsbm::kNumSpecies; ++s) {
+    halo_->add_bins(&state_.ff[static_cast<std::size_t>(s)],
+                    persist ? rf.ff[static_cast<std::size_t>(s)]
+                            : mem::kInvalidField);
+  }
   winds_.domain = config_.domain();
   winds_.dx = config_.dx;
   winds_.dz = config_.dz;
@@ -98,7 +111,15 @@ void RankModel::halo_begin(fsbm::MicroState& s, StepStats* st) {
       throw Error("RankModel: halo plan is bound to this rank's state");
     }
     const std::uint64_t bytes_before = ctx_->stats().bytes_sent;
+    // res=persist: begin() may flush device-dirty send strips d2h
+    // before packing — charge that residency traffic into the step's
+    // transfer counters like every other modeled transfer.
+    const gpu::TransferStats xfer_before =
+        device_ != nullptr ? device_->transfers() : gpu::TransferStats{};
     halo_->begin(*ctx_);  // whole field set posted; sends happen here
+    if (device_ != nullptr) {
+      st->fsbm.charge_transfer_delta(xfer_before, device_->transfers());
+    }
     st->halo_bytes += ctx_->stats().bytes_sent - bytes_before;
   }
   st->halo_wall_sec += seconds_since(t0);
@@ -107,22 +128,40 @@ void RankModel::halo_begin(fsbm::MicroState& s, StepStats* st) {
 void RankModel::halo_finish(fsbm::MicroState& s, StepStats* st) {
   const auto t0 = Clock::now();
   if (ctx_ != nullptr && ctx_->size() > 1) {
+    // res=persist: finish() only marks the unpacked shell strips
+    // host-dirty — the consuming pass's charged update_to pulls them.
     halo_->finish(*ctx_);
   }
   // Domain-edge boundary conditions (zero-gradient).  After the unpack:
   // the west/east fills read corner rows delivered by the exchange.
+  // Residency: these writes need no separate dirty marks — they are
+  // covered by the full-field advection marks of the same step
+  // (mark_advection_writes), on whichever side of the link the exec
+  // space puts them.
   dyn::fill_domain_boundaries(patch_, s.qv);
   for (auto& f : s.ff) dyn::fill_domain_boundaries_bins(patch_, f);
   st->halo_wall_sec += seconds_since(t0);
 }
 
+void RankModel::mark_advection_writes(StepStats* st) {
+  fsbm_->mark_transport_writes(&st->fsbm);
+}
+
 /// Adapter handing RankModel's phased halo refresh to dyn::Rk3, with the
-/// per-step stats threaded through.
+/// per-step stats threaded through.  Each round's begin() first marks
+/// the *previous* stage's advection writes (rk3 exchanges halos at the
+/// top of every stage, so the round ships what the last update wrote);
+/// round 0 skips the mark — its halo carries the previous step's state,
+/// whose writers (fsbm passes, the final stage update) already marked.
 struct RankHaloPhases final : dyn::HaloPhases {
   RankModel* model;
   StepStats* st;
+  int round = 0;
   RankHaloPhases(RankModel* m, StepStats* s) : model(m), st(s) {}
-  void begin(fsbm::MicroState& s) override { model->halo_begin(s, st); }
+  void begin(fsbm::MicroState& s) override {
+    if (round++ > 0) model->mark_advection_writes(st);
+    model->halo_begin(s, st);
+  }
   void finish(fsbm::MicroState& s) override { model->halo_finish(s, st); }
 };
 
@@ -133,13 +172,25 @@ StepStats RankModel::step(prof::Profiler& prof) {
     prof::ScopedRange r(prof, "solve_interval");
     RankHaloPhases phases(this, &st);
     st.dyn = rk3_->step(state_, winds_, phases, prof);
-    st.fsbm = fsbm_->step(state_, prof);
+    mark_advection_writes(&st);  // the final stage's update (no round follows)
+    // merge, not assign: st.fsbm already carries the transport-flush
+    // charges the halo rounds and the mark above deposited.
+    st.fsbm.merge(fsbm_->step(state_, prof));
   }
   st.wall_sec = seconds_since(t0);
   return st;
 }
 
 io::Snapshot RankModel::snapshot() const {
+  // res=persist leaves the last device-side writes resident; a real port
+  // flushes them before host-side output, so issue that final d2h here
+  // (one flush, amortized over the run — steady-state per-step traffic
+  // is unaffected).  The run helpers bracket this call and charge the
+  // delta into the run totals.
+  if (config_.res == mem::ResidencyMode::kPersist &&
+      fsbm_->region() != nullptr) {
+    fsbm_->region()->update_from_all();
+  }
   io::Snapshot snap;
   const grid::Patch& p = patch_;
   const std::int64_t ni = p.ip.size(), nk = p.k.size(), nj = p.jp.size();
@@ -203,7 +254,17 @@ RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
       local.merge(rank_model.step(prof));
       ctx.barrier();  // WRF's implicit per-step synchronization
     }
+    // snapshot()'s res=persist pre-output flush is a modeled transfer
+    // like any other: charge it so run totals reconcile with the
+    // device-level TransferStats.
+    const gpu::TransferStats snap_t0 = rank_model.device() != nullptr
+                                           ? rank_model.device()->transfers()
+                                           : gpu::TransferStats{};
     io::Snapshot snap = rank_model.snapshot();
+    if (rank_model.device() != nullptr) {
+      local.fsbm.charge_transfer_delta(snap_t0,
+                                       rank_model.device()->transfers());
+    }
     std::lock_guard<std::mutex> lk(mu);
     result.totals.merge(local);
     result.snapshots[static_cast<std::size_t>(ctx.rank())] = std::move(snap);
@@ -211,6 +272,7 @@ RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
       result.last_coal_kernel = local.fsbm.coal_kernel;
     }
     result.pool_bytes_per_rank = rank_model.scheme().pool_bytes();
+    result.resident_bytes_per_rank = rank_model.scheme().resident_bytes();
   });
   result.wall_sec = seconds_since(t0);
   return result;
@@ -229,11 +291,20 @@ RunResult run_single(const RunConfig& config, prof::Profiler& prof) {
   for (int s = 0; s < c.nsteps; ++s) {
     result.totals.merge(rank_model.step(prof));
   }
+  // Charge snapshot()'s res=persist pre-output flush (see run_simulation).
+  const gpu::TransferStats snap_t0 = rank_model.device() != nullptr
+                                         ? rank_model.device()->transfers()
+                                         : gpu::TransferStats{};
   result.snapshots.push_back(rank_model.snapshot());
+  if (rank_model.device() != nullptr) {
+    result.totals.fsbm.charge_transfer_delta(snap_t0,
+                                             rank_model.device()->transfers());
+  }
   if (result.totals.fsbm.coal_kernel) {
     result.last_coal_kernel = result.totals.fsbm.coal_kernel;
   }
   result.pool_bytes_per_rank = rank_model.scheme().pool_bytes();
+  result.resident_bytes_per_rank = rank_model.scheme().resident_bytes();
   result.wall_sec = seconds_since(t0);
   return result;
 }

@@ -73,6 +73,13 @@ class RankModel {
   /// Phase 2: wait + unpack, then domain-edge boundary fill.
   void halo_finish(fsbm::MicroState& s, StepStats* st);
 
+  /// res=persist: delegate to FastSbm::mark_transport_writes (an RK3
+  /// stage update rewrote qv and every bin field; any read-coherence
+  /// h2d flush is charged into `st->fsbm`).  Called before each halo
+  /// round after the first (so begin() flushes the strips the previous
+  /// stage wrote) and once after the final stage.
+  void mark_advection_writes(StepStats* st);
+
   RunConfig config_;
   grid::Patch patch_;
   par::RankCtx* ctx_;
@@ -97,6 +104,9 @@ struct RunResult {
   std::vector<io::Snapshot> snapshots;  ///< per-rank final snapshots
   std::optional<gpu::KernelStats> last_coal_kernel;
   std::uint64_t pool_bytes_per_rank = 0;
+  /// Device bytes pinned by res=persist field residency (0 under
+  /// res=step); reported next to pool_bytes_per_rank by the benches.
+  std::uint64_t resident_bytes_per_rank = 0;
 };
 
 /// Run `config.nsteps` steps on `config.nranks()` simpi ranks and return

@@ -82,15 +82,67 @@ void unpack_bins(exec::ExecSpace& ex, Field4D<float>& q,
 
 }  // namespace
 
+namespace {
+/// Shared row walk of rect_rows/rect_rows_bins: one ByteRange of `len`
+/// bytes per (k, j) row, offsets from `row_off(k, j)`, ascending in
+/// memory order (the sorted-disjoint precondition of
+/// DirtySpans::take_ranges).
+template <typename RowOff>
+std::vector<mem::ByteRange> strip_rows(const grid::Patch& patch,
+                                       const grid::HaloRect& r,
+                                       std::uint64_t len, RowOff row_off) {
+  std::vector<mem::ByteRange> rows;
+  if (len == 0) return rows;
+  rows.reserve(static_cast<std::size_t>(r.j.size()) * patch.k.size());
+  for (int j = r.j.lo; j <= r.j.hi; ++j) {
+    for (int k = patch.k.lo; k <= patch.k.hi; ++k) {
+      rows.push_back({row_off(k, j), len});
+    }
+  }
+  return rows;
+}
+}  // namespace
+
+std::vector<mem::ByteRange> rect_rows(const Field3D<float>& q,
+                                      const grid::Patch& patch,
+                                      const grid::HaloRect& r) {
+  return strip_rows(
+      patch, r, static_cast<std::uint64_t>(r.i.size()) * sizeof(float),
+      [&](int k, int j) { return q.index(r.i.lo, k, j) * sizeof(float); });
+}
+
+std::vector<mem::ByteRange> rect_rows_bins(const Field4D<float>& q,
+                                           const grid::Patch& patch,
+                                           const grid::HaloRect& r) {
+  return strip_rows(
+      patch, r,
+      static_cast<std::uint64_t>(r.i.size()) *
+          static_cast<std::uint64_t>(q.n()) * sizeof(float),
+      [&](int k, int j) { return q.index(0, r.i.lo, k, j) * sizeof(float); });
+}
+
 // ------------------------------------------------------------ HaloExchange
 
 HaloExchange::HaloExchange(const grid::Patch& patch, exec::ExecSpace* ex)
     : patch_(patch), ex_(ex) {}
 
-void HaloExchange::add(Field3D<float>* q) {
+void HaloExchange::add(Field3D<float>* q, mem::FieldId rf) {
   if (q == nullptr) throw Error("HaloExchange::add: null field");
   if (fields() >= kMaxFields) throw Error("HaloExchange: too many fields");
-  entries_.push_back(Entry{q, nullptr});
+  Entry e;
+  e.f3 = q;
+  e.rf = rf;
+  if (rf != mem::kInvalidField) {
+    for (int s = 0; s < kSides; ++s) {
+      if (patch_.neighbor[s] < 0) continue;
+      const auto side = static_cast<Side>(s);
+      e.send_rows[static_cast<std::size_t>(s)] =
+          rect_rows(*q, patch_, patch_.send_rect(side));
+      e.recv_rows[static_cast<std::size_t>(s)] =
+          rect_rows(*q, patch_, patch_.recv_rect(side));
+    }
+  }
+  entries_.push_back(std::move(e));
   for (int s = 0; s < kSides; ++s) {
     if (patch_.neighbor[s] < 0) continue;
     bytes_per_round_ +=
@@ -100,10 +152,23 @@ void HaloExchange::add(Field3D<float>* q) {
   }
 }
 
-void HaloExchange::add_bins(Field4D<float>* q) {
+void HaloExchange::add_bins(Field4D<float>* q, mem::FieldId rf) {
   if (q == nullptr) throw Error("HaloExchange::add_bins: null field");
   if (fields() >= kMaxFields) throw Error("HaloExchange: too many fields");
-  entries_.push_back(Entry{nullptr, q});
+  Entry e;
+  e.f4 = q;
+  e.rf = rf;
+  if (rf != mem::kInvalidField) {
+    for (int s = 0; s < kSides; ++s) {
+      if (patch_.neighbor[s] < 0) continue;
+      const auto side = static_cast<Side>(s);
+      e.send_rows[static_cast<std::size_t>(s)] =
+          rect_rows_bins(*q, patch_, patch_.send_rect(side));
+      e.recv_rows[static_cast<std::size_t>(s)] =
+          rect_rows_bins(*q, patch_, patch_.recv_rect(side));
+    }
+  }
+  entries_.push_back(std::move(e));
   for (int s = 0; s < kSides; ++s) {
     if (patch_.neighbor[s] < 0) continue;
     bytes_per_round_ +=
@@ -128,6 +193,15 @@ void HaloExchange::begin(par::RankCtx& ctx) {
       const int nbr = patch_.neighbor[s];
       if (nbr < 0) continue;
       const grid::HaloRect rect = patch_.send_rect(side);
+      if (region_ != nullptr && e.rf != mem::kInvalidField &&
+          region_->device_dirty_bytes(e.rf) > 0) {
+        // The pack reads host memory: flush the send strip's device-
+        // computed bytes d2h first (only the device-dirty ones).  A
+        // clean field skips entirely — the common case under host exec
+        // spaces, where the coal pass already flushed.
+        region_->update_from_ranges(e.rf,
+                                    e.send_rows[static_cast<std::size_t>(s)]);
+      }
       ctx.isend(nbr, tag(round_, f, side),
                 e.f3 != nullptr ? pack(space, *e.f3, patch_, rect)
                                 : pack_bins(space, *e.f4, patch_, rect));
@@ -165,6 +239,15 @@ void HaloExchange::finish(par::RankCtx& /*ctx*/) {
       unpack(space, *e.f3, patch_, rect, buf);
     } else {
       unpack_bins(space, *e.f4, patch_, rect, buf);
+    }
+    if (region_ != nullptr && e.rf != mem::kInvalidField) {
+      // The unpack wrote host memory: mark exactly the shell-strip rows
+      // host-dirty — interior cells never re-transfer.  No eager h2d
+      // push: coherence is pull-based, so the next device-consuming
+      // pass's update_to ships the strips (once, batched per field)
+      // exactly when a kernel actually reads them.
+      region_->mark_host_dirty_ranges(
+          e.rf, e.recv_rows[static_cast<std::size_t>(pr.side)]);
     }
   }
   recvs_.clear();

@@ -11,6 +11,14 @@
 //              field in one round, nothing waited on;
 //   finish() — wait_all on the receives and unpack.
 //
+// Device residency (res=persist): when a mem::DataRegion is bound, the
+// exchange is where host and device copies genuinely trade bytes in a
+// device-resident port — `begin` flushes the device-dirty send strips
+// d2h before packing them, and `finish` marks exactly the unpacked
+// shell-strip rows host-dirty at strip-row granularity, so the next
+// device-consuming pass pulls only those rows h2d and interior cells
+// never re-transfer.
+//
 // Between the two phases the caller may compute on interior cells (the
 // comms/compute overlap of dyn::Rk3 under halo=overlap); calling them
 // back to back is the classic blocking exchange.  The protocol is
@@ -21,11 +29,13 @@
 // rounds ordered, and the round parity in the tag keeps the tag space
 // finite.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "exec/exec.hpp"
 #include "grid/decomp.hpp"
+#include "mem/residency.hpp"
 #include "par/simpi.hpp"
 #include "util/field.hpp"
 
@@ -43,8 +53,14 @@ class HaloExchange {
   /// Register fields.  Registration order defines the field index used
   /// in tags, so every rank must register the same set in the same
   /// order.  Pointers must stay valid for the plan's lifetime.
-  void add(Field3D<float>* q);
-  void add_bins(Field4D<float>* q);
+  /// `rf` is the field's registration in a bound device data region
+  /// (kInvalidField when the field is not device-resident).
+  void add(Field3D<float>* q, mem::FieldId rf = mem::kInvalidField);
+  void add_bins(Field4D<float>* q, mem::FieldId rf = mem::kInvalidField);
+
+  /// Bind the device data region dirty marks flow through (res=persist).
+  /// nullptr (the default) disables residency accounting entirely.
+  void set_region(mem::DataRegion* region) noexcept { region_ = region; }
 
   int fields() const noexcept { return static_cast<int>(entries_.size()); }
 
@@ -73,6 +89,15 @@ class HaloExchange {
   struct Entry {
     Field3D<float>* f3 = nullptr;
     Field4D<float>* f4 = nullptr;
+    mem::FieldId rf = mem::kInvalidField;  ///< data-region registration
+    /// Residency strip rows per side, precomputed at registration (the
+    /// rects and field geometry are fixed for the plan's lifetime):
+    /// send-rect rows flushed d2h in begin(), recv-rect rows marked
+    /// host-dirty in finish() (pull-based — the next consuming pass's
+    /// update_to ships them).  Empty unless rf is valid and the side
+    /// has a neighbor.
+    std::array<std::vector<mem::ByteRange>, 4> send_rows;
+    std::array<std::vector<mem::ByteRange>, 4> recv_rows;
   };
   struct PostedRecv {
     par::Request req;
@@ -82,6 +107,7 @@ class HaloExchange {
 
   grid::Patch patch_;
   exec::ExecSpace* ex_;
+  mem::DataRegion* region_ = nullptr;
   std::vector<Entry> entries_;
   std::vector<PostedRecv> recvs_;  ///< the round's receives, posting order
   std::uint64_t bytes_per_round_ = 0;
@@ -106,5 +132,16 @@ void exchange_halo_bins(par::RankCtx& ctx, const grid::Patch& patch,
 /// used by the communication model without running the exchange.
 std::uint64_t halo_bytes_per_exchange(const grid::Patch& patch, int nk,
                                       int nfields3d, int nfields4d, int nkr);
+
+/// Byte ranges — one per (k, j) row — of a halo rectangle within a
+/// field's storage: the strip granularity of residency dirty marking.
+/// Rows ascend in memory order, so DirtySpans inserts stay O(1) and
+/// adjacent rows of j-contiguous strips coalesce.
+std::vector<mem::ByteRange> rect_rows(const Field3D<float>& q,
+                                      const grid::Patch& patch,
+                                      const grid::HaloRect& r);
+std::vector<mem::ByteRange> rect_rows_bins(const Field4D<float>& q,
+                                           const grid::Patch& patch,
+                                           const grid::HaloRect& r);
 
 }  // namespace wrf::model

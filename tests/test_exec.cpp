@@ -16,6 +16,7 @@
 
 #include "exec/exec.hpp"
 #include "gpu/device.hpp"
+#include "mem/residency.hpp"
 #include "model/driver.hpp"
 
 namespace wrf {
@@ -257,10 +258,14 @@ TEST(DeviceSpace, FunctionalExecutionPlusModeledLaunch) {
   EXPECT_EQ(dev.launches()[0].iterations, r.size());
   EXPECT_GT(space.kernel_ms(), 0.0);
   EXPECT_EQ(space.dispatches(), 1u);
-  // Transfer accounting wraps map_to/map_from.
-  const double ms = space.copy_to_device(1 << 20);
-  EXPECT_GT(ms, 0.0);
+  // The space exposes a device data environment; a named map(to:)
+  // charges capacity and prices the transfer.
+  mem::DataRegion& region = space.region();
+  const mem::FieldId f = region.add_field("exec_test_field", 1 << 20);
+  region.map_to(f);
   EXPECT_EQ(dev.transfers().h2d_bytes, 1u << 20);
+  EXPECT_EQ(dev.allocated_bytes(), 1u << 20);
+  EXPECT_GT(dev.transfers().modeled_time_ms, 0.0);
 }
 
 // ------------------------------------------------------------- knob
@@ -450,6 +455,107 @@ TEST(SedDispatch, ParseAndDescribe) {
   EXPECT_THROW(SedDispatch::parse("block:abc"), ConfigError);
   EXPECT_THROW(SedDispatch::parse("rows"), ConfigError);
   EXPECT_THROW(SedDispatch::parse(""), ConfigError);
+}
+
+// ------------------------------- device residency dispatch (res=)
+
+TEST(ExecFsbm, ResPersistMatchesStepBitwiseAcrossAllVersions) {
+  // res= only changes *when* bytes cross the modeled link, never the
+  // physics: persist must be bitwise identical to step in state and
+  // physics stats for every version, serial and threaded.
+  ExecConfig threads;
+  threads.kind = ExecKind::kThreads;
+  threads.nthreads = 3;
+  for (const fsbm::Version v :
+       {fsbm::Version::kV0Baseline, fsbm::Version::kV1LookupOnDemand,
+        fsbm::Version::kV2Offload2, fsbm::Version::kV3Offload3,
+        fsbm::Version::kV3NaiveCollapse3}) {
+    for (const ExecConfig& e : {ExecConfig{}, threads}) {
+      model::RunConfig step_cfg = exec_case(v, e);
+      model::RunConfig persist_cfg = step_cfg;
+      persist_cfg.res = mem::ResidencyMode::kPersist;
+      prof::Profiler p1, p2;
+      const model::RunResult a = model::run_single(step_cfg, p1);
+      const model::RunResult b = model::run_single(persist_cfg, p2);
+      expect_same_physics(a, b,
+                          (std::string(fsbm::version_name(v)) + " res " +
+                           e.describe())
+                              .c_str());
+    }
+  }
+}
+
+TEST(ExecFsbm, ResPersistMatchesStepUnderDeviceExec) {
+  // exec=device models every host nest as a device kernel; persist then
+  // keeps the fields resident between them.  Physics must not move, and
+  // the steady-state traffic reduction must be visible in the stats.
+  model::RunConfig step_cfg = exec_case(fsbm::Version::kV3Offload3, {});
+  step_cfg.exec.kind = ExecKind::kDevice;
+  model::RunConfig persist_cfg = step_cfg;
+  persist_cfg.res = mem::ResidencyMode::kPersist;
+  prof::Profiler p1, p2;
+  const model::RunResult a = model::run_single(step_cfg, p1);
+  const model::RunResult b = model::run_single(persist_cfg, p2);
+  expect_same_physics(a, b, "v3 exec=device res step vs persist");
+  EXPECT_LT(b.totals.fsbm.h2d_bytes, a.totals.fsbm.h2d_bytes);
+  EXPECT_LT(b.totals.fsbm.d2h_bytes, a.totals.fsbm.d2h_bytes);
+  EXPECT_GT(b.resident_bytes_per_rank, 0u);
+  EXPECT_EQ(a.resident_bytes_per_rank, 0u);
+}
+
+TEST(ExecFsbm, ResPersistMultiRankBitwiseUnderBothHaloModes) {
+  // Decomposed runs exercise the dirty-strip path: halo unpack marks
+  // only shell strips, under both the blocking and overlapped exchange.
+  // exec=device additionally drives begin()'s send-strip d2h flush (the
+  // per-round advection marks make every round's strips device-dirty).
+  ExecConfig threads, device;
+  threads.kind = ExecKind::kThreads;
+  threads.nthreads = 2;
+  device.kind = ExecKind::kDevice;
+  for (const fsbm::Version v :
+       {fsbm::Version::kV2Offload2, fsbm::Version::kV3Offload3}) {
+    for (const dyn::HaloMode h : {dyn::HaloMode::kSync, dyn::HaloMode::kOverlap}) {
+      for (const ExecConfig& e : {threads, device}) {
+        model::RunConfig step_cfg = exec_case(v, e);
+        step_cfg.npx = step_cfg.npy = 2;
+        step_cfg.nx = 24;
+        step_cfg.ny = 16;
+        step_cfg.halo_mode = h;
+        model::RunConfig persist_cfg = step_cfg;
+        persist_cfg.res = mem::ResidencyMode::kPersist;
+        prof::Profiler p1, p2;
+        const model::RunResult a = model::run_simulation(step_cfg, p1);
+        const model::RunResult b = model::run_simulation(persist_cfg, p2);
+        expect_same_physics(a, b,
+                            (std::string(fsbm::version_name(v)) + " halo=" +
+                             dyn::halo_mode_name(h) + " exec=" + e.describe() +
+                             " res step vs persist")
+                                .c_str());
+      }
+    }
+  }
+}
+
+TEST(ExecFsbm, ResPersistTrafficDeterministicAcrossThreadCounts) {
+  // Dirty marking happens in pass epilogues from deterministic state, so
+  // the modeled byte counts — not just the physics — must be identical
+  // across executors and thread counts.
+  ExecConfig t2, t5;
+  t2.kind = t5.kind = ExecKind::kThreads;
+  t2.nthreads = 2;
+  t5.nthreads = 5;
+  model::RunConfig base = exec_case(fsbm::Version::kV3Offload3, t2);
+  base.res = mem::ResidencyMode::kPersist;
+  model::RunConfig alt = base;
+  alt.exec = t5;
+  prof::Profiler p1, p2;
+  const model::RunResult a = model::run_single(base, p1);
+  const model::RunResult b = model::run_single(alt, p2);
+  expect_same_physics(a, b, "persist threads:2 vs threads:5");
+  EXPECT_EQ(a.totals.fsbm.h2d_bytes, b.totals.fsbm.h2d_bytes);
+  EXPECT_EQ(a.totals.fsbm.d2h_bytes, b.totals.fsbm.d2h_bytes);
+  EXPECT_EQ(a.totals.fsbm.h2d_transfers, b.totals.fsbm.h2d_transfers);
+  EXPECT_EQ(a.totals.fsbm.d2h_transfers, b.totals.fsbm.d2h_transfers);
 }
 
 TEST(ExecFsbm, MultiRankThreadedMatchesSerial) {

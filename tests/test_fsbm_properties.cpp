@@ -470,5 +470,44 @@ TEST(FsbmProperties, SeedDeterminismForColumnAndBlockDispatch) {
   }
 }
 
+TEST(FsbmProperties, SeedDeterminismUnderResidencyModes) {
+  // Device residency is pure transfer accounting: each res= mode is
+  // seed-deterministic (run twice: identical hash, stats, AND modeled
+  // traffic), and the two modes agree with each other bitwise in state
+  // and physics stats.
+  std::uint64_t hash[2] = {0, 0};
+  FsbmStats stats[2];
+  int n = 0;
+  for (const mem::ResidencyMode res :
+       {mem::ResidencyMode::kStep, mem::ResidencyMode::kPersist}) {
+    SCOPED_TRACE(mem::residency_name(res));
+    model::RunConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 12;
+    cfg.nz = 8;
+    cfg.nsteps = 2;
+    cfg.version = Version::kV3Offload3;  // offloaded: the res knob bites
+    cfg.res = res;
+    cfg.sed = SedDispatch::parse("block:8");
+    cfg.exec.kind = exec::ExecKind::kThreads;
+    cfg.exec.nthreads = 2;
+    prof::Profiler p1, p2;
+    const model::RunResult a = model::run_single(cfg, p1);
+    const model::RunResult b = model::run_single(cfg, p2);
+    expect_identical_stats(a.totals.fsbm, b.totals.fsbm);
+    EXPECT_EQ(a.totals.fsbm.h2d_bytes, b.totals.fsbm.h2d_bytes);
+    EXPECT_EQ(a.totals.fsbm.d2h_bytes, b.totals.fsbm.d2h_bytes);
+    EXPECT_EQ(state_hash(a), state_hash(b));
+    hash[n] = state_hash(a);
+    stats[n] = a.totals.fsbm;
+    ++n;
+  }
+  EXPECT_EQ(hash[0], hash[1]);  // step vs persist: bitwise-equal state
+  expect_identical_stats(stats[0], stats[1]);
+  // persist's per-launch re-uploads collapse to dirty bytes: traffic
+  // must strictly shrink even with host-side passes re-staling fields.
+  EXPECT_LT(stats[1].d2h_bytes, stats[0].d2h_bytes);
+}
+
 }  // namespace
 }  // namespace wrf::fsbm
