@@ -11,13 +11,168 @@
 // CONUS-12km rank patch; CPU-side physics is priced with the Milan core
 // model.  "Cumulative" compares against v0 for fast_sbm/overall and
 // against v1 for the collision loop, as in the paper.
+//
+// The bench also sweeps the heterogeneous dispatch (exec=hetero) of the
+// same collision pass per offloaded version: split fraction
+// (device-shard cells / total), per-shard wall time, and the
+// shard-granular transfer traffic vs the full-field re-maps.  The gate
+// (exit code) asserts the coherence contract: device-shard h2d traffic
+// scales with predicate-true cells EXACTLY (interior predicate-false
+// cells never transfer), i.e. het_h2d * total_cells == base_h2d *
+// device_cells, and the CONUS sounding splits nontrivially (rows above
+// the 223.15 K coal gate stay on the host shard).
+//
+// Usage: bench_table4_offload2 [nx ny nz nsteps] [--benchmark_format=json]
+//   JSON mode runs only the hetero sweep and emits one record per
+//   version; scripts/bench_json.sh distills BENCH_hetero.json from it.
+
+#include <cstdlib>
+#include <cstring>
 
 #include "offload_runner.hpp"
 
 using namespace wrf;
 using bench::OffloadMeasurement;
 
-int main() {
+namespace {
+
+struct HeteroCell {
+  fsbm::Version version;
+  std::uint64_t dev_cells = 0, host_cells = 0;  // summed over steps
+  double frac = 0.0;                            // device-shard fraction
+  double wall_dev_sec = 0.0, wall_host_sec = 0.0;
+  std::uint64_t het_h2d = 0, het_d2h = 0;    // hetero run, whole run
+  std::uint64_t base_h2d = 0, base_d2h = 0;  // full-pass run, whole run
+  double het_kernel_ms = 0.0, base_kernel_ms = 0.0;  // modeled, last step
+  bool exact_scaling = false;  // het_h2d * total == base_h2d * dev_cells
+};
+
+HeteroCell measure_hetero(fsbm::Version v, int nx, int ny, int nz,
+                          int nsteps) {
+  auto run = [&](const exec::ExecConfig& e) {
+    model::RunConfig cfg;
+    cfg.nx = nx;
+    cfg.ny = ny;
+    cfg.nz = nz;
+    cfg.npx = cfg.npy = 1;
+    cfg.nsteps = nsteps;
+    cfg.version = v;
+    cfg.exec = e;
+    prof::Profiler prof;
+    return model::run_single(cfg, prof);
+  };
+  // Baseline: the whole collision pass on the device with per-launch
+  // full-field maps (res=step, any host exec — serial here).
+  const model::RunResult base = run(exec::ExecConfig{});
+  exec::ExecConfig het;
+  het.kind = exec::ExecKind::kHetero;
+  const model::RunResult h = run(het);
+
+  HeteroCell c;
+  c.version = v;
+  c.dev_cells = h.totals.fsbm.shard_cells_device;
+  c.host_cells = h.totals.fsbm.shard_cells_host;
+  c.frac = h.device_shard_fraction();
+  c.wall_dev_sec = h.totals.fsbm.shard_wall_device_sec;
+  c.wall_host_sec = h.totals.fsbm.shard_wall_host_sec;
+  c.het_h2d = h.totals.fsbm.h2d_bytes;
+  c.het_d2h = h.totals.fsbm.d2h_bytes;
+  c.base_h2d = base.totals.fsbm.h2d_bytes;
+  c.base_d2h = base.totals.fsbm.d2h_bytes;
+  if (h.last_coal_kernel) c.het_kernel_ms = h.last_coal_kernel->modeled_time_ms;
+  if (base.last_coal_kernel) {
+    c.base_kernel_ms = base.last_coal_kernel->modeled_time_ms;
+  }
+  // The hetero upload ships the coal pass's per-cell footprint — the
+  // predicate byte, temp + pres, and all seven bin slices — for
+  // device-shard cells only: an exact integer identity, not a tolerance
+  // check.  (The full-pass baseline re-maps whole memory buffers, halo
+  // cells included, so it is strictly larger than footprint * cells.)
+  const std::uint64_t cell_bytes =
+      1 + 2 * sizeof(float) +
+      static_cast<std::uint64_t>(fsbm::kNumSpecies) *
+          static_cast<std::uint64_t>(model::RunConfig{}.nkr) * sizeof(float);
+  c.exact_scaling =
+      c.het_h2d == c.dev_cells * cell_bytes && c.het_d2h <= c.base_d2h;
+  return c;
+}
+
+void print_hetero_json(const HeteroCell* cells, int n, int nx, int ny, int nz,
+                       int nsteps) {
+  std::printf("{\n  \"context\": {\"executable\": \"bench_table4_offload2\", "
+              "\"grid\": \"%dx%dx%d\", \"nsteps\": %d, \"sweep\": "
+              "\"hetero\"},\n",
+              nx, ny, nz, nsteps);
+  std::printf("  \"benchmarks\": [\n");
+  for (int i = 0; i < n; ++i) {
+    const HeteroCell& c = cells[i];
+    std::printf(
+        "    {\"name\": \"hetero/%s\", \"run_type\": \"aggregate\", "
+        "\"split_fraction\": %.6f, \"device_shard_cells\": %llu, "
+        "\"host_shard_cells\": %llu, \"wall_device_shard_sec\": %.6f, "
+        "\"wall_host_shard_sec\": %.6f, \"hetero_h2d_bytes\": %llu, "
+        "\"hetero_d2h_bytes\": %llu, \"full_h2d_bytes\": %llu, "
+        "\"full_d2h_bytes\": %llu, \"hetero_kernel_ms\": %.4f, "
+        "\"full_kernel_ms\": %.4f, \"exact_shard_scaling\": %s}%s\n",
+        fsbm::version_name(c.version), c.frac,
+        static_cast<unsigned long long>(c.dev_cells),
+        static_cast<unsigned long long>(c.host_cells), c.wall_dev_sec,
+        c.wall_host_sec, static_cast<unsigned long long>(c.het_h2d),
+        static_cast<unsigned long long>(c.het_d2h),
+        static_cast<unsigned long long>(c.base_h2d),
+        static_cast<unsigned long long>(c.base_d2h), c.het_kernel_ms,
+        c.base_kernel_ms, c.exact_scaling ? "true" : "false",
+        i + 1 < n ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int hetero_gate(const HeteroCell* cells, int n) {
+  // The coherence contract the acceptance bar tracks: shard-granular
+  // traffic scales exactly with predicate-true cells, and the split is
+  // nontrivial (the sounding's cold upper rows stayed on the host).
+  for (int i = 0; i < n; ++i) {
+    if (!cells[i].exact_scaling) return 1;
+    if (cells[i].dev_cells == 0 || cells[i].host_cells == 0) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int npos = 0;
+  int pos[4] = {0, 0, 0, 0};
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--benchmark_format=json") == 0) {
+      json = true;
+    } else if (npos < 4 && std::strchr(argv[a], '=') == nullptr) {
+      pos[npos++] = std::atoi(argv[a]);
+    }
+  }
+  // Default: the CONUS rank patch of the paper tables (50 levels reach
+  // 20 km, so ~40% of each column sits above the coal gate).
+  int nx = 107, ny = 75, nz = 50, nsteps = 1;
+  if (npos == 4 && pos[0] > 0) {
+    nx = pos[0];
+    ny = pos[1];
+    nz = pos[2];
+    nsteps = pos[3];
+  }
+
+  HeteroCell het[2];
+  auto sweep_hetero = [&]() {
+    het[0] = measure_hetero(fsbm::Version::kV2Offload2, nx, ny, nz, nsteps);
+    het[1] = measure_hetero(fsbm::Version::kV3Offload3, nx, ny, nz, nsteps);
+  };
+
+  if (json) {
+    sweep_hetero();
+    print_hetero_json(het, 2, nx, ny, nz, nsteps);
+    return hetero_gate(het, 2);
+  }
+
   bench::print_config_header(
       "Table IV — collapse(2) offload of coal_bott_new");
 
@@ -65,8 +220,27 @@ int main() {
   std::printf("functional wall per step on this host: v1 %.2fs, v2 %.2fs\n",
               v1.wall_step_sec, v2.wall_step_sec);
   std::printf("shape check: GPU wins the loop by >3x (%s); occupancy is "
-              "grid-limited single-digit (%s)\n",
+              "grid-limited single-digit (%s)\n\n",
               v1.coal_loop_sec / v2.coal_loop_sec > 3 ? "yes" : "NO",
               v2.kernel->occupancy.achieved < 0.10 ? "yes" : "NO");
-  return 0;
+
+  // ---- heterogeneous dispatch sweep (exec=hetero) -------------------
+  sweep_hetero();
+  std::printf("heterogeneous dispatch (exec=hetero, %dx%dx%d, %d step%s):\n",
+              nx, ny, nz, nsteps, nsteps == 1 ? "" : "s");
+  std::printf("  %-24s %8s %12s %12s %12s %12s %10s %10s\n", "version",
+              "split", "dev wall s", "host wall s", "h2d MB", "full h2d",
+              "kern ms", "full ms");
+  for (const HeteroCell& c : het) {
+    std::printf("  %-24s %7.1f%% %12.4f %12.4f %12.2f %12.2f %10.3f %10.3f\n",
+                fsbm::version_name(c.version), 100.0 * c.frac, c.wall_dev_sec,
+                c.wall_host_sec, static_cast<double>(c.het_h2d) / 1e6,
+                static_cast<double>(c.base_h2d) / 1e6, c.het_kernel_ms,
+                c.base_kernel_ms);
+  }
+  const int gate = hetero_gate(het, 2);
+  std::printf("shape check: device-shard traffic scales exactly with "
+              "predicate-true cells and the split is two-sided (%s)\n",
+              gate == 0 ? "yes" : "NO");
+  return gate;
 }

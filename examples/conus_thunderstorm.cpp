@@ -3,7 +3,7 @@
 // storm diagnostics and a diffwrf-style verification against the CPU
 // build — the Section IV / VII-B workflow as a user would run it.
 //
-// Run: ./build/conus_thunderstorm [nx ny nz nsteps] [exec=threads:N]
+// Run: ./build/conus_thunderstorm [nx ny nz nsteps] [exec=threads:N|hetero:N]
 //      [halo=sync|overlap]
 
 #include <cstdio>

@@ -5,7 +5,7 @@
 //
 // Build & run:
 //   cmake --build build && ./build/quickstart [exec=threads:N] [halo=overlap]
-//                                             [sed=block:8]
+//                                             [sed=block:8] [exec=hetero:N]
 
 #include <cstdio>
 
@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   cfg.nsteps = 3;
   cfg.npx = 2;
   cfg.npy = 2;
-  cfg.exec = exec::exec_from_args(argc, argv);  // serial | threads:N | device
+  cfg.exec = exec::exec_from_args(argc, argv);  // serial | threads:N |
+                                                // device | hetero:N
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);  // sync | overlap
   cfg.sed = fsbm::sed_from_args(argc, argv);    // column | block:N
   cfg.res = mem::residency_from_args(argc, argv);  // step | persist

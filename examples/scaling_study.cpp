@@ -3,7 +3,8 @@
 // equal-resource crossover falls.  This drives the same perfmodel the
 // Table VII bench uses, but lets you vary GPUs and rank counts.
 //
-// Run: ./build/scaling_study [ngpus] [exec=threads:N] [halo=sync|overlap]
+// Run: ./build/scaling_study [ngpus] [exec=threads:N|hetero:N]
+//      [halo=sync|overlap]
 
 #include <cstdio>
 #include <cstdlib>

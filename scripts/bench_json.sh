@@ -1,34 +1,50 @@
 #!/usr/bin/env bash
-# Run the key residency bench with --benchmark_format=json and distill a
-# BENCH_residency.json trajectory point: steady-state per-step h2d/d2h
-# bytes and modeled transfer milliseconds for res=step vs res=persist on
-# the CONUS rank patch (exec=device, the device-resident stepping
-# configuration), plus the reduction factor the acceptance bar tracks.
+# Distill committed benchmark trajectory points from the key sweeps:
+#
+#   BENCH_residency.json — steady-state per-step h2d/d2h bytes and
+#     modeled transfer milliseconds for res=step vs res=persist on the
+#     CONUS rank patch (exec=device, the device-resident stepping
+#     configuration), plus the >=5x reduction factor the acceptance bar
+#     tracks.
+#
+#   BENCH_hetero.json — the heterogeneous-dispatch point from
+#     bench_table4_offload2: split fraction (device-shard cells /
+#     total), per-shard wall time, and shard-granular vs full-field
+#     transfer traffic per offloaded version, plus the exact-scaling
+#     gate (device-shard h2d == per-cell footprint x predicate-true
+#     shard cells; interior predicate-false cells never transfer).
 #
 # Usage:
 #   scripts/bench_json.sh                 # full rank patch (107 75 50 3)
 #   scripts/bench_json.sh 48 32 20 3      # custom grid
 #   BENCH_SMOKE=1 scripts/bench_json.sh   # tiny grid, seconds (CI smoke)
 #
-# Env: BUILD (build dir, default "build"), OUT (output path, default
-# "BENCH_residency.json").
+# Env: BUILD (build dir, default "build"), OUT (residency output path,
+# default "BENCH_residency.json"), OUT_HETERO (hetero output path,
+# default "BENCH_hetero.json").
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD:-build}
 OUT=${OUT:-BENCH_residency.json}
+OUT_HETERO=${OUT_HETERO:-BENCH_hetero.json}
 
 # Always (re)build — incremental, so this is a no-op when current, and
 # it guarantees the trajectory point never comes from a stale binary.
 if [ ! -d "${BUILD}" ]; then
   cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "${BUILD}" -j "$(nproc)" --target bench_residency
+cmake --build "${BUILD}" -j "$(nproc)" \
+  --target bench_residency bench_table4_offload2
 
 ARGS=("$@")
+HETERO_ARGS=("$@")
 if [ "${BENCH_SMOKE:-0}" = "1" ] && [ ${#ARGS[@]} -eq 0 ]; then
   ARGS=(24 16 10 3)
+  # The hetero smoke needs a tall column (40 x 400 m reaches above the
+  # 223.15 K coal gate) so the predicate split is genuinely two-sided.
+  HETERO_ARGS=(16 12 40 1)
 fi
 
 RAW=$(mktemp)
@@ -85,4 +101,46 @@ print("wrote %s: steady-state step %.1f MB/step vs persist %.3f MB/step "
           sys.argv[2], step_bytes / 1e6, persist_bytes / 1e6, reduction,
           "met" if reduction >= 5.0 else "NOT met"))
 PY
-exit "${rc}"
+
+# ---- heterogeneous dispatch point (exec=hetero) ----------------------
+RAW_H=$(mktemp)
+trap 'rm -f "${RAW}" "${RAW_H}"' EXIT
+rc_h=0
+"${BUILD}/bench_table4_offload2" ${HETERO_ARGS[@]+"${HETERO_ARGS[@]}"} \
+  --benchmark_format=json > "${RAW_H}" || rc_h=$?
+
+python3 - "${RAW_H}" "${OUT_HETERO}" <<'PY'
+import json
+import sys
+
+raw = json.load(open(sys.argv[1]))
+cells = {b["name"]: b for b in raw["benchmarks"]}
+
+
+def pick(version):
+    return cells["hetero/%s" % version]
+
+
+point = {
+    "bench": "hetero",
+    "context": raw["context"],
+    "v2": pick("v2-offload-collapse2"),
+    "v3": pick("v3-offload-collapse3"),
+}
+v3 = point["v3"]
+point["split_fraction"] = v3["split_fraction"]
+point["h2d_reduction_x"] = round(
+    v3["full_h2d_bytes"] / max(v3["hetero_h2d_bytes"], 1.0), 2)
+point["exact_shard_scaling"] = (
+    point["v2"]["exact_shard_scaling"] and v3["exact_shard_scaling"])
+json.dump(point, open(sys.argv[2], "w"), indent=2)
+print("wrote %s: split %.0f%% of cells to the device shard, h2d %.1f MB "
+      "vs full %.1f MB (%.2fx), exact shard scaling %s" % (
+          sys.argv[2], 100.0 * v3["split_fraction"],
+          v3["hetero_h2d_bytes"] / 1e6, v3["full_h2d_bytes"] / 1e6,
+          point["h2d_reduction_x"],
+          "yes" if point["exact_shard_scaling"] else "NO"))
+PY
+
+[ "${rc}" -ne 0 ] && exit "${rc}"
+exit "${rc_h}"

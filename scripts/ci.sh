@@ -27,11 +27,13 @@ run_matrix_config() {
 
 run_tsan() {
   # TSan build of the thread-heavy suites: the simpi request layer
-  # (test_par), the execution spaces + blocked sedimentation dispatch
-  # (test_exec), the phased halo exchange with comms/compute overlap
-  # (test_halo_overlap), and the FSBM property suite (its determinism
-  # law reuses the per-thread gather/scatter block buffers across
-  # threaded runs).
+  # (test_par), the execution spaces + blocked sedimentation dispatch +
+  # heterogeneous split passes (test_exec — exec=hetero runs the device
+  # shard's kernel and the host shard's remainder CONCURRENTLY, so the
+  # data-race coverage here is load-bearing), the phased halo exchange
+  # with comms/compute overlap (test_halo_overlap), and the FSBM
+  # property suite (per-thread block-buffer reuse plus the hetero
+  # partition-completeness and seed-determinism laws).
   local build_dir="build-ci-tsan"
   echo "=== ThreadSanitizer ==="
   cmake -B "${build_dir}" -S . \
@@ -45,12 +47,15 @@ run_tsan() {
 }
 
 run_bench_smoke() {
-  # Smoke the residency bench harness on a tiny grid: asserts the
-  # res=persist >=5x steady-state traffic reduction (bench exit code)
-  # and that the JSON distillation pipeline stays runnable.
+  # Smoke the bench harness on tiny grids: asserts the res=persist >=5x
+  # steady-state traffic reduction, the exec=hetero exact shard-scaling
+  # gate (device-shard h2d == per-cell footprint x predicate-true shard
+  # cells on a column tall enough that the split is two-sided), and
+  # that the JSON distillation pipeline stays runnable.
   echo "=== bench_json smoke ==="
   BENCH_SMOKE=1 BUILD=build-ci-release \
     OUT=build-ci-release/BENCH_residency_smoke.json \
+    OUT_HETERO=build-ci-release/BENCH_hetero_smoke.json \
     scripts/bench_json.sh
 }
 

@@ -2,12 +2,48 @@
 
 #include <atomic>
 #include <mutex>
+#include <thread>
 
 #include "gpu/device.hpp"
 #include "mem/residency.hpp"
 #include "par/thread_pool.hpp"
 
 namespace wrf::exec {
+
+// ------------------------------------------------------------ split plan
+
+SplitPlan split_plan(const Range3& r, const TilePlan& plan,
+                     const std::function<bool(int, int, int)>& pred) {
+  SplitPlan sp;
+  sp.plan = plan;
+  for (std::int64_t t = 0; t < plan.tiles(); ++t) {
+    const std::int64_t b = plan.tile_begin(t);
+    const std::int64_t e = plan.tile_end(t);
+    bool active = false;
+    for (std::int64_t f = b; f < e && !active; ++f) {
+      const Range3::Cell c = r.cell(f);
+      active = pred(c.i, c.k, c.j);
+    }
+    if (active) {
+      sp.device_tiles.push_back(t);
+      sp.device_cells += e - b;
+    } else {
+      sp.host_tiles.push_back(t);
+      sp.host_cells += e - b;
+    }
+  }
+  return sp;
+}
+
+// ------------------------------------------------------- tile-list base
+
+void ExecSpace::run_tile_list(const TilePlan& plan,
+                              const std::vector<std::int64_t>& tiles,
+                              const LaunchParams&, const TileFn& fn) {
+  for (const std::int64_t t : tiles) {
+    fn(t, plan.tile_begin(t), plan.tile_end(t));
+  }
+}
 
 // ----------------------------------------------------------------- serial
 
@@ -60,6 +96,31 @@ void run_tiles_on_pool(par::ThreadPool& pool, const TilePlan& plan,
   if (eptr) std::rethrow_exception(eptr);
 }
 
+/// Tile-list variant: dispatch over list positions, handing fn the
+/// original tile ids (same exception contract as run_tiles_on_pool).
+void run_tile_list_on_pool(par::ThreadPool& pool, const TilePlan& plan,
+                           const std::vector<std::int64_t>& tiles,
+                           const TileFn& fn) {
+  std::atomic<bool> failed{false};
+  std::exception_ptr eptr;
+  std::mutex emu;
+  pool.parallel_for(
+      0, static_cast<std::int64_t>(tiles.size()),
+      [&](std::int64_t n) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          const std::int64_t t = tiles[static_cast<std::size_t>(n)];
+          fn(t, plan.tile_begin(t), plan.tile_end(t));
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(emu);
+          if (!eptr) eptr = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      },
+      /*chunk=*/1);
+  if (eptr) std::rethrow_exception(eptr);
+}
+
 }  // namespace
 
 void ThreadedSpace::run_tiles(const TilePlan& plan, const LaunchParams&,
@@ -73,6 +134,17 @@ void ThreadedSpace::run_tiles(const TilePlan& plan, const LaunchParams&,
     return;
   }
   run_tiles_on_pool(*pool_, plan, fn);
+}
+
+void ThreadedSpace::run_tile_list(const TilePlan& plan,
+                                  const std::vector<std::int64_t>& tiles,
+                                  const LaunchParams& p, const TileFn& fn) {
+  if (tiles.empty()) return;
+  if (tiles.size() == 1 || pool_->size() == 1) {
+    ExecSpace::run_tile_list(plan, tiles, p, fn);
+    return;
+  }
+  run_tile_list_on_pool(*pool_, plan, tiles, fn);
 }
 
 // ----------------------------------------------------------------- device
@@ -90,6 +162,26 @@ mem::DataRegion& DeviceSpace::region() {
 
 int DeviceSpace::concurrency() const noexcept { return pool_->size(); }
 
+namespace {
+
+/// The performance-model half of a device dispatch: one body-less kernel
+/// launch whose geometry describes the collapsed nest (or nest shard)
+/// the functional execution stood for.
+gpu::KernelDesc model_desc(const LaunchParams& p, std::int64_t iterations) {
+  gpu::KernelDesc desc;
+  desc.name = p.name;
+  desc.iterations = iterations;
+  desc.collapse = p.collapse;
+  desc.regs_per_thread = p.regs_per_thread;
+  desc.workspace_bytes_per_thread = p.workspace_bytes_per_thread;
+  desc.flops_per_iter = p.flops_per_iter;
+  desc.bytes_per_iter = p.bytes_per_iter;
+  desc.double_precision = p.double_precision;
+  return desc;
+}
+
+}  // namespace
+
 void DeviceSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
                             const TileFn& fn) {
   if (plan.tiles() == 0) return;
@@ -99,18 +191,26 @@ void DeviceSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
   } else {
     run_tiles_on_pool(*pool_, plan, fn);
   }
-  // Then the performance model: one body-less kernel launch whose
-  // geometry describes the collapsed nest this dispatch stood for.
-  gpu::KernelDesc desc;
-  desc.name = p.name;
-  desc.iterations = plan.total();
-  desc.collapse = p.collapse;
-  desc.regs_per_thread = p.regs_per_thread;
-  desc.workspace_bytes_per_thread = p.workspace_bytes_per_thread;
-  desc.flops_per_iter = p.flops_per_iter;
-  desc.bytes_per_iter = p.bytes_per_iter;
-  desc.double_precision = p.double_precision;
-  const gpu::KernelStats ks = device_->launch(desc);
+  const gpu::KernelStats ks = device_->launch(model_desc(p, plan.total()));
+  kernel_ms_ += ks.modeled_time_ms;
+  ++dispatches_;
+}
+
+void DeviceSpace::run_tile_list(const TilePlan& plan,
+                                const std::vector<std::int64_t>& tiles,
+                                const LaunchParams& p, const TileFn& fn) {
+  if (tiles.empty()) return;
+  std::int64_t iters = 0;
+  for (const std::int64_t t : tiles) {
+    iters += plan.tile_end(t) - plan.tile_begin(t);
+  }
+  if (tiles.size() == 1) {
+    const std::int64_t t = tiles.front();
+    fn(t, plan.tile_begin(t), plan.tile_end(t));
+  } else {
+    run_tile_list_on_pool(*pool_, plan, tiles, fn);
+  }
+  const gpu::KernelStats ks = device_->launch(model_desc(p, iters));
   kernel_ms_ += ks.modeled_time_ms;
   ++dispatches_;
 }
@@ -122,7 +222,78 @@ gpu::KernelStats DeviceSpace::launch(const gpu::KernelDesc& desc) {
   return ks;
 }
 
+// ----------------------------------------------------------------- hetero
+
+HeteroSpace::HeteroSpace(gpu::Device& device, int nthreads)
+    : device_(device), host_(nthreads) {}
+
+HeteroSpace::~HeteroSpace() = default;
+
+int HeteroSpace::concurrency() const noexcept { return host_.concurrency(); }
+
+void HeteroSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
+                            const TileFn& fn) {
+  // No predicate, no split: generic dispatches are host work, so every
+  // pass that does not opt into a SplitPlan behaves exactly like
+  // exec=threads (bitwise, by the shared tile contract).
+  host_.run_tiles(plan, p, fn);
+}
+
+void HeteroSpace::run_tile_list(const TilePlan& plan,
+                                const std::vector<std::int64_t>& tiles,
+                                const LaunchParams& p, const TileFn& fn) {
+  host_.run_tile_list(plan, tiles, p, fn);
+}
+
+void HeteroSpace::run_split(const SplitPlan& sp, const LaunchParams& p,
+                            const TileFn& device_fn, const TileFn& host_fn) {
+  // Host remainder on its own thread so it overlaps the device shard's
+  // functional execution + modeled launch — the heterogeneous overlap
+  // the TSan job exercises.  Exceptions from the host side are carried
+  // back and rethrown after the join (device-side exceptions win, as
+  // they surface first on the calling thread).
+  std::exception_ptr host_err;
+  std::thread host_thread([&] {
+    try {
+      host_.run_tile_list(sp.plan, sp.host_tiles, p, host_fn);
+    } catch (...) {
+      host_err = std::current_exception();
+    }
+  });
+  try {
+    device_.run_tile_list(sp.plan, sp.device_tiles, p, device_fn);
+  } catch (...) {
+    host_thread.join();
+    throw;
+  }
+  host_thread.join();
+  if (host_err) std::rethrow_exception(host_err);
+}
+
 // ----------------------------------------------------------------- config
+
+namespace {
+
+/// Parse the ":N" suffix of a "mode:N" knob; throws ConfigError naming
+/// `what` when N is missing, non-numeric, trailing-junked, or < 1.
+int parse_thread_suffix(const std::string& s, const std::string& prefix,
+                        const char* what) {
+  const std::string num = s.substr(prefix.size());
+  std::size_t pos = 0;
+  int n = 0;
+  try {
+    n = std::stoi(num, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != num.size() || num.empty() || n < 1) {
+    throw ConfigError("ExecConfig: bad thread count in '" + s + "' (want " +
+                      what + ":N with N >= 1)");
+  }
+  return n;
+}
+
+}  // namespace
 
 ExecConfig ExecConfig::parse(const std::string& s) {
   ExecConfig cfg;
@@ -139,26 +310,25 @@ ExecConfig ExecConfig::parse(const std::string& s) {
     cfg.nthreads = 0;
     return cfg;
   }
-  const std::string prefix = "threads:";
-  if (s.rfind(prefix, 0) == 0) {
-    const std::string num = s.substr(prefix.size());
-    std::size_t pos = 0;
-    int n = 0;
-    try {
-      n = std::stoi(num, &pos);
-    } catch (const std::exception&) {
-      pos = 0;
-    }
-    if (pos != num.size() || num.empty() || n < 1) {
-      throw ConfigError("ExecConfig: bad thread count in '" + s +
-                        "' (want threads:N with N >= 1)");
-    }
+  if (s == "hetero") {
+    cfg.kind = ExecKind::kHetero;
+    cfg.nthreads = 0;
+    return cfg;
+  }
+  const std::string threads_prefix = "threads:";
+  if (s.rfind(threads_prefix, 0) == 0) {
     cfg.kind = ExecKind::kThreads;
-    cfg.nthreads = n;
+    cfg.nthreads = parse_thread_suffix(s, threads_prefix, "threads");
+    return cfg;
+  }
+  const std::string hetero_prefix = "hetero:";
+  if (s.rfind(hetero_prefix, 0) == 0) {
+    cfg.kind = ExecKind::kHetero;
+    cfg.nthreads = parse_thread_suffix(s, hetero_prefix, "hetero");
     return cfg;
   }
   throw ConfigError("ExecConfig: unknown exec mode '" + s +
-                    "' (want serial | threads[:N] | device)");
+                    "' (want serial | threads[:N] | device | hetero[:N])");
 }
 
 std::string ExecConfig::describe() const {
@@ -168,6 +338,8 @@ std::string ExecConfig::describe() const {
     case ExecKind::kThreads:
       return nthreads > 0 ? "threads:" + std::to_string(nthreads)
                           : "threads";
+    case ExecKind::kHetero:
+      return nthreads > 0 ? "hetero:" + std::to_string(nthreads) : "hetero";
   }
   return "?";
 }
@@ -184,6 +356,11 @@ std::unique_ptr<ExecSpace> make_space(const ExecConfig& cfg,
         throw ConfigError("make_space: exec=device needs a gpu::Device");
       }
       return std::make_unique<DeviceSpace>(*device);
+    case ExecKind::kHetero:
+      if (device == nullptr) {
+        throw ConfigError("make_space: exec=hetero needs a gpu::Device");
+      }
+      return std::make_unique<HeteroSpace>(*device, cfg.nthreads);
   }
   throw ConfigError("make_space: unknown ExecKind");
 }

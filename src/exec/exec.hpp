@@ -11,7 +11,10 @@
 //   * across threads  (`ThreadedSpace` — WRF's OpenMP tile layer,
 //                      backed by par::ThreadPool with dynamic chunking),
 //   * on the device   (`DeviceSpace`   — functional execution plus the
-//                      gpusim performance model and transfer accounting).
+//                      gpusim performance model and transfer accounting),
+//   * split across both (`HeteroSpace` — a DeviceSpace plus a
+//                      ThreadedSpace; a predicate-split `SplitPlan`
+//                      routes each tile to exactly one shard).
 //
 // Determinism contract: a `Range3` iteration space is cut into tiles by a
 // `TilePlan` that depends only on the range and the requested grain —
@@ -158,6 +161,41 @@ class TilePlan {
 using TileFn =
     std::function<void(std::int64_t tile, std::int64_t begin, std::int64_t end)>;
 
+/// Deterministic predicate split of one tile plan across two shards.
+/// Every tile of `plan` appears in exactly one of the two ascending tile
+/// lists, so every cell of the range lands in exactly one shard; the
+/// split is a pure function of (range, plan, predicate), never of either
+/// shard's concurrency — which is what keeps a heterogeneous pass bitwise
+/// identical to running the whole plan on one space.
+struct SplitPlan {
+  TilePlan plan{0, 1};
+  std::vector<std::int64_t> device_tiles;  ///< predicate-true tiles, ascending
+  std::vector<std::int64_t> host_tiles;    ///< remainder tiles, ascending
+  std::int64_t device_cells = 0;  ///< total iterations in device tiles
+  std::int64_t host_cells = 0;    ///< total iterations in host tiles
+
+  /// Flat range index of the n-th device-shard iteration (lane n of a
+  /// kernel launched over only the device shard).  Valid for
+  /// n in [0, device_cells); relies on every device tile except possibly
+  /// the list's last being full-grain (only the plan's final tile can be
+  /// short, and ascending order puts it last).
+  std::int64_t device_flat(std::int64_t lane) const noexcept {
+    const std::int64_t g = plan.grain();
+    const std::int64_t m = static_cast<std::int64_t>(device_tiles.size());
+    std::int64_t q = lane / g;
+    if (q > m - 1) q = m - 1;
+    const std::int64_t t = device_tiles[static_cast<std::size_t>(q)];
+    return plan.tile_begin(t) + (lane - q * g);
+  }
+};
+
+/// Partition `plan`'s tiles into device-shard and host-shard lists from a
+/// per-cell predicate: a tile joins the device shard iff ANY of its cells
+/// satisfies the predicate (evaluation short-circuits in ascending cell
+/// order).  The cut is deterministic — see SplitPlan.
+SplitPlan split_plan(const Range3& r, const TilePlan& plan,
+                     const std::function<bool(int, int, int)>& pred);
+
 /// Abstract executor.  The single virtual primitive is tile execution;
 /// parallel_for / parallel_reduce are derived conveniences, so every
 /// space inherits the same tiling (and therefore the same numerics).
@@ -175,6 +213,15 @@ class ExecSpace {
   /// one wins; remaining tiles are skipped on a best-effort basis).
   virtual void run_tiles(const TilePlan& plan, const LaunchParams& p,
                          const TileFn& fn) = 0;
+
+  /// Execute only the listed tiles of `plan` (ascending ids — one shard
+  /// of a SplitPlan).  Same contract as run_tiles restricted to the
+  /// list; the default implementation runs the list serially on the
+  /// calling thread.  `fn` receives the ORIGINAL tile ids, so per-tile
+  /// reduction partials keep their plan-wide slots and merge order.
+  virtual void run_tile_list(const TilePlan& plan,
+                             const std::vector<std::int64_t>& tiles,
+                             const LaunchParams& p, const TileFn& fn);
 
   /// Run `body(i, k, j)` over the range (paper loop order: i fastest).
   /// Templated on the body so per-cell calls inline; only the per-tile
@@ -263,6 +310,9 @@ class ThreadedSpace final : public ExecSpace {
   int concurrency() const noexcept override;
   void run_tiles(const TilePlan& plan, const LaunchParams& p,
                  const TileFn& fn) override;
+  void run_tile_list(const TilePlan& plan,
+                     const std::vector<std::int64_t>& tiles,
+                     const LaunchParams& p, const TileFn& fn) override;
 
  private:
   par::ThreadPool* pool_;                    ///< pool in use
@@ -286,6 +336,13 @@ class DeviceSpace final : public ExecSpace {
   int concurrency() const noexcept override;
   void run_tiles(const TilePlan& plan, const LaunchParams& p,
                  const TileFn& fn) override;
+  /// Shard dispatch: functional execution of the listed tiles on the
+  /// pool plus ONE modeled kernel launch covering exactly the listed
+  /// tiles' iterations (a shard's kernel is smaller than the full
+  /// plan's, which is the point of the split).
+  void run_tile_list(const TilePlan& plan,
+                     const std::vector<std::int64_t>& tiles,
+                     const LaunchParams& p, const TileFn& fn) override;
 
   gpu::Device& device() noexcept { return *device_; }
 
@@ -312,23 +369,75 @@ class DeviceSpace final : public ExecSpace {
   std::uint64_t dispatches_ = 0;
 };
 
+/// Heterogeneous execution: a DeviceSpace and a ThreadedSpace working one
+/// logical pass together.  Generic dispatches (run_tiles /
+/// parallel_for / parallel_reduce) go to the HOST shard — so a pass with
+/// no predicate behaves exactly like exec=threads — while predicate-split
+/// passes route a SplitPlan's device tiles through the device shard
+/// (functional execution + one modeled kernel launch + shard-granular
+/// transfer accounting through the shard's DataRegion) and the remainder
+/// tiles through the host shard, concurrently.  Determinism: both shards
+/// inherit the tile contract, the split is a pure function of the
+/// predicate, and split-pass reductions merge device partials then host
+/// partials in tile order — so results are bitwise identical to running
+/// the same plan on any single space.
+class HeteroSpace final : public ExecSpace {
+ public:
+  /// `device` must outlive the space.  `nthreads` sizes the host shard
+  /// (ThreadedSpace semantics: <= 0 shares the process-wide pool).
+  explicit HeteroSpace(gpu::Device& device, int nthreads = 0);
+  ~HeteroSpace() override;
+
+  const char* name() const noexcept override { return "hetero"; }
+  /// Host-shard workers (the device shard's functional pool rides along).
+  int concurrency() const noexcept override;
+  void run_tiles(const TilePlan& plan, const LaunchParams& p,
+                 const TileFn& fn) override;
+  void run_tile_list(const TilePlan& plan,
+                     const std::vector<std::int64_t>& tiles,
+                     const LaunchParams& p, const TileFn& fn) override;
+
+  DeviceSpace& device_shard() noexcept { return device_; }
+  ThreadedSpace& host_shard() noexcept { return host_; }
+
+  /// Run one predicate-split pass: the device tiles through the device
+  /// shard and the host tiles through the host shard, CONCURRENTLY (the
+  /// host remainder overlaps the modeled kernel).  Blocks until both
+  /// shards finish; the first exception from either shard is rethrown on
+  /// the calling thread.  Callers needing a hand-built gpu::KernelDesc
+  /// for the device side (fsbm's coal pass) drive the shards directly
+  /// instead.
+  void run_split(const SplitPlan& sp, const LaunchParams& p,
+                 const TileFn& device_fn, const TileFn& host_fn);
+
+ private:
+  DeviceSpace device_;
+  ThreadedSpace host_;
+};
+
 /// The `exec=` knob: how host loop nests are dispatched.
-enum class ExecKind : int { kSerial = 0, kThreads = 1, kDevice = 2 };
+enum class ExecKind : int {
+  kSerial = 0,
+  kThreads = 1,
+  kDevice = 2,
+  kHetero = 3,  ///< predicate-split passes across device + host shards
+};
 
 struct ExecConfig {
   ExecKind kind = ExecKind::kSerial;
-  int nthreads = 0;  ///< threads mode: 0 = hardware concurrency
+  int nthreads = 0;  ///< threads/hetero modes: 0 = hardware concurrency
 
-  /// Parse "serial" | "threads" | "threads:N" | "device".
+  /// Parse "serial" | "threads" | "threads:N" | "device" |
+  /// "hetero" | "hetero:N" (N = host-shard threads).
   /// Throws ConfigError on anything else.
   static ExecConfig parse(const std::string& s);
 
-  /// Render back to the knob syntax ("threads:8", "serial", ...).
+  /// Render back to the knob syntax ("threads:8", "hetero:4", ...).
   std::string describe() const;
 };
 
 /// Build the space a config asks for.  `device` is required for
-/// ExecKind::kDevice and ignored otherwise.
+/// ExecKind::kDevice and ExecKind::kHetero, ignored otherwise.
 std::unique_ptr<ExecSpace> make_space(const ExecConfig& cfg,
                                       gpu::Device* device = nullptr);
 

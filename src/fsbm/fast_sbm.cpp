@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "util/constants.hpp"
@@ -73,6 +74,10 @@ void FsbmStats::merge(const FsbmStats& o) {
   d2h_bytes += o.d2h_bytes;
   h2d_transfers += o.h2d_transfers;
   d2h_transfers += o.d2h_transfers;
+  shard_cells_device += o.shard_cells_device;
+  shard_cells_host += o.shard_cells_host;
+  shard_wall_device_sec += o.shard_wall_device_sec;
+  shard_wall_host_sec += o.shard_wall_host_sec;
   if (o.coal_kernel) coal_kernel = o.coal_kernel;
   if (o.cond_kernel) cond_kernel = o.cond_kernel;
 }
@@ -113,8 +118,16 @@ FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
   if (offloaded && device_ == nullptr) {
     throw ConfigError("FastSbm: offloaded versions need a gpu::Device");
   }
-  if (device_ != nullptr) {
-    device_space_ = std::make_unique<exec::DeviceSpace>(*device_);
+  hetero_ = dynamic_cast<exec::HeteroSpace*>(exec_);
+  if (hetero_ != nullptr && device_ != nullptr &&
+      &hetero_->device_shard().device() == device_) {
+    // exec=hetero over this scheme's device: the offloaded passes launch
+    // through the space's own device shard, so the split pass and the
+    // halo plan share one data region and one launch ledger.
+    device_space_ = &hetero_->device_shard();
+  } else if (device_ != nullptr) {
+    device_space_owned_ = std::make_unique<exec::DeviceSpace>(*device_);
+    device_space_ = device_space_owned_.get();
   }
   exec_device_ = dynamic_cast<exec::DeviceSpace*>(exec_) != nullptr;
   if (offloaded) {
@@ -223,6 +236,22 @@ void FastSbm::coal_cell_pooled(MicroState& state, int i, int k, int j,
   cst.interactions += one.interactions;
   cst.pairs_active += one.pairs_active;
   cst.flops += one.flops;
+}
+
+void FastSbm::coal_run_cell(MicroState& state, int i, int k, int j,
+                            bool pooled, CoalCounters& c) {
+  if (call_coal_(i, k, j) == 0) return;
+  // Device code path: nvfortran-style FMA contraction (see get_cw_device).
+  const KernelSource ks(tables_, state.pres(i, k, j), /*device_fma=*/true);
+  CoalStats cst;
+  if (pooled) {
+    coal_cell_pooled(state, i, k, j, ks, cst);
+  } else {
+    coal_cell_stack(state, i, k, j, ks, cst);
+  }
+  c.interactions.fetch_add(cst.interactions, std::memory_order_relaxed);
+  c.lookups.fetch_add(cst.kernel_lookups, std::memory_order_relaxed);
+  c.cells.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FastSbm::mark_written(const std::vector<mem::FieldId>& ids,
@@ -610,9 +639,7 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
     st.charge_transfer_delta(t0, device_->transfers());
   }
 
-  std::atomic<std::uint64_t> interactions{0};
-  std::atomic<std::uint64_t> lookups{0};
-  std::atomic<std::uint64_t> cells{0};
+  CoalCounters cnt;
 
   gpu::KernelDesc desc;
   desc.name = "coal_bott_new_loop";
@@ -627,18 +654,7 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
   desc.double_precision = false;
 
   auto run_cell = [&](int i, int k, int j) {
-    if (call_coal_(i, k, j) == 0) return;
-    // Device code path: nvfortran-style FMA contraction (see get_cw_device).
-    const KernelSource ks(tables_, state.pres(i, k, j), /*device_fma=*/true);
-    CoalStats cst;
-    if (pooled) {
-      coal_cell_pooled(state, i, k, j, ks, cst);
-    } else {
-      coal_cell_stack(state, i, k, j, ks, cst);
-    }
-    interactions.fetch_add(cst.interactions, std::memory_order_relaxed);
-    lookups.fetch_add(cst.kernel_lookups, std::memory_order_relaxed);
-    cells.fetch_add(1, std::memory_order_relaxed);
+    coal_run_cell(state, i, k, j, pooled, cnt);
   };
 
   if (collapse3) {
@@ -658,8 +674,7 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
     };
   }
   desc.flops_total = [&]() {
-    return 24.0 * static_cast<double>(interactions.load()) +
-           4.0 * static_cast<double>(lookups.load());
+    return coal_flops_model(cnt.interactions.load(), cnt.lookups.load());
   };
   desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
     if (collapse3) {
@@ -700,9 +715,207 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
     st.charge_transfer_delta(t0, device_->transfers());
   }
 
-  st.coal_interactions += interactions.load();
-  st.kernel_entries += lookups.load();
+  st.coal_interactions += cnt.interactions.load();
+  st.kernel_entries += cnt.lookups.load();
   st.coal_flops += desc.flops_total();
+  st.wall_coal_sec += seconds_since(t0);
+}
+
+void FastSbm::shard_rows(const exec::SplitPlan& sp, const exec::Range3& range,
+                         std::vector<mem::ByteRange>* cell_rows) const {
+  // Decompose each device-shard tile into maximal i-runs; a run of
+  // consecutive i at fixed (k, j) is contiguous in field memory, and
+  // ascending flat order implies ascending memory offsets, so the rows
+  // arrive sorted and disjoint — the contract the batched region verbs
+  // (update_to_ranges / take_ranges) require.  Offsets/lengths are in
+  // cells of the shared scalar geometry; callers scale them to each
+  // field's per-cell footprint, so the walk runs once per pass.
+  cell_rows->clear();
+  for (const std::int64_t t : sp.device_tiles) {
+    std::int64_t f = sp.plan.tile_begin(t);
+    const std::int64_t e = sp.plan.tile_end(t);
+    while (f < e) {
+      const exec::Range3::Cell c = range.cell(f);
+      const std::int64_t run =
+          std::min<std::int64_t>(e - f, range.i.hi - c.i + 1);
+      cell_rows->push_back({call_coal_.index(c.i, c.k, c.j),
+                            static_cast<std::uint64_t>(run)});
+      f += run;
+    }
+  }
+}
+
+void FastSbm::pass_coal_hetero(MicroState& state, FsbmStats& st,
+                               prof::Profiler& prof) {
+  prof::ScopedRange cr(prof, "coal_bott_new_loop");
+  const auto t0 = Clock::now();
+
+  const int nkr = bins_.nkr();
+  const int ni = patch_.ip.size();
+  const bool pooled = version_ == Version::kV3Offload3;
+  const bool collapse3 = version_ != Version::kV2Offload2;
+
+  // Predicate split over row tiles (one i-row per tile): the coal gate
+  // is altitude-shaped — whole upper-level rows are predicate-false —
+  // so row granularity is what lets the cheap remainder stay off the
+  // device.  The cut is a pure function of (range, grain, call_coal_),
+  // identical across shard concurrencies.
+  exec::LaunchParams lp;
+  lp.name = "coal_bott_new_loop";
+  lp.collapse = collapse3 ? 3 : 2;
+  lp.grain = ni;
+  lp.regs_per_thread = params_.coal_regs_per_thread;
+  lp.workspace_bytes_per_thread =
+      pooled ? 0
+             : static_cast<std::uint64_t>(params_.automatic_array_count) *
+                   static_cast<std::uint64_t>(nkr) * sizeof(float);
+  const exec::Range3 range{patch_.ip, patch_.k, patch_.jp};
+  const exec::TilePlan plan = exec::ExecSpace::plan_for(range, lp);
+  const exec::SplitPlan sp = exec::split_plan(
+      range, plan,
+      [&](int i, int k, int j) { return call_coal_(i, k, j) != 0; });
+  st.shard_cells_device += static_cast<std::uint64_t>(sp.device_cells);
+  st.shard_cells_host += static_cast<std::uint64_t>(sp.host_cells);
+
+  // Host shard: the predicate-false remainder, concurrent with the
+  // device shard's upload + kernel.  Its lanes are Listing 6's gate and
+  // nothing else; a nonzero predicate here means the split planner
+  // leaked an active cell into the remainder, which the join below
+  // turns into a hard error rather than silently dropped physics.
+  std::atomic<std::uint64_t> strays{0};
+  std::exception_ptr host_err;
+  double host_wall = 0.0;
+  std::thread host_thread([&] {
+    const auto h0 = Clock::now();
+    try {
+      hetero_->host_shard().run_tile_list(
+          sp.plan, sp.host_tiles, lp,
+          [&](std::int64_t, std::int64_t b, std::int64_t e) {
+            for (std::int64_t f = b; f < e; ++f) {
+              const exec::Range3::Cell c = range.cell(f);
+              if (call_coal_(c.i, c.k, c.j) != 0) {
+                strays.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          });
+    } catch (...) {
+      host_err = std::current_exception();
+    }
+    host_wall = seconds_since(h0);
+  });
+
+  CoalCounters cnt;
+  const auto d0 = Clock::now();
+  try {
+    if (!sp.device_tiles.empty()) {
+      // Shard-granular h2d under BOTH residency modes: a res=step launch
+      // map_allocs per-launch transients (fully host-dirty, so the
+      // ranged update moves exactly the shard's rows — never the
+      // predicate-false remainder), and res=persist moves the host-dirty
+      // bytes inside the shard rows only, leaving the rest marked for
+      // whoever needs them later.  One row walk, scaled per field
+      // footprint.
+      std::vector<mem::ByteRange> cell_rows;
+      shard_rows(sp, range, &cell_rows);
+      auto scaled = [&](std::uint64_t elem_bytes) {
+        std::vector<mem::ByteRange> rows;
+        rows.reserve(cell_rows.size());
+        for (const mem::ByteRange& r : cell_rows) {
+          rows.push_back({r.off * elem_bytes, r.len * elem_bytes});
+        }
+        return rows;
+      };
+      const std::vector<mem::ByteRange> rows_bins =
+          scaled(static_cast<std::uint64_t>(nkr) * sizeof(float));
+      const std::vector<mem::ByteRange> rows_scalar = scaled(sizeof(float));
+      {
+        const gpu::TransferStats tx0 = device_->transfers();
+        region_->update_to_ranges(ids_.call_coal, cell_rows);  // 1 B/cell
+        for (const mem::FieldId f : ids_.ff) {
+          region_->update_to_ranges(f, rows_bins);
+        }
+        region_->update_to_ranges(ids_.temp, rows_scalar);
+        region_->update_to_ranges(ids_.pres, rows_scalar);
+        st.charge_transfer_delta(tx0, device_->transfers());
+      }
+
+      auto run_cell = [&](int i, int k, int j) {
+        coal_run_cell(state, i, k, j, pooled, cnt);
+      };
+
+      gpu::KernelDesc desc;
+      desc.name = "coal_bott_new_loop";
+      desc.regs_per_thread = params_.coal_regs_per_thread;
+      desc.workspace_bytes_per_thread = lp.workspace_bytes_per_thread;
+      desc.double_precision = false;
+      desc.collapse = lp.collapse;
+      if (collapse3) {
+        // One device lane per device-shard cell.
+        desc.iterations = sp.device_cells;
+        desc.body = [&](std::int64_t it) {
+          const exec::Range3::Cell c = range.cell(sp.device_flat(it));
+          run_cell(c.i, c.k, c.j);
+        };
+        desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
+          const exec::Range3::Cell c = range.cell(sp.device_flat(it));
+          emit_coal_trace(state, c.i, c.k, c.j, pooled, out);
+        };
+      } else {
+        // collapse(2): one lane per device-shard (k, j) row, i inside.
+        desc.iterations = static_cast<std::int64_t>(sp.device_tiles.size());
+        desc.body = [&](std::int64_t it) {
+          const std::int64_t t =
+              sp.device_tiles[static_cast<std::size_t>(it)];
+          const exec::Range3::Cell c = range.cell(sp.plan.tile_begin(t));
+          for (int i = range.i.lo; i <= range.i.hi; ++i) {
+            run_cell(i, c.k, c.j);
+          }
+        };
+        desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
+          const std::int64_t t =
+              sp.device_tiles[static_cast<std::size_t>(it)];
+          const exec::Range3::Cell c = range.cell(sp.plan.tile_begin(t));
+          for (int i = range.i.lo; i <= range.i.hi; ++i) {
+            emit_coal_trace(state, i, c.k, c.j, pooled, out);
+          }
+        };
+      }
+      desc.flops_total = [&]() {
+        return coal_flops_model(cnt.interactions.load(), cnt.lookups.load());
+      };
+
+      st.coal_kernel = device_space_->launch(desc);
+
+      // d2h: the kernel's writes at bin-slice granularity through the
+      // predicate (mark_coal_writes) — the host shard wrote nothing, so
+      // this is exactly the bytes that changed hands.  res=step then
+      // closes its per-launch transients.
+      {
+        const gpu::TransferStats tx0 = device_->transfers();
+        mark_coal_writes(state);
+        for (const mem::FieldId f : ids_.ff) region_->update_from(f);
+        if (!persist()) region_->unmap_all();
+        st.charge_transfer_delta(tx0, device_->transfers());
+      }
+    }
+  } catch (...) {
+    host_thread.join();
+    throw;
+  }
+  st.shard_wall_device_sec += seconds_since(d0);
+
+  host_thread.join();
+  if (host_err) std::rethrow_exception(host_err);
+  st.shard_wall_host_sec += host_wall;
+  if (strays.load() != 0) {
+    throw Error("FastSbm: hetero split leaked coal-active cells into the "
+                "host shard");
+  }
+
+  st.coal_interactions += cnt.interactions.load();
+  st.kernel_entries += cnt.lookups.load();
+  st.coal_flops += coal_flops_model(cnt.interactions.load(),
+                                    cnt.lookups.load());
   st.wall_coal_sec += seconds_since(t0);
 }
 
@@ -914,7 +1127,13 @@ FsbmStats FastSbm::step(MicroState& state, prof::Profiler& prof) {
     pass_physics(state, st, prof);
   }
   if (offloaded) {
-    pass_coal_offload(state, st, prof);
+    // exec=hetero splits the collision pass across the space's two
+    // shards; every other exec runs the whole pass on the device.
+    if (hetero_ != nullptr && device_space_ == &hetero_->device_shard()) {
+      pass_coal_hetero(state, st, prof);
+    } else {
+      pass_coal_offload(state, st, prof);
+    }
   }
   pass_sedimentation(state, st, prof);
   st.wall_total_sec = seconds_since(t0);

@@ -23,6 +23,7 @@
 // automatic arrays — it exists to reproduce the CUDA memory error the
 // paper hit before introducing the pools.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -124,6 +125,15 @@ struct FsbmStats {
   std::uint64_t d2h_bytes = 0;
   std::uint64_t h2d_transfers = 0;
   std::uint64_t d2h_transfers = 0;
+  /// Heterogeneous dispatch (exec=hetero): the coal pass's predicate
+  /// split.  Cells routed to the device shard (tiles containing at least
+  /// one coal-active cell) vs the predicate-false remainder handled by
+  /// the host shard, and each shard's wall seconds (the two overlap, so
+  /// the pass wall is ~max, not the sum).  Zero under every other exec.
+  std::uint64_t shard_cells_device = 0;
+  std::uint64_t shard_cells_host = 0;
+  double shard_wall_device_sec = 0.0;
+  double shard_wall_host_sec = 0.0;
 
   /// Charge the device transfer delta [t0, now) into these counters.
   /// The link rate is direction-independent, so the modeled-ms delta
@@ -218,6 +228,21 @@ class FastSbm {
   void pass_coal_offload(MicroState& state, FsbmStats& st,
                          prof::Profiler& prof);
 
+  /// Heterogeneous collision pass (exec=hetero): predicate-split the
+  /// pass's row-tile plan, launch the kernel over only the device-shard
+  /// tiles (shard-granular h2d/d2h through the data region) while the
+  /// host shard walks the predicate-false remainder concurrently.
+  void pass_coal_hetero(MicroState& state, FsbmStats& st,
+                        prof::Profiler& prof);
+
+  /// Memory rows (sorted ascending, disjoint) covering the device-shard
+  /// tiles of `sp`, in CELLS of the shared scalar geometry — one walk;
+  /// callers scale offsets and lengths to each field's per-cell bytes
+  /// (nkr*sizeof(float) for bin fields, sizeof(float) for thermo
+  /// scalars, 1 for the predicate).
+  void shard_rows(const exec::SplitPlan& sp, const exec::Range3& range,
+                  std::vector<mem::ByteRange>* cell_rows) const;
+
   /// §VIII extension: nucleation+condensation as a device kernel.
   void pass_cond_offload(MicroState& state, FsbmStats& st,
                          prof::Profiler& prof);
@@ -230,6 +255,29 @@ class FastSbm {
   /// sediment_block, and scatter back.
   void pass_sedimentation_blocked(MicroState& state, FsbmStats& st,
                                   prof::Profiler& prof);
+
+  /// Per-launch counters of an offloaded collision kernel; relaxed
+  /// atomics so lanes may run on any shard or pool thread.
+  struct CoalCounters {
+    std::atomic<std::uint64_t> interactions{0};
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> cells{0};
+  };
+
+  /// One offloaded collision lane (Listing 6's body): predicate gate,
+  /// device-FMA kernel source, stack vs pooled workspace.  Shared by
+  /// the full-pass launch and the hetero device shard so the two
+  /// dispatch modes can never drift apart per cell.
+  void coal_run_cell(MicroState& state, int i, int k, int j, bool pooled,
+                     CoalCounters& c);
+
+  /// The offloaded kernel's flop model: 24 per interaction + 4 per
+  /// kernel lookup.
+  static double coal_flops_model(std::uint64_t interactions,
+                                 std::uint64_t lookups) noexcept {
+    return 24.0 * static_cast<double>(interactions) +
+           4.0 * static_cast<double>(lookups);
+  }
 
   /// Run collisions for one cell with a stack workspace (v0-v2 path).
   void coal_cell_stack(MicroState& state, int i, int k, int j,
@@ -285,8 +333,15 @@ class FastSbm {
   gpu::Device* device_;
   exec::ExecSpace* exec_;
   /// Offload dispatch wrapper around device_ (launch + transfer
-  /// accounting); set iff device_ is set.
-  std::unique_ptr<exec::DeviceSpace> device_space_;
+  /// accounting); set iff device_ is set.  Under exec=hetero over the
+  /// same device this aliases the HeteroSpace's device shard (one data
+  /// region, one launch ledger); otherwise it points at
+  /// device_space_owned_.
+  exec::DeviceSpace* device_space_ = nullptr;
+  std::unique_ptr<exec::DeviceSpace> device_space_owned_;
+  /// Set when `exec` is a HeteroSpace: the offloaded coal pass then
+  /// predicate-splits across the space's two shards.
+  exec::HeteroSpace* hetero_ = nullptr;
   BinGrid bins_;
   KernelTables tables_;
   /// v3's temp_arrays module: pooled per-cell workspaces on the device.

@@ -243,6 +243,24 @@ std::uint64_t DataRegion::update_to(FieldId f) {
   return bytes;
 }
 
+std::uint64_t DataRegion::update_to_range(FieldId f, std::uint64_t off,
+                                          std::uint64_t len) {
+  Slot& s = slot(f);
+  if (!s.resident) map_alloc(f);
+  const std::uint64_t bytes = s.host_dirty.take_range(off, len);
+  if (bytes > 0) device_->update_to(bytes);
+  return bytes;
+}
+
+std::uint64_t DataRegion::update_to_ranges(FieldId f,
+                                           const std::vector<ByteRange>& rows) {
+  Slot& s = slot(f);
+  if (!s.resident) map_alloc(f);
+  const std::uint64_t bytes = s.host_dirty.take_ranges(rows);
+  if (bytes > 0) device_->update_to(bytes);
+  return bytes;
+}
+
 std::uint64_t DataRegion::update_from(FieldId f) {
   Slot& s = slot(f);
   const std::uint64_t bytes = s.device_dirty.take_all();

@@ -183,6 +183,18 @@ class DataRegion {
   /// field (alloc + the full-field upload its dirt implies).  Returns
   /// bytes transferred.
   std::uint64_t update_to(FieldId f);
+  /// h2d of the host-dirty bytes inside [off, off+len) only; bytes
+  /// outside stay host-dirty.  Auto-maps a non-resident field (alloc
+  /// only — just the range, not the whole field, then crosses).
+  std::uint64_t update_to_range(FieldId f, std::uint64_t off,
+                                std::uint64_t len);
+  /// Row-batched variant: h2d of only the host-dirty bytes inside the
+  /// given rows (sorted ascending, disjoint), priced as one transfer —
+  /// the heterogeneous coal pass's device-shard upload (a freshly
+  /// map_alloc'd field is fully host-dirty, so under per-launch
+  /// regions this moves exactly the shard's rows).
+  std::uint64_t update_to_ranges(FieldId f,
+                                 const std::vector<ByteRange>& rows);
   /// d2h of the field's device-dirty bytes.  Returns bytes transferred.
   std::uint64_t update_from(FieldId f);
   /// d2h of the device-dirty bytes inside [off, off+len) only — the

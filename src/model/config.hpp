@@ -35,10 +35,15 @@ struct RunConfig {
   fsbm::FsbmParams fsbm_params;
 
   /// How host loop nests are dispatched within a rank (WRF's OpenMP
-  /// layer): serial | threads[:N] | device.  Independent of `version`,
-  /// which picks which FSBM passes are *offloaded*; `exec` parallelizes
-  /// whatever stays on the host (physics for v0/v1, sedimentation,
-  /// advection, halo pack/unpack).  Parse with exec::ExecConfig::parse.
+  /// layer): serial | threads[:N] | device | hetero[:N].  Independent of
+  /// `version`, which picks which FSBM passes are *offloaded*; `exec`
+  /// parallelizes whatever stays on the host (physics for v0/v1,
+  /// sedimentation, advection, halo pack/unpack).  hetero[:N] adds a
+  /// predicate split of the offloaded collision pass: coal-active row
+  /// tiles go to the device shard, the cheap remainder runs on an
+  /// N-thread host shard concurrently, with shard-granular transfers
+  /// (bitwise identical to device and threads:N — tests/test_exec.cpp).
+  /// Parse with exec::ExecConfig::parse.
   exec::ExecConfig exec;
 
   /// The `halo=` knob: sync posts and completes each stage's exchange

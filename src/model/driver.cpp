@@ -28,7 +28,9 @@ void RunConfig::validate() const {
   }
   if (dt <= 0.0 || nsteps < 0) throw ConfigError("RunConfig: bad time axis");
   if (ngpus < 1) throw ConfigError("RunConfig: ngpus must be >= 1");
-  if (exec.kind == exec::ExecKind::kThreads && exec.nthreads < 0) {
+  if ((exec.kind == exec::ExecKind::kThreads ||
+       exec.kind == exec::ExecKind::kHetero) &&
+      exec.nthreads < 0) {
     throw ConfigError("RunConfig: exec thread count must be >= 0");
   }
   if (halo < dyn::kStencilWidth) {
@@ -56,8 +58,11 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
                      par::RankCtx* ctx)
     : config_(config), patch_(patch), ctx_(ctx),
       state_(patch, config.nkr) {
-  // exec=device needs a simulated device even for host-only versions.
-  if (config_.offloaded() || config_.exec.kind == exec::ExecKind::kDevice) {
+  // exec=device / exec=hetero need a simulated device even for
+  // host-only versions (the hetero device shard exists either way; for
+  // v0/v1 the split never fires and everything runs on the host shard).
+  if (config_.offloaded() || config_.exec.kind == exec::ExecKind::kDevice ||
+      config_.exec.kind == exec::ExecKind::kHetero) {
     device_ = std::make_unique<gpu::Device>(config_.device_spec);
     device_->set_stack_limit(config_.stack_bytes);
     device_->set_heap_limit(config_.heap_bytes);

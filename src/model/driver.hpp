@@ -107,6 +107,18 @@ struct RunResult {
   /// Device bytes pinned by res=persist field residency (0 under
   /// res=step); reported next to pool_bytes_per_rank by the benches.
   std::uint64_t resident_bytes_per_rank = 0;
+
+  /// exec=hetero: fraction of coal-pass cells routed to the device shard
+  /// (0 when the run never split — any other exec, or host-only
+  /// versions).  Per-shard cell counts and wall seconds live in
+  /// totals.fsbm.shard_*; this is the ratio the hetero bench tracks.
+  double device_shard_fraction() const noexcept {
+    const std::uint64_t total =
+        totals.fsbm.shard_cells_device + totals.fsbm.shard_cells_host;
+    return total > 0
+               ? static_cast<double>(totals.fsbm.shard_cells_device) / total
+               : 0.0;
+  }
 };
 
 /// Run `config.nsteps` steps on `config.nranks()` simpi ranks and return

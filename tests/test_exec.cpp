@@ -268,6 +268,98 @@ TEST(DeviceSpace, FunctionalExecutionPlusModeledLaunch) {
   EXPECT_GT(dev.transfers().modeled_time_ms, 0.0);
 }
 
+// ------------------------------------------------------- split planner
+
+TEST(SplitPlan, EveryTileLandsInExactlyOneShard) {
+  const Range3 r{Range{1, 10}, Range{1, 6}, Range{1, 4}};
+  const TilePlan plan(r.size(), r.i.size());  // one i-row per tile
+  // Rows with k <= 3 are "active" — the altitude-shaped coal gate.
+  const auto sp = exec::split_plan(
+      r, plan, [](int, int k, int) { return k <= 3; });
+  EXPECT_EQ(sp.device_cells + sp.host_cells, r.size());
+  EXPECT_EQ(static_cast<std::int64_t>(sp.device_tiles.size() +
+                                      sp.host_tiles.size()),
+            plan.tiles());
+  EXPECT_EQ(sp.device_cells, 10 * 3 * 4);
+  // Lists are ascending and disjoint.
+  std::vector<int> seen(static_cast<std::size_t>(plan.tiles()), 0);
+  for (const auto* list : {&sp.device_tiles, &sp.host_tiles}) {
+    for (std::size_t n = 0; n < list->size(); ++n) {
+      if (n > 0) {
+        EXPECT_LT((*list)[n - 1], (*list)[n]);
+      }
+      ++seen[static_cast<std::size_t>((*list)[n])];
+    }
+  }
+  for (const int s : seen) EXPECT_EQ(s, 1);
+  // device_flat enumerates exactly the device tiles' cells, ascending.
+  for (std::int64_t lane = 0; lane < sp.device_cells; ++lane) {
+    const Range3::Cell c = r.cell(sp.device_flat(lane));
+    EXPECT_LE(c.k, 3);
+    if (lane > 0) {
+      EXPECT_LT(sp.device_flat(lane - 1), sp.device_flat(lane));
+    }
+  }
+}
+
+TEST(SplitPlan, AllTrueAndAllFalseEdges) {
+  const Range3 r{Range{1, 7}, Range{1, 3}, Range{1, 5}};
+  const TilePlan plan(r.size(), 10);  // ragged last tile
+  const auto all = exec::split_plan(
+      r, plan, [](int, int, int) { return true; });
+  EXPECT_TRUE(all.host_tiles.empty());
+  EXPECT_EQ(all.device_cells, r.size());
+  // Ragged tail: the last lane decodes to the range's last cell.
+  const Range3::Cell last = r.cell(all.device_flat(all.device_cells - 1));
+  EXPECT_EQ(last.i, 7);
+  EXPECT_EQ(last.k, 3);
+  EXPECT_EQ(last.j, 5);
+  const auto none = exec::split_plan(
+      r, plan, [](int, int, int) { return false; });
+  EXPECT_TRUE(none.device_tiles.empty());
+  EXPECT_EQ(none.host_cells, r.size());
+}
+
+TEST(HeteroSpace, GenericDispatchMatchesThreadsAndSplitRunsBothShards) {
+  gpu::Device dev(gpu::DeviceSpec::test_device());
+  exec::HeteroSpace het(dev, 3);
+  EXPECT_STREQ(het.name(), "hetero");
+  EXPECT_EQ(het.concurrency(), 3);
+
+  // Generic reduction: bitwise identical to serial/threads (host shard).
+  Range3 r{Range{1, 24}, Range{1, 8}, Range{1, 6}};
+  LaunchParams lp;
+  auto body = [](DoubleSum& s, int i, int k, int j) {
+    s.v += std::sin(0.3 * i) + 1e-6 * k * j;
+    ++s.n;
+  };
+  exec::SerialSpace ser;
+  const DoubleSum a = ser.parallel_reduce<DoubleSum>(r, lp, body);
+  const DoubleSum b = het.parallel_reduce<DoubleSum>(r, lp, body);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(std::memcmp(&a.v, &b.v, sizeof(double)), 0);
+  // Generic dispatches never touch the device shard.
+  EXPECT_EQ(het.device_shard().dispatches(), 0u);
+
+  // A split run executes every cell exactly once, device tiles through
+  // the device shard (one modeled launch of exactly the shard's lanes).
+  lp.grain = r.i.size();
+  const TilePlan plan = exec::ExecSpace::plan_for(r, lp);
+  const auto sp = exec::split_plan(
+      r, plan, [](int, int k, int) { return k >= 7; });
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(r.size()));
+  auto count = [&](std::int64_t, std::int64_t b0, std::int64_t e0) {
+    for (std::int64_t f = b0; f < e0; ++f) {
+      hits[static_cast<std::size_t>(f)].fetch_add(1);
+    }
+  };
+  het.run_split(sp, lp, count, count);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(het.device_shard().dispatches(), 1u);
+  ASSERT_EQ(dev.launches().size(), 1u);
+  EXPECT_EQ(dev.launches()[0].iterations, sp.device_cells);
+}
+
 // ------------------------------------------------------------- knob
 
 TEST(ExecConfig, ParseAndDescribe) {
@@ -287,6 +379,36 @@ TEST(ExecConfig, ParseAndDescribe) {
   EXPECT_THROW(ExecConfig::parse(""), ConfigError);
 }
 
+TEST(ExecConfig, HeteroParseAndDescribe) {
+  // The hetero:<threads> form, mirroring the SedDispatch parser tests:
+  // bare mode, explicit host-shard width, and the negative inputs (bad
+  // N, missing colon, trailing junk).
+  const ExecConfig bare = ExecConfig::parse("hetero");
+  EXPECT_EQ(bare.kind, ExecKind::kHetero);
+  EXPECT_EQ(bare.nthreads, 0);
+  EXPECT_EQ(bare.describe(), "hetero");
+  const ExecConfig h4 = ExecConfig::parse("hetero:4");
+  EXPECT_EQ(h4.kind, ExecKind::kHetero);
+  EXPECT_EQ(h4.nthreads, 4);
+  EXPECT_EQ(h4.describe(), "hetero:4");
+  // Round trip through the argv scanner like every other knob.
+  const char* argv[] = {"prog", "res=step", "exec=hetero:2"};
+  const ExecConfig scanned = exec::exec_from_args(3, const_cast<char**>(argv));
+  EXPECT_EQ(scanned.kind, ExecKind::kHetero);
+  EXPECT_EQ(scanned.nthreads, 2);
+  // Bad N.
+  EXPECT_THROW(ExecConfig::parse("hetero:0"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("hetero:-2"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("hetero:abc"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("hetero:"), ConfigError);
+  // Missing colon.
+  EXPECT_THROW(ExecConfig::parse("hetero8"), ConfigError);
+  // Trailing junk.
+  EXPECT_THROW(ExecConfig::parse("hetero:8x"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("hetero:4:2"), ConfigError);
+  EXPECT_THROW(ExecConfig::parse("heterogeneous"), ConfigError);
+}
+
 TEST(ExecConfig, MakeSpace) {
   EXPECT_STREQ(exec::make_space(ExecConfig{})->name(), "serial");
   ExecConfig t;
@@ -300,6 +422,14 @@ TEST(ExecConfig, MakeSpace) {
   EXPECT_THROW(exec::make_space(d), ConfigError);
   gpu::Device dev(gpu::DeviceSpec::test_device());
   EXPECT_STREQ(exec::make_space(d, &dev)->name(), "device");
+  // hetero needs a device too (its device shard wraps it).
+  ExecConfig h;
+  h.kind = ExecKind::kHetero;
+  h.nthreads = 2;
+  EXPECT_THROW(exec::make_space(h), ConfigError);
+  auto het = exec::make_space(h, &dev);
+  EXPECT_STREQ(het->name(), "hetero");
+  EXPECT_EQ(het->concurrency(), 2);
 }
 
 // ------------------------------------- FSBM serial vs threaded step()
@@ -556,6 +686,209 @@ TEST(ExecFsbm, ResPersistTrafficDeterministicAcrossThreadCounts) {
   EXPECT_EQ(a.totals.fsbm.d2h_bytes, b.totals.fsbm.d2h_bytes);
   EXPECT_EQ(a.totals.fsbm.h2d_transfers, b.totals.fsbm.h2d_transfers);
   EXPECT_EQ(a.totals.fsbm.d2h_transfers, b.totals.fsbm.d2h_transfers);
+}
+
+// ------------------------------- heterogeneous dispatch (exec=hetero)
+
+TEST(ExecFsbm, HeteroMatchesDeviceAndThreadsBitwiseAcrossAllVersions) {
+  // The acceptance bar: exec=hetero:N must be bitwise identical in state
+  // AND physics stats to both exec=device and exec=threads:N, for every
+  // version and residency mode.  The split only fires for the offloaded
+  // versions; for v0/v1 hetero degenerates to its host shard.
+  ExecConfig threads, device, hetero;
+  threads.kind = ExecKind::kThreads;
+  threads.nthreads = 3;
+  device.kind = ExecKind::kDevice;
+  hetero.kind = ExecKind::kHetero;
+  hetero.nthreads = 3;
+  for (const fsbm::Version v :
+       {fsbm::Version::kV0Baseline, fsbm::Version::kV1LookupOnDemand,
+        fsbm::Version::kV2Offload2, fsbm::Version::kV3Offload3,
+        fsbm::Version::kV3NaiveCollapse3}) {
+    for (const mem::ResidencyMode res :
+         {mem::ResidencyMode::kStep, mem::ResidencyMode::kPersist}) {
+      model::RunConfig het_cfg = exec_case(v, hetero);
+      het_cfg.res = res;
+      model::RunConfig dev_cfg = het_cfg;
+      dev_cfg.exec = device;
+      model::RunConfig thr_cfg = het_cfg;
+      thr_cfg.exec = threads;
+      prof::Profiler p1, p2, p3;
+      const model::RunResult h = model::run_single(het_cfg, p1);
+      const model::RunResult d = model::run_single(dev_cfg, p2);
+      const model::RunResult t = model::run_single(thr_cfg, p3);
+      const std::string label = std::string(fsbm::version_name(v)) +
+                                " res=" + mem::residency_name(res);
+      expect_same_physics(h, d, (label + " hetero vs device").c_str());
+      expect_same_physics(h, t, (label + " hetero vs threads").c_str());
+      if (het_cfg.offloaded()) {
+        // The split fired and covered every cell.  (At this shallow
+        // grid the whole sounding is warmer than the coal gate, so all
+        // rows land in the device shard; HeteroSplitsNontriviallyOn-
+        // TallDomains exercises the two-sided cut.)
+        EXPECT_GT(h.totals.fsbm.shard_cells_device, 0u);
+        EXPECT_EQ(h.totals.fsbm.shard_cells_device +
+                      h.totals.fsbm.shard_cells_host,
+                  static_cast<std::uint64_t>(het_cfg.nx) * het_cfg.ny *
+                      het_cfg.nz * het_cfg.nsteps);
+        // Non-hetero runs never populate the shard counters.
+        EXPECT_EQ(d.totals.fsbm.shard_cells_device, 0u);
+        EXPECT_EQ(t.totals.fsbm.shard_cells_device, 0u);
+      }
+    }
+  }
+}
+
+model::RunConfig hetero_tall_case(fsbm::Version v) {
+  // 40 levels x 400 m reaches ~16 km: rows above the 223.15 K coal gate
+  // (~12.1 km) are predicate-false, so the split is nontrivial — both
+  // shards get real work.
+  model::RunConfig cfg;
+  cfg.nx = 12;
+  cfg.ny = 10;
+  cfg.nz = 40;
+  cfg.nkr = 33;
+  cfg.nsteps = 2;
+  cfg.version = v;
+  cfg.exec.kind = ExecKind::kHetero;
+  cfg.exec.nthreads = 2;
+  return cfg;
+}
+
+TEST(ExecFsbm, HeteroSplitsNontriviallyOnTallDomains) {
+  model::RunConfig cfg = hetero_tall_case(fsbm::Version::kV3Offload3);
+  model::RunConfig dev_cfg = cfg;
+  dev_cfg.exec = ExecConfig{};
+  dev_cfg.exec.kind = ExecKind::kDevice;
+  prof::Profiler p1, p2;
+  const model::RunResult h = model::run_single(cfg, p1);
+  const model::RunResult d = model::run_single(dev_cfg, p2);
+  expect_same_physics(h, d, "tall-domain hetero vs device");
+  // Both shards carried cells.
+  EXPECT_GT(h.totals.fsbm.shard_cells_device, 0u);
+  EXPECT_GT(h.totals.fsbm.shard_cells_host, 0u);
+  EXPECT_GT(h.device_shard_fraction(), 0.0);
+  EXPECT_LT(h.device_shard_fraction(), 1.0);
+  // Shard-granular coherence: the hetero coal pass ships only the
+  // device shard's rows, so its h2d traffic is strictly below the
+  // full-field re-maps exec=device pays under res=step.
+  EXPECT_LT(h.totals.fsbm.h2d_bytes, d.totals.fsbm.h2d_bytes);
+}
+
+TEST(ExecFsbm, HeteroAllColdPredicateSkipsTheDeviceEntirely) {
+  // Raise the coal gate above every temperature in the sounding: the
+  // predicate is all-false, the device shard gets zero tiles, and the
+  // hetero run still matches exec=device bitwise.
+  model::RunConfig cfg = exec_case(fsbm::Version::kV2Offload2, ExecConfig{});
+  cfg.exec.kind = ExecKind::kHetero;
+  cfg.exec.nthreads = 2;
+  cfg.fsbm_params.t_coal = 1000.0;
+  model::RunConfig dev_cfg = cfg;
+  dev_cfg.exec = ExecConfig{};
+  dev_cfg.exec.kind = ExecKind::kDevice;
+  prof::Profiler p1, p2;
+  const model::RunResult h = model::run_single(cfg, p1);
+  const model::RunResult d = model::run_single(dev_cfg, p2);
+  expect_same_physics(h, d, "all-cold hetero vs device");
+  EXPECT_EQ(h.totals.fsbm.shard_cells_device, 0u);
+  EXPECT_GT(h.totals.fsbm.shard_cells_host, 0u);
+  // No device tiles -> no coal-pass transfers at all under hetero.
+  EXPECT_EQ(h.totals.fsbm.h2d_bytes, 0u);
+  EXPECT_EQ(h.totals.fsbm.d2h_bytes, 0u);
+}
+
+TEST(ExecFsbm, HeteroMultiRankBitwiseUnderBothHaloAndResModes) {
+  // Decomposed runs: the split interacts with the phased halo exchange
+  // (persist's dirty-strip updates flow through the same data region the
+  // shard-granular coal transfers use).  hetero must stay bitwise equal
+  // to device and threads under halo=sync|overlap x res=step|persist,
+  // for every version; v0/v1 have no residency surface, so only
+  // res=step is meaningful there.
+  ExecConfig threads, device, hetero;
+  threads.kind = ExecKind::kThreads;
+  threads.nthreads = 2;
+  device.kind = ExecKind::kDevice;
+  hetero.kind = ExecKind::kHetero;
+  hetero.nthreads = 2;
+  for (const fsbm::Version v :
+       {fsbm::Version::kV0Baseline, fsbm::Version::kV1LookupOnDemand,
+        fsbm::Version::kV2Offload2, fsbm::Version::kV3Offload3,
+        fsbm::Version::kV3NaiveCollapse3}) {
+    const bool offloaded = v != fsbm::Version::kV0Baseline &&
+                           v != fsbm::Version::kV1LookupOnDemand;
+    for (const dyn::HaloMode hm :
+         {dyn::HaloMode::kSync, dyn::HaloMode::kOverlap}) {
+      for (const mem::ResidencyMode res :
+           {mem::ResidencyMode::kStep, mem::ResidencyMode::kPersist}) {
+        if (!offloaded && res == mem::ResidencyMode::kPersist) continue;
+        model::RunConfig het_cfg = exec_case(v, hetero);
+        het_cfg.npx = het_cfg.npy = 2;
+        het_cfg.nx = 24;
+        het_cfg.ny = 16;
+        het_cfg.halo_mode = hm;
+        het_cfg.res = res;
+        model::RunConfig dev_cfg = het_cfg;
+        dev_cfg.exec = device;
+        model::RunConfig thr_cfg = het_cfg;
+        thr_cfg.exec = threads;
+        prof::Profiler p1, p2, p3;
+        const model::RunResult h = model::run_simulation(het_cfg, p1);
+        const model::RunResult d = model::run_simulation(dev_cfg, p2);
+        const model::RunResult t = model::run_simulation(thr_cfg, p3);
+        const std::string label = std::string(fsbm::version_name(v)) +
+                                  " halo=" + dyn::halo_mode_name(hm) +
+                                  " res=" + mem::residency_name(res);
+        expect_same_physics(h, d, (label + " hetero vs device").c_str());
+        expect_same_physics(h, t, (label + " hetero vs threads").c_str());
+      }
+    }
+  }
+}
+
+TEST(ExecFsbm, HeteroTransfersReconcileWithDeviceTransferStats) {
+  // Every byte the device records under the split must be charged into
+  // FsbmStats by exactly one pass bracket — shard-granular uploads,
+  // kernel-write flushes, transport marks, and the pre-snapshot flush
+  // included — so the run totals reconcile with gpu::TransferStats
+  // exactly, under both residency modes.
+  for (const mem::ResidencyMode res :
+       {mem::ResidencyMode::kStep, mem::ResidencyMode::kPersist}) {
+    SCOPED_TRACE(mem::residency_name(res));
+    model::RunConfig cfg = hetero_tall_case(fsbm::Version::kV3Offload3);
+    cfg.res = res;
+    cfg.validate();
+    const auto patches = grid::decompose(cfg.domain(), 1, 1, cfg.halo);
+    model::RankModel rank(cfg, patches[0], nullptr);
+    rank.init();
+    prof::Profiler prof;
+    model::StepStats total;
+    for (int s = 0; s < 3; ++s) total.merge(rank.step(prof));
+    const gpu::TransferStats& tr = rank.device()->transfers();
+    EXPECT_EQ(total.fsbm.h2d_bytes, tr.h2d_bytes);
+    EXPECT_EQ(total.fsbm.d2h_bytes, tr.d2h_bytes);
+    EXPECT_EQ(total.fsbm.h2d_transfers, tr.h2d_count);
+    EXPECT_EQ(total.fsbm.d2h_transfers, tr.d2h_count);
+  }
+}
+
+TEST(ExecFsbm, HeteroTrafficDeterministicAcrossHostShardWidths) {
+  // The split and its transfers are pure functions of the predicate, so
+  // hetero traffic — not just physics — is identical across host-shard
+  // thread counts.
+  model::RunConfig a_cfg = hetero_tall_case(fsbm::Version::kV3Offload3);
+  a_cfg.res = mem::ResidencyMode::kPersist;
+  model::RunConfig b_cfg = a_cfg;
+  b_cfg.exec.nthreads = 5;
+  prof::Profiler p1, p2;
+  const model::RunResult a = model::run_single(a_cfg, p1);
+  const model::RunResult b = model::run_single(b_cfg, p2);
+  expect_same_physics(a, b, "hetero:2 vs hetero:5");
+  EXPECT_EQ(a.totals.fsbm.h2d_bytes, b.totals.fsbm.h2d_bytes);
+  EXPECT_EQ(a.totals.fsbm.d2h_bytes, b.totals.fsbm.d2h_bytes);
+  EXPECT_EQ(a.totals.fsbm.h2d_transfers, b.totals.fsbm.h2d_transfers);
+  EXPECT_EQ(a.totals.fsbm.d2h_transfers, b.totals.fsbm.d2h_transfers);
+  EXPECT_EQ(a.totals.fsbm.shard_cells_device, b.totals.fsbm.shard_cells_device);
+  EXPECT_EQ(a.totals.fsbm.shard_cells_host, b.totals.fsbm.shard_cells_host);
 }
 
 TEST(ExecFsbm, MultiRankThreadedMatchesSerial) {

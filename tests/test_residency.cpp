@@ -243,6 +243,29 @@ TEST(DataRegion, StripGranularUpdates) {
   EXPECT_EQ(region.update_from_range(f, 1024, 128), 0u);
 }
 
+TEST(DataRegion, RangedUpdateToShipsOnlyShardRows) {
+  // The heterogeneous coal pass's upload: a per-launch transient is
+  // map_alloc'd unseeded (fully host-dirty), so the row-batched
+  // update_to moves exactly the device shard's rows — never the
+  // predicate-false remainder — priced as one transfer.
+  gpu::Device dev(gpu::DeviceSpec::test_device());
+  DataRegion region(dev);
+  const FieldId f = region.add_field("ff_shard", 1 << 20);
+  const std::uint64_t h2d0 = dev.transfers().h2d_count;
+  std::vector<ByteRange> rows{{0, 4096}, {8192, 4096}};
+  // Auto-maps the non-resident field (alloc only, then just the rows).
+  EXPECT_EQ(region.update_to_ranges(f, rows), 8192u);
+  EXPECT_TRUE(region.resident(f));
+  EXPECT_EQ(dev.transfers().h2d_bytes, 8192u);
+  EXPECT_EQ(dev.transfers().h2d_count - h2d0, 1u);
+  // The remainder stays host-dirty for whoever needs it later.
+  EXPECT_EQ(region.host_dirty_bytes(f), (1u << 20) - 8192u);
+  // Re-shipping clean rows moves nothing.
+  EXPECT_EQ(region.update_to_ranges(f, rows), 0u);
+  // Single-range form, dirty remainder only.
+  EXPECT_EQ(region.update_to_range(f, 4096, 8192), 4096u);
+}
+
 TEST(DataRegion, OutOfMemoryWhenDomainDoesNotFit) {
   gpu::Device dev(gpu::DeviceSpec::test_device());  // 1 GiB
   DataRegion region(dev);
