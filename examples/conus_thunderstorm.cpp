@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);
   cfg.sed = fsbm::sed_from_args(argc, argv);
   cfg.res = mem::residency_from_args(argc, argv);
+  cfg.fuse = exec::fuse_from_args(argc, argv);  // off | auto
   cfg.validate();
 
   std::printf("CONUS-like thunderstorm\n=======================\n%s\n\n",

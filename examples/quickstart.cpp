@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);  // sync | overlap
   cfg.sed = fsbm::sed_from_args(argc, argv);    // column | block:N
   cfg.res = mem::residency_from_args(argc, argv);  // step | persist
+  cfg.fuse = exec::fuse_from_args(argc, argv);     // off | auto
 
   std::printf("miniWRF-SBM quickstart\n======================\n");
   std::printf("case: %s\n\n", cfg.describe().c_str());

@@ -14,6 +14,12 @@
 #     gate (device-shard h2d == per-cell footprint x predicate-true
 #     shard cells; interior predicate-false cells never transfer).
 #
+#   BENCH_fusion.json — the pass-fusion point from bench_fusion:
+#     kernel launches and inter-pass h2d/d2h bytes per step for
+#     fuse=off vs fuse=auto (v3 + offloaded condensation, exec=device),
+#     plus the two acceptance gates (fewer launches under both res
+#     modes; less res=step traffic).
+#
 # Usage:
 #   scripts/bench_json.sh                 # full rank patch (107 75 50 3)
 #   scripts/bench_json.sh 48 32 20 3      # custom grid
@@ -21,7 +27,8 @@
 #
 # Env: BUILD (build dir, default "build"), OUT (residency output path,
 # default "BENCH_residency.json"), OUT_HETERO (hetero output path,
-# default "BENCH_hetero.json").
+# default "BENCH_hetero.json"), OUT_FUSION (fusion output path, default
+# "BENCH_fusion.json").
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,6 +36,7 @@ cd "$(dirname "$0")/.."
 BUILD=${BUILD:-build}
 OUT=${OUT:-BENCH_residency.json}
 OUT_HETERO=${OUT_HETERO:-BENCH_hetero.json}
+OUT_FUSION=${OUT_FUSION:-BENCH_fusion.json}
 
 # Always (re)build — incremental, so this is a no-op when current, and
 # it guarantees the trajectory point never comes from a stale binary.
@@ -36,7 +44,7 @@ if [ ! -d "${BUILD}" ]; then
   cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${BUILD}" -j "$(nproc)" \
-  --target bench_residency bench_table4_offload2
+  --target bench_residency bench_table4_offload2 bench_fusion
 
 ARGS=("$@")
 HETERO_ARGS=("$@")
@@ -142,5 +150,59 @@ print("wrote %s: split %.0f%% of cells to the device shard, h2d %.1f MB "
           "yes" if point["exact_shard_scaling"] else "NO"))
 PY
 
+# ---- pass-fusion point (fuse=off vs fuse=auto) -----------------------
+RAW_F=$(mktemp)
+trap 'rm -f "${RAW}" "${RAW_H}" "${RAW_F}"' EXIT
+rc_f=0
+"${BUILD}/bench_fusion" ${ARGS[@]+"${ARGS[@]}"} --benchmark_format=json \
+  > "${RAW_F}" || rc_f=$?
+
+python3 - "${RAW_F}" "${OUT_FUSION}" <<'PY'
+import json
+import sys
+
+raw = json.load(open(sys.argv[1]))
+cells = {b["name"]: b for b in raw["benchmarks"]}
+
+
+def pick(fuse, res):
+    return cells["fusion/fuse=%s/res=%s" % (fuse, res)]
+
+
+off_step = pick("off", "step")
+auto_step = pick("auto", "step")
+off_pers = pick("off", "persist")
+auto_pers = pick("auto", "persist")
+off_bytes = off_step["h2d_bytes_per_step"] + off_step["d2h_bytes_per_step"]
+auto_bytes = auto_step["h2d_bytes_per_step"] + auto_step["d2h_bytes_per_step"]
+
+point = {
+    "bench": "fusion",
+    "context": raw["context"],
+    "off_step": off_step,
+    "auto_step": auto_step,
+    "off_persist": off_pers,
+    "auto_persist": auto_pers,
+    "fused_pair": auto_step["fused_pair"],
+    "launches_saved_per_step": round(
+        off_step["launches_per_step"] - auto_step["launches_per_step"], 1),
+    "step_traffic_reduction_x": round(off_bytes / max(auto_bytes, 1.0), 2),
+    "fewer_launches": (
+        auto_step["launches_per_step"] < off_step["launches_per_step"]
+        and auto_pers["launches_per_step"] < off_pers["launches_per_step"]),
+    "less_step_traffic": auto_bytes < off_bytes,
+}
+json.dump(point, open(sys.argv[2], "w"), indent=2)
+print("wrote %s: fused %s, launches %.1f -> %.1f per step, res=step "
+      "traffic %.1f -> %.1f MB/step (%.2fx); gates %s" % (
+          sys.argv[2], point["fused_pair"] or "(nothing!)",
+          off_step["launches_per_step"], auto_step["launches_per_step"],
+          off_bytes / 1e6, auto_bytes / 1e6,
+          point["step_traffic_reduction_x"],
+          "met" if point["fewer_launches"] and point["less_step_traffic"]
+          else "NOT met"))
+PY
+
 [ "${rc}" -ne 0 ] && exit "${rc}"
-exit "${rc_h}"
+[ "${rc_h}" -ne 0 ] && exit "${rc_h}"
+exit "${rc_f}"

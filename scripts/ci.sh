@@ -50,12 +50,15 @@ run_bench_smoke() {
   # Smoke the bench harness on tiny grids: asserts the res=persist >=5x
   # steady-state traffic reduction, the exec=hetero exact shard-scaling
   # gate (device-shard h2d == per-cell footprint x predicate-true shard
-  # cells on a column tall enough that the split is two-sided), and
-  # that the JSON distillation pipeline stays runnable.
+  # cells on a column tall enough that the split is two-sided), the
+  # fuse=auto gates (strictly fewer kernel launches under both res
+  # modes, less res=step inter-pass traffic), and that the JSON
+  # distillation pipeline stays runnable.
   echo "=== bench_json smoke ==="
   BENCH_SMOKE=1 BUILD=build-ci-release \
     OUT=build-ci-release/BENCH_residency_smoke.json \
     OUT_HETERO=build-ci-release/BENCH_hetero_smoke.json \
+    OUT_FUSION=build-ci-release/BENCH_fusion_smoke.json \
     scripts/bench_json.sh
 }
 

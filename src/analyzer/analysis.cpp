@@ -346,6 +346,35 @@ LoopAnalysis analyze_loop(const SemanticModel& model, const Procedure& proc,
       any_read |= !a.write;
     }
 
+    if (treat_as_array) {
+      // Pointwise classification feeds cross-pass fusion legality
+      // (analyzer/fusion.cpp): a loop variable is pointwise for this
+      // array when every access subscripts it with a plain zero-offset
+      // affine term and never with a shifted one.  An unanalyzable
+      // subscript disqualifies the whole access conservatively.
+      for (const auto& lv : la.loop_vars) {
+        bool pointwise = !accesses.empty();
+        for (const auto& a : accesses) {
+          bool zero_hit = false, hazard = false;
+          for (const auto& s : a.subs) {
+            const Affine af = affine_of(s);
+            if (!af.affine) {
+              hazard = true;
+            } else if (af.var == lv && af.offset == 0) {
+              zero_hit = true;
+            } else if (af.var == lv && af.offset != 0) {
+              hazard = true;
+            }
+          }
+          if (!zero_hit || hazard) {
+            pointwise = false;
+            break;
+          }
+        }
+        if (pointwise) vc.pointwise_vars.push_back(lv);
+      }
+    }
+
     if (!any_write) {
       vc.role = VarClass::kReadOnly;
       vc.reason = "only read inside the nest";

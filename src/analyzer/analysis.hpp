@@ -51,6 +51,12 @@ struct VarClass {
   bool is_array = false;
   std::string reduction_op;  ///< for kReduction
   std::string reason;        ///< human-readable justification
+  /// Arrays only: loop variables this array is *pointwise* over — every
+  /// access subscripts the variable with a plain zero-offset affine term
+  /// and never with a shifted one.  Two passes touching the same array
+  /// may fuse along a collapsed loop variable only when both sides are
+  /// pointwise over it (see analyzer/fusion.hpp).
+  std::vector<std::string> pointwise_vars;
 };
 
 /// Result of analyzing one loop nest.

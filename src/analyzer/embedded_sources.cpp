@@ -171,4 +171,122 @@ end subroutine onecond1
   return src;
 }
 
+const std::string& cond_kernel() {
+  static const std::string src = R"f90(
+subroutine cond_kernel(tt, qv, pp, call_coal, ff, nbin, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: nbin, its, ite, kts, kte, jts, jte
+  real, intent(inout) :: tt(ite,kte,jte)
+  real, intent(inout) :: qv(ite,kte,jte)
+  real, intent(in) :: pp(ite,kte,jte)
+  integer, intent(out) :: call_coal(ite,kte,jte)
+  real, intent(inout) :: ff(nbin,ite,kte,jte)
+  integer :: i, k, j, n
+  real :: sat
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        call_coal(i,k,j) = 0
+        if (tt(i,k,j) > 193.15) then
+          sat = qv(i,k,j) * pp(i,k,j)
+          do n = 1, nbin
+            ff(n,i,k,j) = ff(n,i,k,j) + sat * 0.001
+          enddo
+          tt(i,k,j) = tt(i,k,j) + sat * 0.0005
+          qv(i,k,j) = qv(i,k,j) - sat * 0.0005
+          if (tt(i,k,j) > 223.15) then
+            call_coal(i,k,j) = 1
+          endif
+        endif
+      enddo
+    enddo
+  enddo
+end subroutine cond_kernel
+)f90";
+  return src;
+}
+
+const std::string& coal_kernel() {
+  static const std::string src = R"f90(
+subroutine coal_kernel(tt, pp, call_coal, ff, nbin, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: nbin, its, ite, kts, kte, jts, jte
+  real, intent(in) :: tt(ite,kte,jte)
+  real, intent(in) :: pp(ite,kte,jte)
+  integer, intent(in) :: call_coal(ite,kte,jte)
+  real, intent(inout) :: ff(nbin,ite,kte,jte)
+  integer :: i, k, j, n
+  real :: scale
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        if (call_coal(i,k,j) > 0) then
+          scale = (pp(i,k,j) - 50000.0) / 25000.0
+          do n = 1, nbin
+            ff(n,i,k,j) = ff(n,i,k,j) * (1.0 + scale * tt(i,k,j) * 0.00001)
+          enddo
+        endif
+      enddo
+    enddo
+  enddo
+end subroutine coal_kernel
+)f90";
+  return src;
+}
+
+const std::string& sed_kernel() {
+  static const std::string src = R"f90(
+subroutine sed_kernel(ff, vt, nbin, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: nbin, its, ite, kts, kte, jts, jte
+  real, intent(inout) :: ff(nbin,ite,kte,jte)
+  real, intent(in) :: vt(nbin)
+  integer :: i, k, j, n
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        do n = 1, nbin
+          ff(n,i,k,j) = ff(n,i,k,j) + vt(n) * (ff(n,i,k+1,j) - ff(n,i,k,j))
+        enddo
+      enddo
+    enddo
+  enddo
+end subroutine sed_kernel
+)f90";
+  return src;
+}
+
+const std::string& war_pair() {
+  static const std::string src = R"f90(
+subroutine war_reader(a, b, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: its, ite, kts, kte, jts, jte
+  real, intent(in) :: a(ite,kte,jte)
+  real, intent(out) :: b(ite,kte,jte)
+  integer :: i, k, j
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        b(i,k,j) = a(i+1,k,j) * 0.5
+      enddo
+    enddo
+  enddo
+end subroutine war_reader
+subroutine war_writer(a, its, ite, kts, kte, jts, jte)
+  implicit none
+  integer, intent(in) :: its, ite, kts, kte, jts, jte
+  real, intent(inout) :: a(ite,kte,jte)
+  integer :: i, k, j
+  do j = jts, jte
+    do k = kts, kte
+      do i = its, ite
+        a(i,k,j) = a(i,k,j) * 0.9
+      enddo
+    enddo
+  enddo
+end subroutine war_writer
+)f90";
+  return src;
+}
+
 }  // namespace wrf::analyzer::sources

@@ -37,4 +37,29 @@ const std::string& reduction_loop();
 /// (what the paper found in onecond).
 const std::string& legacy_onecond();
 
+// --- pass-fusion kernel sources -------------------------------------
+// Per-pass loop nests consumed by the fusion legality check
+// (analyzer/fusion.hpp): each mirrors the field footprint and subscript
+// shape of the corresponding FastSbm device pass, so the dependence
+// analysis — not a hand-coded blocklist — decides which adjacent passes
+// may share a kernel launch.
+
+/// Condensation/nucleation pass: pointwise updates of tt/qv/ff plus the
+/// call_coal predicate write (the onecond_loop footprint).
+const std::string& cond_kernel();
+
+/// Collision pass: predicate-gated pointwise ff update reading tt/pp
+/// (the coal_bott_new_loop footprint).
+const std::string& coal_kernel();
+
+/// Sedimentation pass: vertical flux update reading ff(n,i,k+1,j) — a
+/// genuine loop-carried dependence along k that must block fusion.
+const std::string& sed_kernel();
+
+/// Negative control pair: war_reader reads a(i+1,k,j) while war_writer
+/// rewrites a(i,k,j) — individually parallelizable, but fusing them
+/// would move the writer's store before the reader's shifted load
+/// (write-after-read hazard across the fused lanes).
+const std::string& war_pair();
+
 }  // namespace wrf::analyzer::sources

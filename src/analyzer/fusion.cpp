@@ -1,0 +1,148 @@
+#include "analyzer/fusion.hpp"
+
+#include <algorithm>
+
+#include "analyzer/analysis.hpp"
+#include "analyzer/parser.hpp"
+
+namespace wrf::analyzer {
+
+namespace {
+
+struct Analyzed {
+  bool ok = false;
+  std::string error;
+  LoopAnalysis la;
+};
+
+/// Parse one kernel source and analyze its first outer loop nest.  The
+/// LoopAnalysis owns only strings, so it safely outlives the AST.
+Analyzed analyze_kernel(const KernelRef& ref) {
+  Analyzed out;
+  if (ref.source == nullptr) {
+    out.error = ref.pass + ": no embedded kernel source";
+    return out;
+  }
+  const ProgramUnit unit = parse(*ref.source);
+  const SemanticModel model(unit);
+  const Procedure* p = model.find_procedure(ref.procedure);
+  if (p == nullptr) {
+    out.error = ref.pass + ": procedure '" + ref.procedure +
+                "' not found in kernel source";
+    return out;
+  }
+  const auto loops = outer_loops(*p);
+  if (loops.empty()) {
+    out.error = ref.pass + ": kernel source has no loop nest";
+    return out;
+  }
+  out.la = analyze_loop(model, *p, *loops[0]);
+  out.ok = true;
+  return out;
+}
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+FusionVerdict check_fusion(const KernelRef& a, const KernelRef& b,
+                           int collapse) {
+  FusionVerdict v;
+  const Analyzed aa = analyze_kernel(a);
+  const Analyzed ab = analyze_kernel(b);
+  if (!aa.ok || !ab.ok) {
+    if (!aa.ok) v.blockers.push_back(aa.error);
+    if (!ab.ok) v.blockers.push_back(ab.error);
+    return v;
+  }
+
+  // Each pass must itself be a parallel nest: a loop-carried dependence
+  // anywhere (sedimentation's vertical flux, an impure call) already
+  // orders iterations, and fusing would interleave lanes across that
+  // order.  Propagate the analyzer's own blocker messages.
+  for (const auto* side : {&aa, &ab}) {
+    const std::string& pass = (side == &aa) ? a.pass : b.pass;
+    if (!side->la.parallelizable) {
+      if (side->la.blockers.empty()) {
+        v.blockers.push_back(pass + ": loop nest not parallelizable");
+      }
+      for (const auto& blk : side->la.blockers) {
+        v.blockers.push_back(pass + ": " + blk);
+      }
+    }
+  }
+  if (!v.blockers.empty()) return v;
+
+  // The fused launch merges the outermost `collapse` loop variables,
+  // aligned positionally between the two nests.
+  const int depth = std::min(aa.la.nest_depth, ab.la.nest_depth);
+  const int c = std::clamp(collapse, 1, depth);
+
+  // Cross-pass footprint check: for every name both kernels touch
+  // (skipping locals — private per pass by construction), a write on
+  // either side demands pointwise access over every collapsed loop
+  // variable on BOTH sides.  Then lane (i,k,j) of the fused kernel
+  // touches exactly its own elements in both pass bodies, so running
+  // them back to back per lane is bitwise identical to two sequential
+  // full passes.
+  for (const VarClass& va : aa.la.vars) {
+    if (va.scope == SymbolScope::kLocal) continue;
+    const VarClass* vb = ab.la.find(va.name);
+    if (vb == nullptr || vb->scope == SymbolScope::kLocal) continue;
+    if (va.role == VarClass::kReadOnly && vb->role == VarClass::kReadOnly) {
+      continue;  // no pass writes it: any interleaving is safe
+    }
+    if (va.is_array != vb->is_array) {
+      v.blockers.push_back("shared name '" + va.name +
+                           "' is an array in one pass and a scalar in the "
+                           "other");
+      continue;
+    }
+    if (!va.is_array) {
+      v.blockers.push_back("shared scalar '" + va.name +
+                           "' written by a fused pass would be carried "
+                           "across lanes");
+      continue;
+    }
+    for (int p = 0; p < c; ++p) {
+      const std::string& lva = aa.la.loop_vars[static_cast<std::size_t>(p)];
+      const std::string& lvb = ab.la.loop_vars[static_cast<std::size_t>(p)];
+      const bool pw_a = contains(va.pointwise_vars, lva);
+      const bool pw_b = contains(vb->pointwise_vars, lvb);
+      if (!pw_a || !pw_b) {
+        const std::string& pass = !pw_a ? a.pass : b.pass;
+        const std::string& lv = !pw_a ? lva : lvb;
+        v.blockers.push_back(
+            "array '" + va.name + "' is not pointwise over collapsed loop "
+            "variable '" + lv + "' in " + pass +
+            ": fusing would let one lane's write race another lane's "
+            "shifted access (write-after-read hazard)");
+      }
+    }
+  }
+
+  v.fusible = v.blockers.empty();
+  return v;
+}
+
+FusionVerdict FusionOracle::check(const KernelRef& a, const KernelRef& b,
+                                  int collapse) {
+  const std::string key =
+      a.pass + "|" + b.pass + "#" + std::to_string(collapse);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ++analyses_;
+  FusionVerdict v = check_fusion(a, b, collapse);
+  cache_.emplace(key, v);
+  return v;
+}
+
+std::uint64_t FusionOracle::analyses_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return analyses_;
+}
+
+}  // namespace wrf::analyzer

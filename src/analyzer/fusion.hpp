@@ -1,0 +1,65 @@
+#pragma once
+// Cross-pass fusion legality, built on the loop dependence analysis.
+//
+// The paper's speedup rung was collapsing loop nests *within* a pass
+// (collapse(2) -> collapse(3)) after the analyzer proved independence;
+// the next rung is collapsing *across* passes — running cond and coal
+// for one grid cell back to back inside a single kernel launch.  That
+// is legal only when, for every array both passes touch, each collapsed
+// loop variable indexes the array pointwise on both sides: then the
+// fused lane (i,k,j) reads and writes exactly the elements the two
+// sequential full passes would have, in the same per-cell order, so the
+// fused execution is bitwise identical.  A shifted or unanalyzable
+// subscript on either side (sedimentation's ff(n,i,k+1,j), the
+// write-after-read control pair) makes the interleaving observable and
+// blocks fusion.
+//
+// The verdict is machine-derived: both kernel sources are parsed and
+// run through analyze_loop, and the decision consumes only its output
+// (parallelizable, blockers, VarClass::pointwise_vars).  No pass names
+// are special-cased.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wrf::analyzer {
+
+/// One fusion candidate: a pass plus its embedded kernel source.
+struct KernelRef {
+  std::string pass;           ///< pass name (diagnostics + cache key)
+  const std::string* source;  ///< embedded mini-Fortran source
+  std::string procedure;      ///< procedure to analyze within `source`
+};
+
+/// Outcome of a legality query.
+struct FusionVerdict {
+  bool fusible = false;
+  std::vector<std::string> blockers;  ///< analyzer messages when not
+};
+
+/// Decide whether `a` immediately followed by `b` may run as one fused
+/// kernel with the outermost `collapse` loop variables merged into the
+/// launch index.  Loop variables are aligned positionally
+/// (a.loop_vars[p] <-> b.loop_vars[p]).
+FusionVerdict check_fusion(const KernelRef& a, const KernelRef& b,
+                           int collapse);
+
+/// Memoized legality queries: one dependence analysis per distinct
+/// (pass pair, collapse depth), shared across ranks.  Thread-safe.
+class FusionOracle {
+ public:
+  FusionVerdict check(const KernelRef& a, const KernelRef& b, int collapse);
+
+  /// Number of cache misses (actual analyses run) so far.
+  std::uint64_t analyses_run() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, FusionVerdict> cache_;
+  std::uint64_t analyses_ = 0;
+};
+
+}  // namespace wrf::analyzer

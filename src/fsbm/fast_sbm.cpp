@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "analyzer/embedded_sources.hpp"
+#include "analyzer/fusion.hpp"
 #include "util/constants.hpp"
 
 namespace wrf::fsbm {
@@ -17,6 +19,11 @@ namespace c = wrf::constants;
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// PassNode tags: which FastSbm pass a graph node dispatches to.
+constexpr int kTagPre = 1;   ///< cond kernel or host physics
+constexpr int kTagCoal = 2;  ///< offloaded collision pass
+constexpr int kTagSed = 3;   ///< sedimentation
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
@@ -68,6 +75,8 @@ void FsbmStats::merge(const FsbmStats& o) {
   surface_precip += o.surface_precip;
   wall_total_sec += o.wall_total_sec;
   wall_coal_sec += o.wall_coal_sec;
+  kernel_launches += o.kernel_launches;
+  launch_latency_ms += o.launch_latency_ms;
   h2d_ms += o.h2d_ms;
   d2h_ms += o.d2h_ms;
   h2d_bytes += o.h2d_bytes;
@@ -173,6 +182,76 @@ FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
                   pool_g4_->bytes() + pool_g5_->bytes();
     device_->enter_data_alloc(pool_bytes_);
   }
+
+  // --- the per-step pass chain and its fusion schedule ---------------
+  // Footprints and tile plans are static per run, so the graph is built
+  // once here.  Legality comes from the analyzer: each candidate pair's
+  // embedded kernel sources run through the dependence analysis,
+  // memoized process-wide per (pass pair, collapse depth).
+  const exec::Range3 cell_range{patch_.ip, patch_.k, patch_.jp};
+  {
+    exec::PassNode pre;
+    pre.tag = kTagPre;
+    pre.collapse = 3;
+    pre.range = cell_range;
+    pre.reads = {"temp", "qv", "pres", "ff"};
+    pre.writes = {"temp", "qv", "call_coal", "ff"};
+    if (offloaded && params_.offload_condensation) {
+      pre.name = "onecond_loop";
+      pre.device = true;
+      pre.kernel_src = &analyzer::sources::cond_kernel();
+      pre.procedure = "cond_kernel";
+    } else {
+      pre.name = "pass_physics";
+      pre.device = false;  // host nest (inline coal for v0/v1)
+    }
+    graph_.add(std::move(pre));
+  }
+  if (offloaded) {
+    exec::PassNode coal;
+    coal.tag = kTagCoal;
+    coal.name = "coal_bott_new_loop";
+    coal.device = true;
+    coal.split = hetero_ != nullptr && device_space_ == &hetero_->device_shard();
+    coal.collapse = version_ == Version::kV2Offload2 ? 2 : 3;
+    coal.range = cell_range;
+    coal.reads = {"call_coal", "temp", "pres", "ff"};
+    coal.writes = {"ff"};
+    coal.kernel_src = &analyzer::sources::coal_kernel();
+    coal.procedure = "coal_kernel";
+    graph_.add(std::move(coal));
+  }
+  {
+    exec::PassNode sed;
+    sed.tag = kTagSed;
+    sed.name = "sedimentation";
+    sed.device = exec_device_;  // modeled as a device nest under exec=device
+    sed.collapse = 2;
+    sed.range = exec::Range3{patch_.ip, Range{0, 0}, patch_.jp};
+    sed.grain = patch_.ip.size();
+    sed.reads = {"ff", "rho"};
+    sed.writes = {"ff", "precip"};
+    sed.kernel_src = &analyzer::sources::sed_kernel();
+    sed.procedure = "sed_kernel";
+    graph_.add(std::move(sed));
+  }
+  schedule_ = graph_.schedule(
+      params_.fuse,
+      [](const exec::PassNode& a, const exec::PassNode& b, int collapse) {
+        // Process-wide verdict cache: every rank asks about the same
+        // (pair, depth) keys, so each distinct analysis runs once.
+        static analyzer::FusionOracle oracle;
+        const analyzer::FusionVerdict v =
+            oracle.check({a.name, a.kernel_src, a.procedure},
+                         {b.name, b.kernel_src, b.procedure}, collapse);
+        exec::FusionCheck check;
+        check.fusible = v.fusible;
+        for (const auto& blk : v.blockers) {
+          if (!check.reason.empty()) check.reason += "; ";
+          check.reason += blk;
+        }
+        return check;
+      });
 }
 
 void FastSbm::load_workspace(const MicroState& s, int i, int k, int j,
@@ -316,6 +395,51 @@ void FastSbm::mark_coal_writes(const MicroState& state) {
   }
 }
 
+void FastSbm::cond_run_cell(MicroState& state, int i, int k, int j,
+                            const CondConfig& cond_cfg,
+                            const NuclConfig& nucl_cfg, CondCounters& cnt) {
+  call_coal_(i, k, j) = 0;
+  if (state.temp(i, k, j) <= params_.t_active) return;
+  cnt.active.fetch_add(1, std::memory_order_relaxed);
+  StackWorkspace sw;
+  const CoalWorkspace w = sw.view(bins_.nkr());
+  double temp = state.temp(i, k, j);
+  double qv = state.qv(i, k, j);
+  const double pres = state.pres(i, k, j);
+  load_workspace(state, i, k, j, w);
+  const NuclStats ns = jernucl01_ks(bins_, temp, qv, pres, w, nucl_cfg);
+  const CondStats cs = temp >= c::kT0
+                           ? onecond1(bins_, temp, qv, pres, w, cond_cfg)
+                           : onecond2(bins_, temp, qv, pres, w, cond_cfg);
+  state.temp(i, k, j) = static_cast<float>(temp);
+  state.qv(i, k, j) = static_cast<float>(qv);
+  store_workspace(state, i, k, j, w);
+  cnt.flops_milli.fetch_add(
+      static_cast<std::uint64_t>((ns.flops + cs.flops) * 1000.0),
+      std::memory_order_relaxed);
+  if (temp > params_.t_coal) {
+    call_coal_(i, k, j) = 1;
+    cnt.coal_cells.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FastSbm::emit_cond_trace(const MicroState& state, int i, int k, int j,
+                              std::vector<gpu::AccessEvent>& out) const {
+  auto addr = [](const void* p) {
+    return reinterpret_cast<std::uint64_t>(p);
+  };
+  out.push_back({addr(&state.temp(i, k, j)), 4, false});
+  if (state.temp(i, k, j) <= params_.t_active) return;
+  out.push_back({addr(&state.qv(i, k, j)), 4, true});
+  for (int s = 0; s < kNumSpecies; ++s) {
+    const float* sl = state.ff[static_cast<std::size_t>(s)].slice(i, k, j);
+    for (int n = 0; n < bins_.nkr(); n += 2) {
+      out.push_back({addr(sl + n), 4, false});
+      out.push_back({addr(sl + n), 4, true});
+    }
+  }
+}
+
 void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
                                 prof::Profiler& prof) {
   // §VIII: the condensation loops offloaded "using a similar approach" —
@@ -332,9 +456,7 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
   NuclConfig nucl_cfg = params_.nucl;
   nucl_cfg.dt = params_.dt;
 
-  std::atomic<std::uint64_t> active{0};
-  std::atomic<std::uint64_t> coal_cells{0};
-  std::atomic<std::uint64_t> flops_milli{0};
+  CondCounters cnt;
 
   gpu::KernelDesc desc;
   desc.name = "onecond_loop";
@@ -348,32 +470,10 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
     const int j =
         patch_.jp.lo +
         static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
-    call_coal_(i, k, j) = 0;
-    if (state.temp(i, k, j) <= params_.t_active) return;
-    active.fetch_add(1, std::memory_order_relaxed);
-    StackWorkspace sw;
-    const CoalWorkspace w = sw.view(bins_.nkr());
-    double temp = state.temp(i, k, j);
-    double qv = state.qv(i, k, j);
-    const double pres = state.pres(i, k, j);
-    load_workspace(state, i, k, j, w);
-    const NuclStats ns = jernucl01_ks(bins_, temp, qv, pres, w, nucl_cfg);
-    const CondStats cs = temp >= c::kT0
-                             ? onecond1(bins_, temp, qv, pres, w, cond_cfg)
-                             : onecond2(bins_, temp, qv, pres, w, cond_cfg);
-    state.temp(i, k, j) = static_cast<float>(temp);
-    state.qv(i, k, j) = static_cast<float>(qv);
-    store_workspace(state, i, k, j, w);
-    flops_milli.fetch_add(
-        static_cast<std::uint64_t>((ns.flops + cs.flops) * 1000.0),
-        std::memory_order_relaxed);
-    if (temp > params_.t_coal) {
-      call_coal_(i, k, j) = 1;
-      coal_cells.fetch_add(1, std::memory_order_relaxed);
-    }
+    cond_run_cell(state, i, k, j, cond_cfg, nucl_cfg, cnt);
   };
   desc.flops_total = [&]() {
-    return static_cast<double>(flops_milli.load()) / 1000.0;
+    return static_cast<double>(cnt.flops_milli.load()) / 1000.0;
   };
   desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
     const int i = patch_.ip.lo + static_cast<int>(it % ni);
@@ -381,19 +481,7 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
     const int j =
         patch_.jp.lo +
         static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
-    auto addr = [](const void* p) {
-      return reinterpret_cast<std::uint64_t>(p);
-    };
-    out.push_back({addr(&state.temp(i, k, j)), 4, false});
-    if (state.temp(i, k, j) <= params_.t_active) return;
-    out.push_back({addr(&state.qv(i, k, j)), 4, true});
-    for (int s = 0; s < kNumSpecies; ++s) {
-      const float* sl = state.ff[static_cast<std::size_t>(s)].slice(i, k, j);
-      for (int n = 0; n < bins_.nkr(); n += 2) {
-        out.push_back({addr(sl + n), 4, false});
-        out.push_back({addr(sl + n), 4, true});
-      }
-    }
+    emit_cond_trace(state, i, k, j, out);
   };
   {
     // The condensation kernel consumes the thermo + bin fields.
@@ -431,8 +519,8 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
     region_->unmap_all();
     st.charge_transfer_delta(t0, device_->transfers());
   }
-  st.cells_active += active.load();
-  st.cells_coal += coal_cells.load();
+  st.cells_active += cnt.active.load();
+  st.cells_coal += cnt.coal_cells.load();
   st.cond_flops += desc.flops_total();
 }
 
@@ -718,6 +806,129 @@ void FastSbm::pass_coal_offload(MicroState& state, FsbmStats& st,
   st.coal_interactions += cnt.interactions.load();
   st.kernel_entries += cnt.lookups.load();
   st.coal_flops += desc.flops_total();
+  st.wall_coal_sec += seconds_since(t0);
+}
+
+void FastSbm::pass_cond_coal_fused(MicroState& state, FsbmStats& st,
+                                   prof::Profiler& prof) {
+  // One launch for cond + coal: each lane runs the condensation body
+  // for its cell, then — gated by the predicate the lane itself just
+  // wrote — the collision body for the SAME cell.  Legal because the
+  // analyzer proved every shared field pointwise over the collapsed
+  // loop variables (the ctor's schedule), which makes lane-sequential
+  // execution bitwise identical to the two sequential full passes.
+  // The win: one launch latency instead of two, and no inter-pass
+  // transfer round-trip (coal's upload + cond's bin-field download).
+  prof::ScopedRange cr(prof, "onecond_coal_fused");
+  const auto t0 = Clock::now();
+  const int ni = patch_.ip.size();
+  const int nk = patch_.k.size();
+  const int nj = patch_.jp.size();
+  const int nkr = bins_.nkr();
+  const bool pooled = version_ == Version::kV3Offload3;
+
+  CondConfig cond_cfg = params_.cond;
+  cond_cfg.dt = params_.dt;
+  NuclConfig nucl_cfg = params_.nucl;
+  nucl_cfg.dt = params_.dt;
+
+  CondCounters ccnt;
+  CoalCounters kcnt;
+
+  gpu::KernelDesc desc;
+  desc.name = "onecond_coal_fused";
+  desc.collapse = 3;
+  desc.fused_passes = 2;
+  desc.iterations = static_cast<std::int64_t>(ni) * nk * nj;
+  // The fused lane carries both bodies: register pressure is the max of
+  // the two, workspace demand the coal kernel's (cond fits in stack).
+  desc.regs_per_thread =
+      std::max(params_.cond_regs_per_thread, params_.coal_regs_per_thread);
+  desc.workspace_bytes_per_thread =
+      pooled ? 0
+             : static_cast<std::uint64_t>(params_.automatic_array_count) *
+                   static_cast<std::uint64_t>(nkr) * sizeof(float);
+  desc.double_precision = false;
+  desc.body = [&](std::int64_t it) {
+    const int i = patch_.ip.lo + static_cast<int>(it % ni);
+    const int k = patch_.k.lo + static_cast<int>((it / ni) % nk);
+    const int j =
+        patch_.jp.lo +
+        static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
+    cond_run_cell(state, i, k, j, cond_cfg, nucl_cfg, ccnt);
+    coal_run_cell(state, i, k, j, pooled, kcnt);
+  };
+  desc.flops_total = [&]() {
+    return static_cast<double>(ccnt.flops_milli.load()) / 1000.0 +
+           coal_flops_model(kcnt.interactions.load(), kcnt.lookups.load());
+  };
+  desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
+    const int i = patch_.ip.lo + static_cast<int>(it % ni);
+    const int k = patch_.k.lo + static_cast<int>((it / ni) % nk);
+    const int j =
+        patch_.jp.lo +
+        static_cast<int>(it / (static_cast<std::int64_t>(ni) * nk));
+    emit_cond_trace(state, i, k, j, out);
+    emit_coal_trace(state, i, k, j, pooled, out);
+  };
+
+  // Prologue: exactly the standalone cond launch's — the fused kernel's
+  // operands are cond's operand set (coal reads a subset plus the
+  // predicate cond writes).  Coal's separate upload is the h2d saving.
+  {
+    const gpu::TransferStats tx0 = device_->transfers();
+    if (persist()) {
+      region_->update_to(ids_.temp);
+      region_->update_to(ids_.qv);
+      region_->update_to(ids_.pres);
+      for (const mem::FieldId f : ids_.ff) region_->update_to(f);
+    } else {
+      region_->map_to(ids_.temp);
+      region_->map_to(ids_.qv);
+      region_->map_to(ids_.pres);
+      region_->map_to(ids_.call_coal);
+      for (const mem::FieldId f : ids_.ff) region_->map_to(f);
+    }
+    st.charge_transfer_delta(tx0, device_->transfers());
+  }
+
+  // The fused launch reports under the coal slot (the dominant body);
+  // cond_kernel stays unset — per-pass kernel stats are a property of
+  // the unfused layout.
+  st.coal_kernel = device_space_->launch(desc);
+
+  if (persist()) {
+    // Kernel writes: thermo + predicate + bins advance the device copy
+    // (operands were flushed above).  Then, like the standalone coal
+    // epilogue, flush the bin fields d2h when the next consumer is a
+    // host pass; under exec=device they stay resident.
+    mark_pass_writes(st, /*on_device=*/true, /*thermo=*/true);
+    if (!exec_device_) {
+      const gpu::TransferStats tx0 = device_->transfers();
+      mark_coal_writes(state);
+      for (const mem::FieldId f : ids_.ff) region_->update_from(f);
+      st.charge_transfer_delta(tx0, device_->transfers());
+    }
+  } else {
+    // Close the one per-launch region: cond's output set maps back d2h
+    // ONCE (the unfused layout paid a second full bin-field download
+    // after the coal launch — that is the d2h saving).
+    const gpu::TransferStats tx0 = device_->transfers();
+    region_->map_from(ids_.temp);
+    region_->map_from(ids_.qv);
+    region_->map_from(ids_.call_coal);
+    for (const mem::FieldId f : ids_.ff) region_->map_from(f);
+    region_->unmap_all();
+    st.charge_transfer_delta(tx0, device_->transfers());
+  }
+
+  st.cells_active += ccnt.active.load();
+  st.cells_coal += ccnt.coal_cells.load();
+  st.cond_flops += static_cast<double>(ccnt.flops_milli.load()) / 1000.0;
+  st.coal_interactions += kcnt.interactions.load();
+  st.kernel_entries += kcnt.lookups.load();
+  st.coal_flops +=
+      coal_flops_model(kcnt.interactions.load(), kcnt.lookups.load());
   st.wall_coal_sec += seconds_since(t0);
 }
 
@@ -1118,24 +1329,51 @@ FsbmStats FastSbm::step(MicroState& state, prof::Profiler& prof) {
   prof::ScopedRange r(prof, "fast_sbm");
   const auto t0 = Clock::now();
   FsbmStats st;
-  const bool offloaded = version_ == Version::kV2Offload2 ||
-                         version_ == Version::kV3Offload3 ||
-                         version_ == Version::kV3NaiveCollapse3;
-  if (offloaded && params_.offload_condensation) {
-    pass_cond_offload(state, st, prof);
-  } else {
-    pass_physics(state, st, prof);
-  }
-  if (offloaded) {
-    // exec=hetero splits the collision pass across the space's two
-    // shards; every other exec runs the whole pass on the device.
-    if (hetero_ != nullptr && device_space_ == &hetero_->device_shard()) {
-      pass_coal_hetero(state, st, prof);
-    } else {
-      pass_coal_offload(state, st, prof);
+  // Walk the fusion schedule: a two-pass group is the fused cond+coal
+  // launch; singleton groups dispatch their pass exactly as the
+  // pre-graph step() did (each node's device/split flags encode the
+  // old offloaded/hetero conditions).
+  const std::size_t launches0 =
+      device_ != nullptr ? device_->launches().size() : 0;
+  for (const auto& group : schedule_.groups) {
+    const exec::PassNode& head = graph_.node(group[0]);
+    if (group.size() == 2) {
+      if (head.tag != kTagPre || graph_.node(group[1]).tag != kTagCoal) {
+        throw Error("FastSbm: unexpected fused group (only cond+coal has a "
+                    "fused kernel)");
+      }
+      pass_cond_coal_fused(state, st, prof);
+      continue;
+    }
+    switch (head.tag) {
+      case kTagPre:
+        if (head.device) {
+          pass_cond_offload(state, st, prof);
+        } else {
+          pass_physics(state, st, prof);
+        }
+        break;
+      case kTagCoal:
+        if (head.split) {
+          pass_coal_hetero(state, st, prof);
+        } else {
+          pass_coal_offload(state, st, prof);
+        }
+        break;
+      case kTagSed:
+        pass_sedimentation(state, st, prof);
+        break;
+      default:
+        throw Error("FastSbm: unknown pass tag in schedule");
     }
   }
-  pass_sedimentation(state, st, prof);
+  if (device_ != nullptr) {
+    const std::uint64_t n =
+        static_cast<std::uint64_t>(device_->launches().size() - launches0);
+    st.kernel_launches += n;
+    st.launch_latency_ms +=
+        static_cast<double>(n) * device_->spec().kernel_launch_us / 1000.0;
+  }
   st.wall_total_sec = seconds_since(t0);
   return st;
 }

@@ -29,6 +29,7 @@
 #include <optional>
 
 #include "exec/exec.hpp"
+#include "exec/passgraph.hpp"
 #include "fsbm/coal_bott.hpp"
 #include "fsbm/kernels.hpp"
 #include "fsbm/nucleation.hpp"
@@ -80,6 +81,14 @@ struct FsbmParams {
   bool offload_condensation = false;
   int cond_regs_per_thread = 72;
 
+  /// The `fuse=` knob (see exec/passgraph.hpp): cross-pass kernel
+  /// fusion.  kAuto fuses adjacent device passes the analyzer proves
+  /// legal — cond+coal when offload_condensation is on — into one
+  /// launch, skipping the inter-pass transfer round-trip; kOff keeps
+  /// the paper's one-launch-per-pass layout.  Both modes produce
+  /// bitwise-identical state and physics statistics.
+  exec::FuseMode fuse = exec::FuseMode::kOff;
+
   /// The `res=` knob (offloaded versions only; a no-op for v0/v1).
   /// kStep opens a per-launch `target data` region around every
   /// collision pass — all fields h2d before, bin fields d2h after, the
@@ -112,6 +121,13 @@ struct FsbmStats {
   /// Host wall seconds of the whole call and of the collision section.
   double wall_total_sec = 0.0;
   double wall_coal_sec = 0.0;
+  /// Kernel launches issued during the call (offloaded passes plus any
+  /// exec=device nest dispatches) and the modeled fixed launch latency
+  /// they paid (launches * DeviceSpec::kernel_launch_us).  Cross-pass
+  /// fusion's first win is making these drop with the physics bitwise
+  /// unchanged; surfaced here so benches need no device introspection.
+  std::uint64_t kernel_launches = 0;
+  double launch_latency_ms = 0.0;
   /// Device-side numbers (v2/v3 only).
   std::optional<gpu::KernelStats> coal_kernel;
   std::optional<gpu::KernelStats> cond_kernel;  ///< §VIII extension
@@ -206,6 +222,13 @@ class FastSbm {
     return region_ != nullptr ? region_->resident_bytes() : 0;
   }
 
+  /// The per-step pass chain and its fusion schedule (the `fuse=`
+  /// knob), built once at construction — field footprints and tile
+  /// plans are static per run.  Exposed so tests and benches can
+  /// inspect which adjacent pairs fused and the analyzer's reasons.
+  const exec::PassGraph& pass_graph() const noexcept { return graph_; }
+  const exec::Schedule& schedule() const noexcept { return schedule_; }
+
   /// res=persist: the dynamics transport (an RK3 stage update) rewrote
   /// qv and every bin field — stale the device copies (host exec
   /// spaces) or advance them (exec=device models the tendency/update
@@ -247,6 +270,16 @@ class FastSbm {
   void pass_cond_offload(MicroState& state, FsbmStats& st,
                          prof::Profiler& prof);
 
+  /// Fused cond+coal launch (fuse=auto when the analyzer approves the
+  /// pair): one kernel whose lanes run both pass bodies back to back
+  /// for their own cell, skipping the inter-pass transfer round-trip.
+  /// Bitwise identical to pass_cond_offload + pass_coal_offload — the
+  /// legality proof (analyzer/fusion.hpp) is exactly the pointwise
+  /// condition that makes lane-sequential execution equal to two
+  /// sequential full passes.
+  void pass_cond_coal_fused(MicroState& state, FsbmStats& st,
+                            prof::Profiler& prof);
+
   void pass_sedimentation(MicroState& state, FsbmStats& st,
                           prof::Profiler& prof);
 
@@ -270,6 +303,26 @@ class FastSbm {
   /// dispatch modes can never drift apart per cell.
   void coal_run_cell(MicroState& state, int i, int k, int j, bool pooled,
                      CoalCounters& c);
+
+  /// Per-launch counters of the offloaded condensation kernel.
+  struct CondCounters {
+    std::atomic<std::uint64_t> active{0};
+    std::atomic<std::uint64_t> coal_cells{0};
+    /// flops * 1000 as an integer so relaxed adds stay exact.
+    std::atomic<std::uint64_t> flops_milli{0};
+  };
+
+  /// One offloaded condensation lane (the §VIII body): predicate
+  /// refill, activity gate, nucleation + condensation, writeback.
+  /// Shared by the standalone cond launch and the fused cond+coal
+  /// launch so the two can never drift apart per cell.
+  void cond_run_cell(MicroState& state, int i, int k, int j,
+                     const CondConfig& cond_cfg, const NuclConfig& nucl_cfg,
+                     CondCounters& cnt);
+
+  /// Memory-access trace of one condensation lane (cache model).
+  void emit_cond_trace(const MicroState& state, int i, int k, int j,
+                       std::vector<gpu::AccessEvent>& out) const;
 
   /// The offloaded kernel's flop model: 24 per interaction + 4 per
   /// kernel lookup.
@@ -356,6 +409,10 @@ class FastSbm {
   /// True when `exec` is a DeviceSpace: host passes are then modeled as
   /// device-resident kernels, so their writes advance the device copy.
   bool exec_device_ = false;
+  /// The per-step pass chain (PassNodes with footprints + embedded
+  /// kernel sources) and its fusion schedule under params_.fuse.
+  exec::PassGraph graph_;
+  exec::Schedule schedule_;
 };
 
 }  // namespace wrf::fsbm

@@ -271,6 +271,7 @@ KernelStats Device::launch(const KernelDesc& desc) {
   KernelStats ks;
   ks.name = desc.name;
   ks.iterations = desc.iterations;
+  ks.fused_passes = desc.fused_passes < 1 ? 1 : desc.fused_passes;
 
   // --- functional execution on the host pool ---
   const auto t0 = std::chrono::steady_clock::now();

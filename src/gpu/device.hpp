@@ -124,6 +124,11 @@ struct KernelDesc {
 
   /// Fallback DRAM bytes per iteration when no trace is supplied.
   double bytes_per_iter = 0.0;
+
+  /// Number of logical passes this launch executes back to back per
+  /// lane (cross-pass fusion: cond+coal fused => 2).  Bookkeeping for
+  /// launch-count accounting; 1 for ordinary launches.
+  int fused_passes = 1;
 };
 
 /// Nsight-Compute-style metrics for one launch (paper Table VI).
@@ -141,6 +146,7 @@ struct KernelStats {
   double arithmetic_intensity = 0.0;  ///< flops / DRAM bytes
   double gflops_achieved = 0.0;       ///< flops / modeled time
   const char* bound = "";             ///< "memory" | "compute" | "latency"
+  int fused_passes = 1;               ///< logical passes in this launch
 };
 
 /// Cumulative host<->device transfer bookkeeping.  Byte totals and

@@ -6,6 +6,7 @@
 
 #include "dyn/rk3.hpp"
 #include "exec/exec.hpp"
+#include "exec/passgraph.hpp"
 #include "fsbm/fast_sbm.hpp"
 #include "gpu/device.hpp"
 #include "grid/decomp.hpp"
@@ -69,6 +70,15 @@ struct RunConfig {
   /// tests/test_exec.cpp).  A no-op for the host-only versions.  Parse
   /// with mem::parse_residency / mem::residency_from_args.
   mem::ResidencyMode res = mem::ResidencyMode::kStep;
+
+  /// The `fuse=` knob: cross-pass kernel fusion (exec/passgraph.hpp).
+  /// auto fuses adjacent device passes whose legality the analyzer
+  /// proves over their embedded kernel sources (cond+coal when
+  /// offload_condensation is on); off keeps one launch per pass.
+  /// Bitwise-identical state and physics stats either way — asserted in
+  /// tests/test_fusion.cpp.  Parse with exec::parse_fuse /
+  /// exec::fuse_from_args.
+  exec::FuseMode fuse = exec::FuseMode::kOff;
 
   // Decomposition.
   int npx = 2;

@@ -46,11 +46,11 @@ std::string RunConfig::describe() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "grid %dx%dx%d dx=%.0fm dt=%.1fs nkr=%d ranks=%dx%d "
-                "version=%s exec=%s halo=%s sed=%s res=%s ngpus=%d",
+                "version=%s exec=%s halo=%s sed=%s res=%s fuse=%s ngpus=%d",
                 nx, ny, nz, dx, dt, nkr, npx, npy,
                 fsbm::version_name(version), exec.describe().c_str(),
                 dyn::halo_mode_name(halo_mode), sed.describe().c_str(),
-                mem::residency_name(res), ngpus);
+                mem::residency_name(res), exec::fuse_name(fuse), ngpus);
   return buf;
 }
 
@@ -73,6 +73,7 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
   params.sed.dz = config_.dz;
   params.sed_dispatch = config_.sed;
   params.residency = config_.res;
+  params.fuse = config_.fuse;
   fsbm_ = std::make_unique<fsbm::FastSbm>(patch_, config_.nkr,
                                           config_.version, params,
                                           device_.get(), exec_space_.get());

@@ -108,6 +108,17 @@ struct RunResult {
   /// res=step); reported next to pool_bytes_per_rank by the benches.
   std::uint64_t resident_bytes_per_rank = 0;
 
+  /// Kernel launches issued across all ranks and steps, and the modeled
+  /// fixed launch latency they paid — what cross-pass fusion (`fuse=`)
+  /// reduces with the physics bitwise unchanged.  Convenience views of
+  /// totals.fsbm so benches need no device introspection.
+  std::uint64_t kernel_launches() const noexcept {
+    return totals.fsbm.kernel_launches;
+  }
+  double launch_latency_ms() const noexcept {
+    return totals.fsbm.launch_latency_ms;
+  }
+
   /// exec=hetero: fraction of coal-pass cells routed to the device shard
   /// (0 when the run never split — any other exec, or host-only
   /// versions).  Per-shard cell counts and wall seconds live in

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "analyzer/analysis.hpp"
 #include "analyzer/embedded_sources.hpp"
+#include "analyzer/fusion.hpp"
 #include "analyzer/parser.hpp"
 
 namespace wrf::analyzer {
@@ -167,6 +171,108 @@ TEST(Deps, MissingLoopVarInWriteIsSharedConflict) {
   const VarClass* vc = la.find("s");
   ASSERT_NE(vc, nullptr);
   EXPECT_EQ(vc->role, VarClass::kReduction);
+}
+
+TEST(Deps, CondAndCoalKernelsArePointwiseOverTheGridVars) {
+  // The fused cond+coal launch is justified by this: both passes touch
+  // the grid pointwise, so a lane running them back to back for its own
+  // cell matches two sequential full passes bit for bit.
+  for (const auto& [src, proc] :
+       {std::pair{&sources::cond_kernel(), "cond_kernel"},
+        std::pair{&sources::coal_kernel(), "coal_kernel"}}) {
+    const LoopAnalysis la = analyze_first_loop(*src, proc);
+    EXPECT_TRUE(la.parallelizable) << proc;
+    const VarClass* ff = la.find("ff");
+    ASSERT_NE(ff, nullptr) << proc;
+    for (const char* lv : {"i", "k", "j"}) {
+      EXPECT_NE(std::find(ff->pointwise_vars.begin(),
+                          ff->pointwise_vars.end(), lv),
+                ff->pointwise_vars.end())
+          << proc << ": ff not pointwise over " << lv;
+    }
+  }
+}
+
+TEST(Deps, SedKernelVerticalDependenceIsLoopCarried) {
+  // Sedimentation reads ff(n,i,k+1,j) while writing ff(n,i,k,j): mass
+  // falls through the column, so iteration k sees iteration k+1's
+  // element.  The analyzer must diagnose this as fusion-blocking — no
+  // hand-coded blocklist involved.
+  const LoopAnalysis la =
+      analyze_first_loop(sources::sed_kernel(), "sed_kernel");
+  EXPECT_FALSE(la.parallelizable);
+  const VarClass* ff = la.find("ff");
+  ASSERT_NE(ff, nullptr);
+  EXPECT_EQ(ff->role, VarClass::kLoopCarried);
+  bool mentions_neighbor = false;
+  for (const auto& b : la.blockers) {
+    if (b.find("neighboring") != std::string::npos) mentions_neighbor = true;
+  }
+  EXPECT_TRUE(mentions_neighbor);
+}
+
+TEST(Fusion, CondIntoCoalIsLegal) {
+  const FusionVerdict v = check_fusion(
+      {"onecond_loop", &sources::cond_kernel(), "cond_kernel"},
+      {"coal_bott_new_loop", &sources::coal_kernel(), "coal_kernel"}, 3);
+  EXPECT_TRUE(v.fusible) << [&] {
+    std::string s;
+    for (const auto& b : v.blockers) s += b + "; ";
+    return s;
+  }();
+}
+
+TEST(Fusion, CoalIntoSedimentationBlockedByVerticalDependence) {
+  // The negative legality case of the issue: sedimentation's
+  // loop-carried vertical dependence must make the *analyzer* refuse
+  // the pair.
+  const FusionVerdict v = check_fusion(
+      {"coal_bott_new_loop", &sources::coal_kernel(), "coal_kernel"},
+      {"sedimentation", &sources::sed_kernel(), "sed_kernel"}, 2);
+  EXPECT_FALSE(v.fusible);
+  ASSERT_FALSE(v.blockers.empty());
+  bool mentions_neighbor = false;
+  for (const auto& b : v.blockers) {
+    if (b.find("neighboring") != std::string::npos) mentions_neighbor = true;
+  }
+  EXPECT_TRUE(mentions_neighbor);
+}
+
+TEST(Fusion, WriteAfterReadPairRefusesToFuse) {
+  // Each proc is parallelizable alone; fused they race: the reader's
+  // a(i+1,...) lane would see the writer's in-place update of a.  The
+  // refusal must come from the pointwise analysis, not the individual
+  // verdicts.
+  const LoopAnalysis reader =
+      analyze_first_loop(sources::war_pair(), "war_reader");
+  const LoopAnalysis writer =
+      analyze_first_loop(sources::war_pair(), "war_writer");
+  EXPECT_TRUE(reader.parallelizable);
+  EXPECT_TRUE(writer.parallelizable);
+
+  const FusionVerdict v = check_fusion(
+      {"war_reader", &sources::war_pair(), "war_reader"},
+      {"war_writer", &sources::war_pair(), "war_writer"}, 3);
+  EXPECT_FALSE(v.fusible);
+  ASSERT_FALSE(v.blockers.empty());
+  bool names_a = false;
+  for (const auto& b : v.blockers) {
+    if (b.find("'a'") != std::string::npos) names_a = true;
+  }
+  EXPECT_TRUE(names_a);
+}
+
+TEST(Fusion, OracleCachesPerPairAndCollapseDepth) {
+  FusionOracle oracle;
+  const KernelRef cond{"onecond_loop", &sources::cond_kernel(),
+                       "cond_kernel"};
+  const KernelRef coal{"coal_bott_new_loop", &sources::coal_kernel(),
+                       "coal_kernel"};
+  EXPECT_TRUE(oracle.check(cond, coal, 3).fusible);
+  EXPECT_TRUE(oracle.check(cond, coal, 3).fusible);  // cache hit
+  EXPECT_EQ(oracle.analyses_run(), 1u);
+  oracle.check(cond, coal, 2);  // different depth -> new analysis
+  EXPECT_EQ(oracle.analyses_run(), 2u);
 }
 
 TEST(Deps, ScopeResolution) {

@@ -409,6 +409,34 @@ TEST(ExecConfig, HeteroParseAndDescribe) {
   EXPECT_THROW(ExecConfig::parse("heterogeneous"), ConfigError);
 }
 
+TEST(FuseConfig, ParseAndDescribe) {
+  // The fuse= knob, mirroring the hetero:<N> parser tests above: the
+  // two valid modes, the argv scanner, and the negative inputs.
+  EXPECT_EQ(exec::parse_fuse("off"), exec::FuseMode::kOff);
+  EXPECT_EQ(exec::parse_fuse("auto"), exec::FuseMode::kAuto);
+  EXPECT_STREQ(exec::fuse_name(exec::FuseMode::kOff), "off");
+  EXPECT_STREQ(exec::fuse_name(exec::FuseMode::kAuto), "auto");
+  // Round trip through the argv scanner like every other knob.
+  const char* argv[] = {"prog", "res=persist", "fuse=auto"};
+  EXPECT_EQ(exec::fuse_from_args(3, const_cast<char**>(argv)),
+            exec::FuseMode::kAuto);
+  const char* argv_def[] = {"prog", "res=persist"};
+  EXPECT_EQ(exec::fuse_from_args(2, const_cast<char**>(argv_def)),
+            exec::FuseMode::kOff);
+  // Negatives: no on/off synonyms, no parameters, case-sensitive.
+  EXPECT_THROW(exec::parse_fuse("on"), ConfigError);
+  EXPECT_THROW(exec::parse_fuse(""), ConfigError);
+  EXPECT_THROW(exec::parse_fuse("auto:2"), ConfigError);
+  EXPECT_THROW(exec::parse_fuse("Off"), ConfigError);
+  EXPECT_THROW(exec::parse_fuse("fused"), ConfigError);
+  EXPECT_THROW(exec::parse_fuse("of"), ConfigError);
+  // The knob shows up in RunConfig::describe() either way.
+  model::RunConfig cfg;
+  EXPECT_NE(cfg.describe().find("fuse=off"), std::string::npos);
+  cfg.fuse = exec::FuseMode::kAuto;
+  EXPECT_NE(cfg.describe().find("fuse=auto"), std::string::npos);
+}
+
 TEST(ExecConfig, MakeSpace) {
   EXPECT_STREQ(exec::make_space(ExecConfig{})->name(), "serial");
   ExecConfig t;

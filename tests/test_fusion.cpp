@@ -1,0 +1,216 @@
+// The fuse= knob's determinism contract (exec/passgraph.hpp): fuse=auto
+// must reproduce fuse=off bit for bit — state snapshots and physics
+// statistics — across every FSBM version, residency mode, and exec
+// space, while strictly reducing kernel launches where the fused pair
+// fires.  Plus the schedule's recorded decisions: every non-fusion has
+// a reason, and the dependence reasons come from the analyzer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/passgraph.hpp"
+#include "grid/decomp.hpp"
+#include "model/driver.hpp"
+
+namespace wrf {
+namespace {
+
+model::RunConfig fusion_case(fsbm::Version v, exec::FuseMode fuse,
+                             mem::ResidencyMode res,
+                             const exec::ExecConfig& e) {
+  model::RunConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 12;
+  cfg.nz = 8;
+  cfg.npx = cfg.npy = 1;
+  cfg.nsteps = 2;
+  cfg.version = v;
+  cfg.fsbm_params.offload_condensation = true;  // makes cond a candidate
+  cfg.fuse = fuse;
+  cfg.res = res;
+  cfg.exec = e;
+  cfg.validate();
+  return cfg;
+}
+
+model::RunResult run(const model::RunConfig& cfg) {
+  prof::Profiler prof;
+  return model::run_single(cfg, prof);
+}
+
+/// Bitwise physics + state equality (launch accounting excluded: that
+/// is exactly what fuse=auto is supposed to change).
+void expect_same_physics(const model::RunResult& a,
+                         const model::RunResult& b, const char* label) {
+  SCOPED_TRACE(label);
+  const fsbm::FsbmStats& fa = a.totals.fsbm;
+  const fsbm::FsbmStats& fb = b.totals.fsbm;
+  EXPECT_EQ(fa.cells_active, fb.cells_active);
+  EXPECT_EQ(fa.cells_coal, fb.cells_coal);
+  EXPECT_EQ(fa.kernel_table_fills, fb.kernel_table_fills);
+  EXPECT_EQ(fa.kernel_entries, fb.kernel_entries);
+  EXPECT_EQ(fa.coal_interactions, fb.coal_interactions);
+  EXPECT_EQ(fa.coal_flops, fb.coal_flops);
+  EXPECT_EQ(fa.cond_flops, fb.cond_flops);
+  EXPECT_EQ(fa.nucl_flops, fb.nucl_flops);
+  EXPECT_EQ(fa.sed_flops, fb.sed_flops);
+  EXPECT_EQ(fa.sed_substeps, fb.sed_substeps);
+  EXPECT_EQ(fa.surface_precip, fb.surface_precip);
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+  for (std::size_t s = 0; s < a.snapshots.size(); ++s) {
+    const auto& va = a.snapshots[s].variables();
+    const auto& vb = b.snapshots[s].variables();
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t v = 0; v < va.size(); ++v) {
+      EXPECT_EQ(va[v].name, vb[v].name);
+      ASSERT_EQ(va[v].data.size(), vb[v].data.size()) << va[v].name;
+      EXPECT_EQ(std::memcmp(va[v].data.data(), vb[v].data.data(),
+                            va[v].data.size() * sizeof(float)),
+                0)
+          << va[v].name;
+    }
+  }
+}
+
+TEST(Fusion, AutoBitwiseMatchesOffAcrossTheMatrix) {
+  // Every version x residency x exec cell: fuse=auto == fuse=off bit
+  // for bit, whether or not the fused pair actually fires in that cell
+  // (host versions, v2's collapse(2) coal, and hetero's split pass all
+  // decline fusion — the contract still holds trivially).
+  exec::ExecConfig dev;
+  dev.kind = exec::ExecKind::kDevice;
+  exec::ExecConfig het2;
+  het2.kind = exec::ExecKind::kHetero;
+  het2.nthreads = 2;
+  for (const fsbm::Version v :
+       {fsbm::Version::kV0Baseline, fsbm::Version::kV1LookupOnDemand,
+        fsbm::Version::kV2Offload2, fsbm::Version::kV3Offload3,
+        fsbm::Version::kV3NaiveCollapse3}) {
+    for (const mem::ResidencyMode res :
+         {mem::ResidencyMode::kStep, mem::ResidencyMode::kPersist}) {
+      for (const exec::ExecConfig& e : {dev, het2}) {
+        const std::string label =
+            std::string(fsbm::version_name(v)) + "/res=" +
+            mem::residency_name(res) + "/exec=" + e.describe();
+        const auto off = run(
+            fusion_case(v, exec::FuseMode::kOff, res, e));
+        const auto fused = run(
+            fusion_case(v, exec::FuseMode::kAuto, res, e));
+        expect_same_physics(off, fused, label.c_str());
+      }
+    }
+  }
+}
+
+TEST(Fusion, FusedRunSavesOneLaunchPerStep) {
+  // v3 + offloaded condensation on the device: cond+coal collapse into
+  // one launch, so fuse=auto issues exactly nsteps fewer launches and
+  // proportionally less modeled launch latency.
+  exec::ExecConfig dev;
+  dev.kind = exec::ExecKind::kDevice;
+  const auto cfg_off = fusion_case(fsbm::Version::kV3Offload3,
+                                   exec::FuseMode::kOff,
+                                   mem::ResidencyMode::kStep, dev);
+  const auto off = run(cfg_off);
+  const auto fused = run(fusion_case(fsbm::Version::kV3Offload3,
+                                     exec::FuseMode::kAuto,
+                                     mem::ResidencyMode::kStep, dev));
+  EXPECT_EQ(off.kernel_launches() - fused.kernel_launches(),
+            static_cast<std::uint64_t>(cfg_off.nsteps));
+  EXPECT_GT(off.kernel_launches(), 0u);
+  EXPECT_LT(fused.launch_latency_ms(), off.launch_latency_ms());
+}
+
+/// Build a rank (no stepping needed — the schedule is fixed at
+/// construction) and return its scheme for decision inspection.
+struct BuiltRank {
+  std::vector<grid::Patch> patches;
+  std::unique_ptr<model::RankModel> rank;
+  explicit BuiltRank(const model::RunConfig& cfg)
+      : patches(grid::decompose(cfg.domain(), 1, 1, cfg.halo)) {
+    rank = std::make_unique<model::RankModel>(cfg, patches[0], nullptr);
+  }
+  const exec::Schedule& schedule() const {
+    return rank->scheme().schedule();
+  }
+  std::string reason(std::size_t a, std::size_t b) const {
+    const exec::FusionDecision* d = schedule().decision(a, b);
+    return d != nullptr ? d->reason : "(no decision)";
+  }
+};
+
+TEST(Fusion, ScheduleRecordsAnalyzerBackedDecisions) {
+  exec::ExecConfig dev;
+  dev.kind = exec::ExecKind::kDevice;
+
+  // v3/device, fuse=auto: cond+coal fused (node ids 0,1), and the
+  // coal->sed pair rejected by the analyzer's loop-carried diagnosis —
+  // the reason must cite the dependence, not a blocklist.
+  {
+    const BuiltRank r(fusion_case(fsbm::Version::kV3Offload3,
+                                  exec::FuseMode::kAuto,
+                                  mem::ResidencyMode::kStep, dev));
+    const auto& sched = r.schedule();
+    ASSERT_GE(sched.groups.size(), 2u);
+    EXPECT_EQ(sched.groups[0],
+              (std::vector<std::size_t>{0, 1}));  // cond+coal fused
+    ASSERT_NE(sched.decision(0, 1), nullptr);
+    EXPECT_TRUE(sched.decision(0, 1)->fused);
+    EXPECT_NE(r.reason(1, 2).find("neighboring"), std::string::npos)
+        << r.reason(1, 2);
+  }
+
+  // v2's coal launch is collapse(2): structurally incompatible with the
+  // collapse(3) cond launch even though the dependence is legal.
+  {
+    const BuiltRank r(fusion_case(fsbm::Version::kV2Offload2,
+                                  exec::FuseMode::kAuto,
+                                  mem::ResidencyMode::kStep, dev));
+    ASSERT_NE(r.schedule().decision(0, 1), nullptr);
+    EXPECT_FALSE(r.schedule().decision(0, 1)->fused);
+    EXPECT_NE(r.reason(0, 1).find("collapse"), std::string::npos)
+        << r.reason(0, 1);
+  }
+
+  // hetero: the coal pass is predicate-split across shards — never a
+  // fusion candidate.
+  {
+    exec::ExecConfig het2;
+    het2.kind = exec::ExecKind::kHetero;
+    het2.nthreads = 2;
+    const BuiltRank r(fusion_case(fsbm::Version::kV3Offload3,
+                                  exec::FuseMode::kAuto,
+                                  mem::ResidencyMode::kStep, het2));
+    ASSERT_NE(r.schedule().decision(0, 1), nullptr);
+    EXPECT_FALSE(r.schedule().decision(0, 1)->fused);
+    EXPECT_NE(r.reason(0, 1).find("split"), std::string::npos)
+        << r.reason(0, 1);
+  }
+
+  // exec=serial keeps sedimentation on the host: a host-shard pass.
+  {
+    const BuiltRank r(fusion_case(fsbm::Version::kV3Offload3,
+                                  exec::FuseMode::kAuto,
+                                  mem::ResidencyMode::kStep,
+                                  exec::ExecConfig{}));
+    EXPECT_NE(r.reason(1, 2).find("host"), std::string::npos)
+        << r.reason(1, 2);
+  }
+
+  // fuse=off records itself as the reason on every pair.
+  {
+    const BuiltRank r(fusion_case(fsbm::Version::kV3Offload3,
+                                  exec::FuseMode::kOff,
+                                  mem::ResidencyMode::kStep, dev));
+    for (const exec::FusionDecision& d : r.schedule().decisions) {
+      EXPECT_FALSE(d.fused);
+      EXPECT_EQ(d.reason, "fuse=off");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wrf
