@@ -31,19 +31,14 @@ struct RepAggregate {
   int reps = 0;
 };
 
-/// Run `fn` (returning one double sample) `reps` times and aggregate.
-/// The first call is NOT discarded: callers that want a warmup should do
-/// it themselves before measuring (the FSBM benches construct a fresh
-/// RankModel per rep, so there is no cross-rep cache to warm).
-template <typename Fn>
-RepAggregate measure_reps(int reps, Fn&& fn) {
+/// Aggregate already-collected samples.  For benches whose rep loop
+/// yields several metrics at once (e.g. the hetero bench's device and
+/// host shard walls per run): collect each metric into its own vector
+/// and aggregate them separately.  `samples` must be non-empty.
+inline RepAggregate aggregate_samples(std::vector<double> samples) {
   RepAggregate agg;
-  if (reps < 1) reps = 1;
-  std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) samples.push_back(fn());
   std::sort(samples.begin(), samples.end());
-  agg.reps = reps;
+  agg.reps = static_cast<int>(samples.size());
   agg.min = samples.front();
   const std::size_t n = samples.size();
   agg.median = n % 2 == 1 ? samples[n / 2]
@@ -56,6 +51,19 @@ RepAggregate measure_reps(int reps, Fn&& fn) {
   var /= static_cast<double>(n);
   agg.cv = agg.mean > 0.0 ? std::sqrt(var) / agg.mean : 0.0;
   return agg;
+}
+
+/// Run `fn` (returning one double sample) `reps` times and aggregate.
+/// The first call is NOT discarded: callers that want a warmup should do
+/// it themselves before measuring (the FSBM benches construct a fresh
+/// RankModel per rep, so there is no cross-rep cache to warm).
+template <typename Fn>
+RepAggregate measure_reps(int reps, Fn&& fn) {
+  if (reps < 1) reps = 1;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) samples.push_back(fn());
+  return aggregate_samples(std::move(samples));
 }
 
 /// Print the Table II configuration header every bench starts with.

@@ -10,6 +10,10 @@
 // >= 5x vs step (single-rank CONUS has no neighbors, so persist's steady
 // state is ~zero — the first step pays the one-time enter-data upload).
 //
+// Wall-clock is reported as a min/median/CV aggregate over N reps
+// (bench_common.hpp) — on a loaded CI host only the counter columns are
+// stable; the CV column says how much to trust the wall ones.
+//
 // Usage: bench_residency [nx ny nz nsteps] [--benchmark_format=json]
 //   default grid: the 107x75x50 per-rank CONUS patch of Tables IV-VI.
 //   JSON mode emits one google-benchmark-style record per
@@ -36,10 +40,11 @@ struct Cell {
   double xfer_ms_steady = 0;              // modeled link ms per step
   double kernel_ms_step = 0;              // modeled kernel ms per step
   std::uint64_t resident_bytes = 0;
+  bench::RepAggregate wall;               // whole-run wall seconds over reps
 };
 
 Cell measure(fsbm::Version v, mem::ResidencyMode res, int nx, int ny, int nz,
-             int nsteps) {
+             int nsteps, int reps) {
   model::RunConfig cfg;
   cfg.nx = nx;
   cfg.ny = ny;
@@ -78,6 +83,12 @@ Cell measure(fsbm::Version v, mem::ResidencyMode res, int nx, int ny, int nz,
   }
   c.kernel_ms_step = rank.device()->total_kernel_ms() / nsteps;
   c.resident_bytes = rank.scheme().resident_bytes();
+
+  // Wall pass: whole-run wall over `reps` repetitions, fresh rank each.
+  c.wall = bench::measure_reps(reps, [&]() {
+    prof::Profiler p;
+    return model::run_single(cfg, p).wall_sec;
+  });
   return c;
 }
 
@@ -96,11 +107,13 @@ void print_json(const std::vector<Cell>& cells, int nx, int ny, int nz,
         "\"h2d_bytes_first_step\": %.0f, \"d2h_bytes_first_step\": %.0f, "
         "\"h2d_bytes_per_step\": %.0f, \"d2h_bytes_per_step\": %.0f, "
         "\"transfer_ms_per_step\": %.6f, \"kernel_ms_per_step\": %.4f, "
-        "\"resident_mb\": %.2f}%s\n",
+        "\"resident_mb\": %.2f, \"wall_s_min\": %.4f, "
+        "\"wall_s_median\": %.4f, \"wall_cv\": %.3f, \"reps\": %d}%s\n",
         fsbm::version_name(c.version), mem::residency_name(c.res),
         c.h2d_first, c.d2h_first, c.h2d_steady, c.d2h_steady,
         c.xfer_ms_steady, c.kernel_ms_step,
         mb(static_cast<double>(c.resident_bytes)),
+        c.wall.min, c.wall.median, c.wall.cv, c.wall.reps,
         n + 1 < cells.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
@@ -132,13 +145,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (nsteps < 2) nsteps = 2;  // steady state needs a second step
+  const int reps = 3;
 
   std::vector<Cell> cells;
   for (const fsbm::Version v :
        {fsbm::Version::kV2Offload2, fsbm::Version::kV3Offload3}) {
     for (const mem::ResidencyMode res :
          {mem::ResidencyMode::kStep, mem::ResidencyMode::kPersist}) {
-      cells.push_back(measure(v, res, nx, ny, nz, nsteps));
+      cells.push_back(measure(v, res, nx, ny, nz, nsteps, reps));
     }
   }
 
@@ -168,16 +182,16 @@ int main(int argc, char** argv) {
 
   bench::print_config_header("Residency sweep — res=step vs res=persist");
   std::printf("CONUS rank patch %dx%dx%d, %d steps, exec=device "
-              "(device-resident stepping)\n\n",
-              nx, ny, nz, nsteps);
-  std::printf("  %-24s %-8s %12s %12s %12s %12s %10s\n", "version", "res",
-              "h2d MB/st", "d2h MB/st", "first h2d", "first d2h",
-              "xfer ms/st");
+              "(device-resident stepping), %d wall reps\n\n",
+              nx, ny, nz, nsteps, reps);
+  std::printf("  %-24s %-8s %12s %12s %12s %10s %10s %8s\n", "version",
+              "res", "h2d MB/st", "d2h MB/st", "first h2d", "xfer ms/st",
+              "wall med s", "wall CV");
   for (const Cell& c : cells) {
-    std::printf("  %-24s %-8s %12.3f %12.3f %12.1f %12.1f %10.4f\n",
+    std::printf("  %-24s %-8s %12.3f %12.3f %12.1f %10.4f %10.3f %8.3f\n",
                 fsbm::version_name(c.version), mem::residency_name(c.res),
                 mb(c.h2d_steady), mb(c.d2h_steady), mb(c.h2d_first),
-                mb(c.d2h_first), c.xfer_ms_steady);
+                c.xfer_ms_steady, c.wall.median, c.wall.cv);
   }
   std::printf("\n");
 

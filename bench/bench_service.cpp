@@ -1,0 +1,250 @@
+// Forecast-service sweep: one fixed mixed-class job stream dispatched
+// over pools of 1, 2 and 4 lanes (svc::Scheduler), reporting service
+// metrics — makespan, throughput, p50/p95 queue wait, per-class mean
+// wait, pool parallelism/occupancy, batching — at each pool width.
+//
+// Shape targets, enforced through the exit code in BOTH output modes:
+//   (a) the pool actually multiplexes: pool_parallelism >= 0.5 x lanes
+//       at every width (lane busy windows overlap in wall time even on
+//       a single timesliced hardware thread);
+//   (b) wider pools start jobs sooner: p50 queue wait at the widest
+//       pool strictly below the 1-lane p50;
+//   (c) fair-share holds under saturation: per-class mean wait ordered
+//       interactive <= ensemble <= batch on the saturated 1-lane pool
+//       (weights 8/3/1);
+//   (d) ensemble members batch: at least one multi-job dispatch at
+//       every width with batch_max > 1;
+//   (e) nothing fails or is rejected mid-run, and throughput at the
+//       widest pool stays within 0.8x of the 1-lane pool even with zero
+//       spare hardware threads (wall throughput only *gains* when
+//       min(lanes, hw_threads) > 1 — reported, not gated, since CI
+//       hosts vary).
+//
+// Usage: bench_service [jobs_per_class] [--benchmark_format=json]
+//   default 8 jobs per class (24 jobs per pool width); the CI smoke
+//   passes 3.  JSON mode emits one record per pool width;
+//   scripts/bench_json.sh distills BENCH_service.json from it.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "svc/scheduler.hpp"
+
+using namespace wrf;
+
+namespace {
+
+struct Sweep {
+  int lanes = 0;
+  int jobs = 0;
+  svc::ServiceStats stats;
+  double wait_p50 = 0.0, wait_p95 = 0.0;
+  double class_wait_mean[svc::kNumClasses] = {0, 0, 0};
+  double jobs_per_sec = 0.0;
+};
+
+model::RunConfig scenario(int nx, int ny, int nz, int nsteps,
+                          fsbm::Version v, mem::ResidencyMode res,
+                          std::uint64_t seed) {
+  model::RunConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.nz = nz;
+  cfg.nsteps = nsteps;
+  cfg.npx = cfg.npy = 1;
+  cfg.version = v;
+  cfg.res = res;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The fixed stream: jobs_per_class of each class, submitted paused so
+/// the dispatch order is a pure function of the queue, then released.
+Sweep run_pool(int lanes, int jobs_per_class) {
+  svc::SchedulerConfig sc;
+  sc.lanes = lanes;
+  sc.batch_max = 4;
+  sc.start_paused = true;
+  svc::Scheduler sched(sc);
+
+  for (int n = 0; n < jobs_per_class; ++n) {
+    // On-demand nowcasts: offloaded v3, persistent residency, deadline.
+    svc::Job job;
+    job.cls = svc::JobClass::kInteractive;
+    job.deadline_sec = 600.0;
+    job.config = scenario(24, 16, 10, 2, fsbm::Version::kV3Offload3,
+                          mem::ResidencyMode::kPersist, 100 + n);
+    sched.submit(job);
+  }
+  for (int n = 0; n < jobs_per_class; ++n) {
+    // Perturbed ensemble members: same shape, different seeds.
+    svc::Job job;
+    job.cls = svc::JobClass::kEnsemble;
+    job.config = scenario(20, 14, 8, 2, fsbm::Version::kV2Offload2,
+                          mem::ResidencyMode::kStep, 200 + n);
+    sched.submit(job);
+  }
+  for (int n = 0; n < jobs_per_class; ++n) {
+    // Background reanalysis: host-only, no deadline.
+    svc::Job job;
+    job.cls = svc::JobClass::kBatch;
+    job.config = scenario(16, 12, 8, 3, fsbm::Version::kV1LookupOnDemand,
+                          mem::ResidencyMode::kStep, 300 + n);
+    sched.submit(job);
+  }
+
+  sched.drain();
+  Sweep s;
+  s.lanes = lanes;
+  s.jobs = 3 * jobs_per_class;
+  s.stats = sched.stats();
+  sched.shutdown();
+
+  std::vector<double> waits;
+  double wait_sum[svc::kNumClasses] = {0, 0, 0};
+  int wait_n[svc::kNumClasses] = {0, 0, 0};
+  for (const svc::JobResult& r : sched.take_results()) {
+    if (r.outcome != svc::JobOutcome::kCompleted) continue;
+    waits.push_back(r.wait_sec());
+    wait_sum[static_cast<int>(r.cls)] += r.wait_sec();
+    ++wait_n[static_cast<int>(r.cls)];
+  }
+  std::sort(waits.begin(), waits.end());
+  if (!waits.empty()) {
+    s.wait_p50 = waits[waits.size() / 2];
+    s.wait_p95 = waits[static_cast<std::size_t>(
+        0.95 * static_cast<double>(waits.size() - 1))];
+  }
+  for (int c = 0; c < svc::kNumClasses; ++c) {
+    s.class_wait_mean[c] =
+        wait_n[c] > 0 ? wait_sum[c] / wait_n[c] : 0.0;
+  }
+  const double span = s.stats.makespan_sec();
+  s.jobs_per_sec =
+      span > 0.0 ? static_cast<double>(s.stats.completed()) / span : 0.0;
+  return s;
+}
+
+void print_json(const std::vector<Sweep>& sweeps, int jobs_per_class,
+                unsigned hw_threads) {
+  std::printf("{\n  \"context\": {\"executable\": \"bench_service\", "
+              "\"jobs_per_class\": %d, \"batch_max\": 4, "
+              "\"class_weights\": [8, 3, 1], \"hw_threads\": %u},\n",
+              jobs_per_class, hw_threads);
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t n = 0; n < sweeps.size(); ++n) {
+    const Sweep& s = sweeps[n];
+    std::printf(
+        "    {\"name\": \"service/lanes=%d\", \"run_type\": \"aggregate\", "
+        "\"jobs\": %d, \"completed\": %llu, \"rejected\": %llu, "
+        "\"failed\": %llu, \"makespan_s\": %.4f, \"jobs_per_s\": %.3f, "
+        "\"wait_p50_s\": %.4f, \"wait_p95_s\": %.4f, "
+        "\"wait_mean_interactive_s\": %.4f, \"wait_mean_ensemble_s\": %.4f, "
+        "\"wait_mean_batch_s\": %.4f, \"pool_parallelism\": %.3f, "
+        "\"occupancy\": %.3f, \"dispatches\": %llu, \"batches\": %llu, "
+        "\"batched_jobs\": %llu, \"deadline_met\": %llu, "
+        "\"deadline_jobs\": %llu}%s\n",
+        s.lanes, s.jobs,
+        static_cast<unsigned long long>(s.stats.completed()),
+        static_cast<unsigned long long>(s.stats.rejected()),
+        static_cast<unsigned long long>(s.stats.failed()),
+        s.stats.makespan_sec(), s.jobs_per_sec, s.wait_p50, s.wait_p95,
+        s.class_wait_mean[0], s.class_wait_mean[1], s.class_wait_mean[2],
+        s.stats.pool_parallelism(), s.stats.occupancy(),
+        static_cast<unsigned long long>(s.stats.dispatches),
+        static_cast<unsigned long long>(s.stats.batches),
+        static_cast<unsigned long long>(s.stats.batched_jobs),
+        static_cast<unsigned long long>(
+            s.stats.cls[0].deadline_met),
+        static_cast<unsigned long long>(
+            s.stats.cls[0].deadline_jobs),
+        n + 1 < sweeps.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs_per_class = 8;
+  bool json = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--benchmark_format=json") == 0) {
+      json = true;
+    } else if (std::strchr(argv[a], '=') == nullptr) {
+      jobs_per_class = std::atoi(argv[a]);
+    }
+  }
+  if (jobs_per_class < 2) jobs_per_class = 2;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<Sweep> sweeps;
+  for (const int lanes : {1, 2, 4}) {
+    sweeps.push_back(run_pool(lanes, jobs_per_class));
+  }
+
+  const Sweep& one = sweeps.front();
+  const Sweep& widest = sweeps.back();
+  bool parallelism_ok = true, batching_ok = true, clean = true;
+  for (const Sweep& s : sweeps) {
+    parallelism_ok = parallelism_ok &&
+                     s.stats.pool_parallelism() >= 0.5 * s.lanes;
+    batching_ok = batching_ok && s.stats.batches > 0;
+    clean = clean && s.stats.failed() == 0 && s.stats.rejected() == 0 &&
+            s.stats.completed() == static_cast<std::uint64_t>(s.jobs);
+  }
+  const bool waits_shrink = widest.wait_p50 < one.wait_p50;
+  const bool fair_share_ordered =
+      one.class_wait_mean[0] <= one.class_wait_mean[1] &&
+      one.class_wait_mean[1] <= one.class_wait_mean[2];
+  const bool throughput_holds =
+      widest.jobs_per_sec >= 0.8 * one.jobs_per_sec;
+  const int exit_code = (parallelism_ok && batching_ok && clean &&
+                         waits_shrink && fair_share_ordered &&
+                         throughput_holds)
+                            ? 0
+                            : 1;
+
+  if (json) {
+    print_json(sweeps, jobs_per_class, hw);
+    return exit_code;
+  }
+
+  bench::print_config_header(
+      "Forecast service — one job stream, pool widths 1/2/4");
+  std::printf("stream: %d jobs per class (interactive v3/persist with "
+              "deadlines, ensemble v2/step same-shape members, batch "
+              "v1 host-only), weights 8/3/1, batch_max 4, %u hardware "
+              "threads\n\n", jobs_per_class, hw);
+  std::printf("  %5s %9s %8s %8s %8s %22s %8s %7s %7s\n", "lanes",
+              "makespan", "jobs/s", "p50 wait", "p95 wait",
+              "mean wait I/E/B (s)", "pool par", "occup", "batches");
+  for (const Sweep& s : sweeps) {
+    std::printf("  %5d %8.3fs %8.3f %7.3fs %7.3fs %6.3f %6.3f %6.3f "
+                "%8.2f %6.0f%% %7llu\n",
+                s.lanes, s.stats.makespan_sec(), s.jobs_per_sec,
+                s.wait_p50, s.wait_p95, s.class_wait_mean[0],
+                s.class_wait_mean[1], s.class_wait_mean[2],
+                s.stats.pool_parallelism(), 100.0 * s.stats.occupancy(),
+                static_cast<unsigned long long>(s.stats.batches));
+  }
+  std::printf("\nexpected wall-throughput scaling on this host: "
+              "min(lanes, hw_threads) = %d at the widest pool\n",
+              std::min(widest.lanes, static_cast<int>(hw)));
+  std::printf("shape checks: pool_parallelism >= 0.5 x lanes (%s); "
+              "p50 wait shrinks 1 -> %d lanes (%s); 1-lane mean wait "
+              "ordered I <= E <= B (%s); batching at every width (%s); "
+              "clean completions (%s); widest-pool throughput >= 0.8 x "
+              "1-lane (%s)\n",
+              parallelism_ok ? "yes" : "NO", widest.lanes,
+              waits_shrink ? "yes" : "NO",
+              fair_share_ordered ? "yes" : "NO",
+              batching_ok ? "yes" : "NO", clean ? "yes" : "NO",
+              throughput_holds ? "yes" : "NO");
+  return exit_code;
+}

@@ -22,6 +22,11 @@
 // device_cells, and the CONUS sounding splits nontrivially (rows above
 // the 223.15 K coal gate stay on the host shard).
 //
+// Per-shard wall times are min/median/CV aggregates over N hetero reps
+// (bench_common.hpp aggregate_samples — both shard walls come from the
+// same rep, so they are collected side by side and aggregated per
+// metric); the counter columns are deterministic and measured once.
+//
 // Usage: bench_table4_offload2 [nx ny nz nsteps] [--benchmark_format=json]
 //   JSON mode runs only the hetero sweep and emits one record per
 //   version; scripts/bench_json.sh distills BENCH_hetero.json from it.
@@ -40,7 +45,7 @@ struct HeteroCell {
   fsbm::Version version;
   std::uint64_t dev_cells = 0, host_cells = 0;  // summed over steps
   double frac = 0.0;                            // device-shard fraction
-  double wall_dev_sec = 0.0, wall_host_sec = 0.0;
+  bench::RepAggregate wall_dev, wall_host;      // per-shard wall s over reps
   std::uint64_t het_h2d = 0, het_d2h = 0;    // hetero run, whole run
   std::uint64_t base_h2d = 0, base_d2h = 0;  // full-pass run, whole run
   double het_kernel_ms = 0.0, base_kernel_ms = 0.0;  // modeled, last step
@@ -48,7 +53,7 @@ struct HeteroCell {
 };
 
 HeteroCell measure_hetero(fsbm::Version v, int nx, int ny, int nz,
-                          int nsteps) {
+                          int nsteps, int reps) {
   auto run = [&](const exec::ExecConfig& e) {
     model::RunConfig cfg;
     cfg.nx = nx;
@@ -66,15 +71,25 @@ HeteroCell measure_hetero(fsbm::Version v, int nx, int ny, int nz,
   const model::RunResult base = run(exec::ExecConfig{});
   exec::ExecConfig het;
   het.kind = exec::ExecKind::kHetero;
+  // Rep loop: both shard walls come from the same run, so collect the
+  // paired samples and aggregate each metric separately.  The counters
+  // (shard cells, transfer bytes) are deterministic; keep the first run.
   const model::RunResult h = run(het);
+  std::vector<double> dev_walls{h.totals.fsbm.shard_wall_device_sec};
+  std::vector<double> host_walls{h.totals.fsbm.shard_wall_host_sec};
+  for (int r = 1; r < reps; ++r) {
+    const model::RunResult hr = run(het);
+    dev_walls.push_back(hr.totals.fsbm.shard_wall_device_sec);
+    host_walls.push_back(hr.totals.fsbm.shard_wall_host_sec);
+  }
 
   HeteroCell c;
   c.version = v;
   c.dev_cells = h.totals.fsbm.shard_cells_device;
   c.host_cells = h.totals.fsbm.shard_cells_host;
   c.frac = h.device_shard_fraction();
-  c.wall_dev_sec = h.totals.fsbm.shard_wall_device_sec;
-  c.wall_host_sec = h.totals.fsbm.shard_wall_host_sec;
+  c.wall_dev = bench::aggregate_samples(std::move(dev_walls));
+  c.wall_host = bench::aggregate_samples(std::move(host_walls));
   c.het_h2d = h.totals.fsbm.h2d_bytes;
   c.het_d2h = h.totals.fsbm.d2h_bytes;
   c.base_h2d = base.totals.fsbm.h2d_bytes;
@@ -109,15 +124,22 @@ void print_hetero_json(const HeteroCell* cells, int n, int nx, int ny, int nz,
     std::printf(
         "    {\"name\": \"hetero/%s\", \"run_type\": \"aggregate\", "
         "\"split_fraction\": %.6f, \"device_shard_cells\": %llu, "
-        "\"host_shard_cells\": %llu, \"wall_device_shard_sec\": %.6f, "
-        "\"wall_host_shard_sec\": %.6f, \"hetero_h2d_bytes\": %llu, "
+        "\"host_shard_cells\": %llu, \"wall_device_shard_s_min\": %.6f, "
+        "\"wall_device_shard_s_median\": %.6f, "
+        "\"wall_device_shard_cv\": %.3f, "
+        "\"wall_host_shard_s_min\": %.6f, "
+        "\"wall_host_shard_s_median\": %.6f, "
+        "\"wall_host_shard_cv\": %.3f, \"reps\": %d, "
+        "\"hetero_h2d_bytes\": %llu, "
         "\"hetero_d2h_bytes\": %llu, \"full_h2d_bytes\": %llu, "
         "\"full_d2h_bytes\": %llu, \"hetero_kernel_ms\": %.4f, "
         "\"full_kernel_ms\": %.4f, \"exact_shard_scaling\": %s}%s\n",
         fsbm::version_name(c.version), c.frac,
         static_cast<unsigned long long>(c.dev_cells),
-        static_cast<unsigned long long>(c.host_cells), c.wall_dev_sec,
-        c.wall_host_sec, static_cast<unsigned long long>(c.het_h2d),
+        static_cast<unsigned long long>(c.host_cells), c.wall_dev.min,
+        c.wall_dev.median, c.wall_dev.cv, c.wall_host.min,
+        c.wall_host.median, c.wall_host.cv, c.wall_dev.reps,
+        static_cast<unsigned long long>(c.het_h2d),
         static_cast<unsigned long long>(c.het_d2h),
         static_cast<unsigned long long>(c.base_h2d),
         static_cast<unsigned long long>(c.base_d2h), c.het_kernel_ms,
@@ -161,10 +183,13 @@ int main(int argc, char** argv) {
     nsteps = pos[3];
   }
 
+  const int reps = 3;
   HeteroCell het[2];
   auto sweep_hetero = [&]() {
-    het[0] = measure_hetero(fsbm::Version::kV2Offload2, nx, ny, nz, nsteps);
-    het[1] = measure_hetero(fsbm::Version::kV3Offload3, nx, ny, nz, nsteps);
+    het[0] =
+        measure_hetero(fsbm::Version::kV2Offload2, nx, ny, nz, nsteps, reps);
+    het[1] =
+        measure_hetero(fsbm::Version::kV3Offload3, nx, ny, nz, nsteps, reps);
   };
 
   if (json) {
@@ -226,17 +251,19 @@ int main(int argc, char** argv) {
 
   // ---- heterogeneous dispatch sweep (exec=hetero) -------------------
   sweep_hetero();
-  std::printf("heterogeneous dispatch (exec=hetero, %dx%dx%d, %d step%s):\n",
-              nx, ny, nz, nsteps, nsteps == 1 ? "" : "s");
-  std::printf("  %-24s %8s %12s %12s %12s %12s %10s %10s\n", "version",
-              "split", "dev wall s", "host wall s", "h2d MB", "full h2d",
-              "kern ms", "full ms");
+  std::printf("heterogeneous dispatch (exec=hetero, %dx%dx%d, %d step%s, "
+              "%d wall reps):\n",
+              nx, ny, nz, nsteps, nsteps == 1 ? "" : "s", reps);
+  std::printf("  %-24s %8s %12s %12s %8s %12s %12s %10s\n", "version",
+              "split", "dev med s", "host med s", "wall CV", "h2d MB",
+              "full h2d", "kern ms");
   for (const HeteroCell& c : het) {
-    std::printf("  %-24s %7.1f%% %12.4f %12.4f %12.2f %12.2f %10.3f %10.3f\n",
-                fsbm::version_name(c.version), 100.0 * c.frac, c.wall_dev_sec,
-                c.wall_host_sec, static_cast<double>(c.het_h2d) / 1e6,
-                static_cast<double>(c.base_h2d) / 1e6, c.het_kernel_ms,
-                c.base_kernel_ms);
+    std::printf("  %-24s %7.1f%% %12.4f %12.4f %8.3f %12.2f %12.2f %10.3f\n",
+                fsbm::version_name(c.version), 100.0 * c.frac,
+                c.wall_dev.median, c.wall_host.median,
+                std::max(c.wall_dev.cv, c.wall_host.cv),
+                static_cast<double>(c.het_h2d) / 1e6,
+                static_cast<double>(c.base_h2d) / 1e6, c.het_kernel_ms);
   }
   const int gate = hetero_gate(het, 2);
   std::printf("shape check: device-shard traffic scales exactly with "

@@ -20,6 +20,13 @@
 #     plus the two acceptance gates (fewer launches under both res
 #     modes; less res=step traffic).
 #
+#   BENCH_service.json — the forecast-service point from bench_service:
+#     makespan, throughput, p50/p95 queue wait, per-class mean wait,
+#     pool parallelism/occupancy and batching for one mixed-class job
+#     stream over 1/2/4-lane pools, plus the scheduler gates (pool
+#     multiplexing, shrinking waits, fair-share wait ordering,
+#     ensemble batching, clean completions).
+#
 # Usage:
 #   scripts/bench_json.sh                 # full rank patch (107 75 50 3)
 #   scripts/bench_json.sh 48 32 20 3      # custom grid
@@ -28,7 +35,8 @@
 # Env: BUILD (build dir, default "build"), OUT (residency output path,
 # default "BENCH_residency.json"), OUT_HETERO (hetero output path,
 # default "BENCH_hetero.json"), OUT_FUSION (fusion output path, default
-# "BENCH_fusion.json").
+# "BENCH_fusion.json"), OUT_SERVICE (service output path, default
+# "BENCH_service.json").
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,6 +45,7 @@ BUILD=${BUILD:-build}
 OUT=${OUT:-BENCH_residency.json}
 OUT_HETERO=${OUT_HETERO:-BENCH_hetero.json}
 OUT_FUSION=${OUT_FUSION:-BENCH_fusion.json}
+OUT_SERVICE=${OUT_SERVICE:-BENCH_service.json}
 
 # Always (re)build — incremental, so this is a no-op when current, and
 # it guarantees the trajectory point never comes from a stale binary.
@@ -44,15 +53,18 @@ if [ ! -d "${BUILD}" ]; then
   cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${BUILD}" -j "$(nproc)" \
-  --target bench_residency bench_table4_offload2 bench_fusion
+  --target bench_residency bench_table4_offload2 bench_fusion bench_service
 
 ARGS=("$@")
 HETERO_ARGS=("$@")
+# The service bench takes a stream size, not a grid: jobs per class.
+SERVICE_ARGS=(8)
 if [ "${BENCH_SMOKE:-0}" = "1" ] && [ ${#ARGS[@]} -eq 0 ]; then
   ARGS=(24 16 10 3)
   # The hetero smoke needs a tall column (40 x 400 m reaches above the
   # 223.15 K coal gate) so the predicate split is genuinely two-sided.
   HETERO_ARGS=(16 12 40 1)
+  SERVICE_ARGS=(3)
 fi
 
 RAW=$(mktemp)
@@ -203,6 +215,53 @@ print("wrote %s: fused %s, launches %.1f -> %.1f per step, res=step "
           else "NOT met"))
 PY
 
+# ---- forecast-service point (svc::Scheduler pool sweep) --------------
+RAW_S=$(mktemp)
+trap 'rm -f "${RAW}" "${RAW_H}" "${RAW_F}" "${RAW_S}"' EXIT
+rc_s=0
+"${BUILD}/bench_service" "${SERVICE_ARGS[@]}" --benchmark_format=json \
+  > "${RAW_S}" || rc_s=$?
+
+python3 - "${RAW_S}" "${OUT_SERVICE}" <<'PY'
+import json
+import sys
+
+raw = json.load(open(sys.argv[1]))
+pools = {b["name"]: b for b in raw["benchmarks"]}
+one = pools["service/lanes=1"]
+max_lanes = max(int(k.split("=")[1]) for k in pools)
+widest = pools["service/lanes=%d" % max_lanes]
+
+point = {
+    "bench": "service",
+    "context": raw["context"],
+    "pools": [pools[k] for k in sorted(pools, key=lambda k:
+                                       int(k.split("=")[1]))],
+    "pool_parallelism_ok": all(
+        p["pool_parallelism"] >= 0.5 * int(k.split("=")[1])
+        for k, p in pools.items()),
+    "wait_p50_shrinks": widest["wait_p50_s"] < one["wait_p50_s"],
+    "fair_share_wait_ordered": (
+        one["wait_mean_interactive_s"] <= one["wait_mean_ensemble_s"]
+        <= one["wait_mean_batch_s"]),
+    "batching_every_width": all(p["batches"] > 0 for p in pools.values()),
+    "clean": all(p["failed"] == 0 and p["rejected"] == 0
+                 and p["completed"] == p["jobs"] for p in pools.values()),
+}
+json.dump(point, open(sys.argv[2], "w"), indent=2)
+gates = [point[g] for g in ("pool_parallelism_ok", "wait_p50_shrinks",
+                            "fair_share_wait_ordered",
+                            "batching_every_width", "clean")]
+print("wrote %s: %d-lane pool parallelism %.2f, p50 wait %.3fs -> %.3fs, "
+      "1-lane mean waits I/E/B %.3f/%.3f/%.3f s; gates %s" % (
+          sys.argv[2], max_lanes, widest["pool_parallelism"],
+          one["wait_p50_s"], widest["wait_p50_s"],
+          one["wait_mean_interactive_s"], one["wait_mean_ensemble_s"],
+          one["wait_mean_batch_s"],
+          "met" if all(gates) else "NOT met"))
+PY
+
 [ "${rc}" -ne 0 ] && exit "${rc}"
 [ "${rc_h}" -ne 0 ] && exit "${rc_h}"
-exit "${rc_f}"
+[ "${rc_f}" -ne 0 ] && exit "${rc_f}"
+exit "${rc_s}"

@@ -31,19 +31,23 @@ run_tsan() {
   # heterogeneous split passes (test_exec — exec=hetero runs the device
   # shard's kernel and the host shard's remainder CONCURRENTLY, so the
   # data-race coverage here is load-bearing), the phased halo exchange
-  # with comms/compute overlap (test_halo_overlap), and the FSBM
-  # property suite (per-thread block-buffer reuse plus the hetero
-  # partition-completeness and seed-determinism laws).
+  # with comms/compute overlap (test_halo_overlap), the FSBM property
+  # suite (per-thread block-buffer reuse plus the hetero
+  # partition-completeness and seed-determinism laws), and the forecast
+  # service (test_svc — scheduler lanes run model::run_single
+  # CONCURRENTLY against the shared queue/stats state, so this is where
+  # a racy Scheduler or a non-thread-safe model path would surface).
   local build_dir="build-ci-tsan"
   echo "=== ThreadSanitizer ==="
   cmake -B "${build_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DWRF_TSAN=ON
   cmake --build "${build_dir}" -j "$(nproc)" \
-    --target test_par test_exec test_halo_overlap test_fsbm_properties
+    --target test_par test_exec test_halo_overlap test_fsbm_properties \
+    test_svc
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties)$'
+      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties|test_svc)$'
 }
 
 run_bench_smoke() {
@@ -52,13 +56,16 @@ run_bench_smoke() {
   # gate (device-shard h2d == per-cell footprint x predicate-true shard
   # cells on a column tall enough that the split is two-sided), the
   # fuse=auto gates (strictly fewer kernel launches under both res
-  # modes, less res=step inter-pass traffic), and that the JSON
+  # modes, less res=step inter-pass traffic), the forecast-service
+  # gates (pool multiplexing, shrinking waits, fair-share wait
+  # ordering, ensemble batching, clean completions), and that the JSON
   # distillation pipeline stays runnable.
   echo "=== bench_json smoke ==="
   BENCH_SMOKE=1 BUILD=build-ci-release \
     OUT=build-ci-release/BENCH_residency_smoke.json \
     OUT_HETERO=build-ci-release/BENCH_hetero_smoke.json \
     OUT_FUSION=build-ci-release/BENCH_fusion_smoke.json \
+    OUT_SERVICE=build-ci-release/BENCH_service_smoke.json \
     scripts/bench_json.sh
 }
 

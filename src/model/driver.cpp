@@ -284,6 +284,26 @@ RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
   return result;
 }
 
+std::uint64_t state_hash(const RunResult& result) {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = kOffset;
+  auto mix = [&h](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t n = 0; n < bytes; ++n) {
+      h ^= p[n];
+      h *= kPrime;
+    }
+  };
+  for (const io::Snapshot& snap : result.snapshots) {
+    for (const io::Variable& v : snap.variables()) {
+      mix(v.name.data(), v.name.size());
+      mix(v.data.data(), v.data.size() * sizeof(float));
+    }
+  }
+  return h;
+}
+
 RunResult run_single(const RunConfig& config, prof::Profiler& prof) {
   RunConfig c = config;
   c.npx = 1;

@@ -139,4 +139,11 @@ RunResult run_simulation(const RunConfig& config, prof::Profiler& prof);
 /// Single-rank convenience (patch = whole domain, no messaging).
 RunResult run_single(const RunConfig& config, prof::Profiler& prof);
 
+/// FNV-1a fingerprint over every snapshot variable (names + float
+/// payload bits) of a run.  Two runs of the same RunConfig hash equal
+/// iff their final states are bitwise identical — the determinism gate
+/// the forecast service (src/svc) holds every scheduled job to against
+/// a standalone run of the same config.
+std::uint64_t state_hash(const RunResult& result);
+
 }  // namespace wrf::model

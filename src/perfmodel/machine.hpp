@@ -10,6 +10,7 @@
 // EXPERIMENTS.md records the calibration (a single throughput constant
 // per machine, set so the 16-rank baseline magnitude matches Table VII).
 
+#include <cmath>
 #include <cstdint>
 
 #include "gpu/device.hpp"
@@ -55,6 +56,34 @@ struct NetworkSpec {
   }
 };
 
+/// One resident-footprint formula — the single source of truth shared by
+/// the paper-scale `DeviceFootprint` below and the forecast service's
+/// admission control (`svc::job_footprint_bytes`): an inventory of
+/// nkr-sized bin arrays, elem-sized 3-D arrays, and 1-byte 3-D predicate
+/// arrays over `cells` grid points, plus fixed per-rank reservations.
+/// Keeping both callers on this helper is what makes the scheduler's
+/// packing constraint and the paper's ranks-per-GPU analysis agree on
+/// per-rank bytes (asserted in tests/test_svc.cpp).
+struct ResidentInventory {
+  int bin_arrays = 0;      ///< nkr-sized 4-D arrays
+  int arrays_3d = 0;       ///< elem-sized 3-D arrays
+  int byte_arrays_3d = 0;  ///< 1-byte 3-D arrays (predicates)
+  int elem_bytes = 8;
+  std::uint64_t fixed_bytes = 0;  ///< patch-size-independent reservations
+};
+
+inline std::uint64_t resident_footprint_bytes(const ResidentInventory& inv,
+                                              std::int64_t cells, int nkr) {
+  const std::uint64_t per_cell =
+      static_cast<std::uint64_t>(inv.bin_arrays) *
+          static_cast<std::uint64_t>(nkr) *
+          static_cast<std::uint64_t>(inv.elem_bytes) +
+      static_cast<std::uint64_t>(inv.arrays_3d) *
+          static_cast<std::uint64_t>(inv.elem_bytes) +
+      static_cast<std::uint64_t>(inv.byte_arrays_3d);
+  return static_cast<std::uint64_t>(cells) * per_cell + inv.fixed_bytes;
+}
+
 /// Per-rank device-resident memory of the full FSBM scheme.
 ///
 /// Our mini scheme maps 7 bin fields + pools; the real fast_sbm maps on
@@ -84,10 +113,12 @@ struct DeviceFootprint {
   std::uint64_t heap_bytes = 64ull << 20;
 
   std::uint64_t per_rank_bytes(std::int64_t cells, int nkr) const {
-    return static_cast<std::uint64_t>(cells) *
-               (static_cast<std::uint64_t>(bin_arrays) * nkr + arrays_3d) *
-               elem_bytes +
-           stack_reservation_bytes + context_bytes + heap_bytes;
+    ResidentInventory inv;
+    inv.bin_arrays = bin_arrays;
+    inv.arrays_3d = arrays_3d;
+    inv.elem_bytes = elem_bytes;
+    inv.fixed_bytes = stack_reservation_bytes + context_bytes + heap_bytes;
+    return resident_footprint_bytes(inv, cells, nkr);
   }
 
   /// How many ranks of `cells` grid points fit on one device.

@@ -1,0 +1,128 @@
+#include "svc/fairshare.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wrf::svc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Normalize the "no deadline" encoding (<= 0) to +inf for comparisons.
+double deadline_key(const QueueEntry& e) {
+  return e.deadline > 0.0 ? e.deadline : kInf;
+}
+
+}  // namespace
+
+int FairShareTree::add_leaf(std::string name, double weight) {
+  if (weight <= 0.0) {
+    throw ConfigError("FairShareTree: leaf weight must be > 0");
+  }
+  Leaf leaf;
+  leaf.name = std::move(name);
+  leaf.weight = weight;
+  leaves_.push_back(std::move(leaf));
+  return static_cast<int>(leaves_.size()) - 1;
+}
+
+const FairShareTree::Leaf& FairShareTree::at(int leaf) const {
+  if (leaf < 0 || leaf >= leaves()) {
+    throw BoundsError("FairShareTree: leaf index out of range");
+  }
+  return leaves_[static_cast<std::size_t>(leaf)];
+}
+
+FairShareTree::Leaf& FairShareTree::at(int leaf) {
+  return const_cast<Leaf&>(
+      static_cast<const FairShareTree*>(this)->at(leaf));
+}
+
+void FairShareTree::push(int leaf, QueueEntry entry) {
+  at(leaf).queue.push_back(std::move(entry));
+}
+
+bool FairShareTree::empty() const noexcept { return pending() == 0; }
+
+std::size_t FairShareTree::pending() const noexcept {
+  std::size_t n = 0;
+  for (const Leaf& leaf : leaves_) n += leaf.queue.size();
+  return n;
+}
+
+int FairShareTree::best_in(const Leaf& leaf) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(leaf.queue.size()); ++i) {
+    if (best < 0) {
+      best = i;
+      continue;
+    }
+    const QueueEntry& a = leaf.queue[static_cast<std::size_t>(i)];
+    const QueueEntry& b = leaf.queue[static_cast<std::size_t>(best)];
+    const double da = deadline_key(a), db = deadline_key(b);
+    if (da < db || (da == db && a.seq < b.seq)) best = i;
+  }
+  return best;
+}
+
+QueueEntry FairShareTree::pop_next(int* leaf_out) {
+  int winner = -1;
+  double winner_share = 0.0, winner_deadline = 0.0;
+  for (int l = 0; l < leaves(); ++l) {
+    const Leaf& leaf = leaves_[static_cast<std::size_t>(l)];
+    if (leaf.queue.empty()) continue;
+    const double share = leaf.usage / leaf.weight;
+    double urgent = kInf;
+    for (const QueueEntry& e : leaf.queue) {
+      const double d = deadline_key(e);
+      if (d < urgent) urgent = d;
+    }
+    if (winner < 0 || share < winner_share ||
+        (share == winner_share && urgent < winner_deadline)) {
+      winner = l;
+      winner_share = share;
+      winner_deadline = urgent;
+    }
+  }
+  if (winner < 0) {
+    throw Error("FairShareTree::pop_next called on an empty tree");
+  }
+  Leaf& leaf = leaves_[static_cast<std::size_t>(winner)];
+  const int idx = best_in(leaf);
+  QueueEntry entry = std::move(leaf.queue[static_cast<std::size_t>(idx)]);
+  leaf.queue.erase(leaf.queue.begin() + idx);
+  leaf.usage += entry.cost;
+  if (leaf_out != nullptr) *leaf_out = winner;
+  return entry;
+}
+
+bool FairShareTree::pop_matching(int leaf_idx, const std::string& shape_key,
+                                 std::uint64_t footprint_budget,
+                                 QueueEntry* out) {
+  Leaf& leaf = at(leaf_idx);
+  // Deadline-then-FIFO among *matching* entries: the same order pop_next
+  // would eventually serve them in, so batching never reorders a class.
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(leaf.queue.size()); ++i) {
+    const QueueEntry& e = leaf.queue[static_cast<std::size_t>(i)];
+    if (e.shape_key != shape_key || e.footprint_bytes > footprint_budget) {
+      continue;
+    }
+    if (best < 0) {
+      best = i;
+      continue;
+    }
+    const QueueEntry& b = leaf.queue[static_cast<std::size_t>(best)];
+    const double de = deadline_key(e), db = deadline_key(b);
+    if (de < db || (de == db && e.seq < b.seq)) best = i;
+  }
+  if (best < 0) return false;
+  QueueEntry entry = std::move(leaf.queue[static_cast<std::size_t>(best)]);
+  leaf.queue.erase(leaf.queue.begin() + best);
+  leaf.usage += entry.cost;
+  if (out != nullptr) *out = std::move(entry);
+  return true;
+}
+
+}  // namespace wrf::svc

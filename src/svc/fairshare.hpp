@@ -1,0 +1,85 @@
+#pragma once
+// Hierarchical fair-share queue for the forecast service.
+//
+// A two-level tree: the root arbitrates between weighted class leaves
+// (interactive / ensemble / batch), each leaf holds that class's pending
+// jobs.  Dispatch picks the leaf with the smallest usage/weight ratio —
+// the classic fair-share rule: a class that has consumed less than its
+// weighted share of the pool goes first — then the leaf yields its
+// earliest-deadline (then oldest) entry.  Usage is charged in
+// *deterministic cost units* (domain cells x steps), not wall seconds,
+// so scheduling decisions — and the tests that pin them — do not depend
+// on machine timing.
+//
+// Deadlines are tie-breakers at the root too: when two classes are at
+// equal weighted usage (e.g. both idle), the one holding the most urgent
+// deadline wins.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace wrf::svc {
+
+/// One queued job, reduced to what scheduling needs.
+struct QueueEntry {
+  std::uint64_t id = 0;
+  std::uint64_t seq = 0;       ///< admission order (FIFO tie-break)
+  double deadline = 0.0;       ///< absolute seconds; <= 0 = none
+  double cost = 0.0;           ///< deterministic units (cells x steps)
+  std::uint64_t footprint_bytes = 0;
+  std::string shape_key;       ///< batching key (job_shape_key)
+};
+
+/// The tree.  Leaves are created once (one per class) with add_leaf;
+/// push/pop are O(queue length) — service queues are small.
+class FairShareTree {
+ public:
+  /// Returns the new leaf's index (dense, starting at 0).
+  int add_leaf(std::string name, double weight);
+
+  int leaves() const noexcept { return static_cast<int>(leaves_.size()); }
+  const std::string& leaf_name(int leaf) const { return at(leaf).name; }
+  double leaf_weight(int leaf) const { return at(leaf).weight; }
+  /// Cost units charged to this leaf so far.
+  double leaf_usage(int leaf) const { return at(leaf).usage; }
+  std::size_t leaf_pending(int leaf) const { return at(leaf).queue.size(); }
+
+  void push(int leaf, QueueEntry entry);
+
+  bool empty() const noexcept;
+  std::size_t pending() const noexcept;
+
+  /// Dispatch: pick the non-empty leaf minimizing usage/weight (ties:
+  /// most urgent queued deadline, then lowest leaf index), pop its
+  /// earliest-deadline-then-oldest entry, and charge its cost to the
+  /// leaf.  `leaf_out` (optional) receives the winning leaf.  Must not
+  /// be called when empty().
+  QueueEntry pop_next(int* leaf_out = nullptr);
+
+  /// Batching: pop the next entry of `leaf` whose shape_key matches and
+  /// whose footprint fits `footprint_budget`, preserving the leaf's
+  /// deadline-then-FIFO order among matching entries.  Charges its cost.
+  /// Returns false if no entry matches.
+  bool pop_matching(int leaf, const std::string& shape_key,
+                    std::uint64_t footprint_budget, QueueEntry* out);
+
+ private:
+  struct Leaf {
+    std::string name;
+    double weight = 1.0;
+    double usage = 0.0;
+    std::deque<QueueEntry> queue;
+  };
+
+  const Leaf& at(int leaf) const;
+  Leaf& at(int leaf);
+  /// Index into the leaf's queue of its next entry (min deadline, then
+  /// min seq); -1 when the queue is empty.
+  static int best_in(const Leaf& leaf);
+
+  std::vector<Leaf> leaves_;
+};
+
+}  // namespace wrf::svc

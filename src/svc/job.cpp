@@ -1,0 +1,94 @@
+#include "svc/job.hpp"
+
+#include <cstdio>
+
+#include "fsbm/bins.hpp"
+#include "grid/decomp.hpp"
+#include "perfmodel/machine.hpp"
+#include "util/error.hpp"
+
+namespace wrf::svc {
+
+const char* job_class_name(JobClass c) {
+  switch (c) {
+    case JobClass::kInteractive: return "interactive";
+    case JobClass::kEnsemble: return "ensemble";
+    case JobClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+JobClass parse_job_class(const std::string& s) {
+  if (s == "interactive") return JobClass::kInteractive;
+  if (s == "ensemble") return JobClass::kEnsemble;
+  if (s == "batch") return JobClass::kBatch;
+  throw ConfigError("svc: unknown job class '" + s +
+                    "' (want interactive|ensemble|batch)");
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kOverDeviceMemory: return "over-device-memory";
+    case RejectReason::kBadConfig: return "bad-config";
+    case RejectReason::kShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+const char* job_outcome_name(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kRejected: return "rejected";
+    case JobOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::uint64_t job_footprint_bytes(const model::RunConfig& cfg) {
+  if (!cfg.offloaded()) {
+    // Host-only versions register no device fields (even under
+    // exec=device/hetero, where a device exists but stays empty).
+    return 0;
+  }
+  // The service runs each job single-rank on its lane, so price the
+  // whole domain as one patch — the same shape FastSbm registers.
+  const auto patches = grid::decompose(cfg.domain(), 1, 1, cfg.halo);
+  const grid::Patch& p = patches.front();
+  const std::int64_t mem_cells =
+      static_cast<std::int64_t>(p.im.size()) * p.k.size() * p.jm.size();
+
+  // Registered field table (FastSbm ctor): kNumSpecies nkr-sized bin
+  // fields + temp/qv/pres + the 1-byte call_coal predicate, float
+  // precision, over halo-inclusive memory cells.
+  perfmodel::ResidentInventory fields;
+  fields.bin_arrays = fsbm::kNumSpecies;
+  fields.arrays_3d = 3;
+  fields.byte_arrays_3d = 1;
+  fields.elem_bytes = sizeof(float);
+  std::uint64_t bytes =
+      perfmodel::resident_footprint_bytes(fields, mem_cells, cfg.nkr);
+
+  if (cfg.version == fsbm::Version::kV3Offload3) {
+    // temp_arrays pools (Listing 8): fl1/g3/g4/g5 at nkr plus g2 at
+    // nkr*kIceMax, float, over computational cells only.
+    perfmodel::ResidentInventory pools;
+    pools.bin_arrays = 4 + fsbm::kIceMax;
+    pools.elem_bytes = sizeof(float);
+    bytes += perfmodel::resident_footprint_bytes(
+        pools, p.computational_cells(), cfg.nkr);
+  }
+  return bytes;
+}
+
+std::string job_shape_key(const model::RunConfig& cfg) {
+  // describe() covers grid dims, nkr, version, and every knob — but not
+  // nsteps or the case seed.  Append nsteps (batched members must do the
+  // same amount of work); leave the seed out so perturbed ensemble
+  // members share a key.
+  char steps[32];
+  std::snprintf(steps, sizeof(steps), " nsteps=%d", cfg.nsteps);
+  return cfg.describe() + steps;
+}
+
+}  // namespace wrf::svc

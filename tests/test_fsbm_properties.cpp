@@ -412,26 +412,8 @@ TEST(FsbmProperties, BlockAmortizesTerminalVelocityLookups) {
 
 // ------------------------------------------------- seed determinism
 
-std::uint64_t fnv1a(const void* data, std::size_t bytes,
-                    std::uint64_t h = 0xcbf29ce484222325ull) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t n = 0; n < bytes; ++n) {
-    h ^= p[n];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-std::uint64_t state_hash(const model::RunResult& r) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const auto& snap : r.snapshots) {
-    for (const auto& v : snap.variables()) {
-      h = fnv1a(v.name.data(), v.name.size(), h);
-      h = fnv1a(v.data.data(), v.data.size() * sizeof(float), h);
-    }
-  }
-  return h;
-}
+// Snapshot hashing lives in model::state_hash (src/model/driver.hpp) so
+// the forecast service can assert the same bitwise-equality law.
 
 void expect_identical_stats(const FsbmStats& a, const FsbmStats& b) {
   EXPECT_EQ(a.cells_active, b.cells_active);
@@ -467,7 +449,7 @@ TEST(FsbmProperties, SeedDeterminismForColumnAndBlockDispatch) {
     const model::RunResult a = model::run_single(cfg, p1);
     const model::RunResult b = model::run_single(cfg, p2);
     expect_identical_stats(a.totals.fsbm, b.totals.fsbm);
-    EXPECT_EQ(state_hash(a), state_hash(b));
+    EXPECT_EQ(model::state_hash(a), model::state_hash(b));
   }
 }
 
@@ -567,7 +549,7 @@ TEST(FsbmProperties, SeedDeterminismUnderHeteroDispatch) {
     EXPECT_EQ(a.totals.fsbm.shard_cells_device,
               b.totals.fsbm.shard_cells_device);
     EXPECT_EQ(a.totals.fsbm.shard_cells_host, b.totals.fsbm.shard_cells_host);
-    EXPECT_EQ(state_hash(a), state_hash(b));
+    EXPECT_EQ(model::state_hash(a), model::state_hash(b));
     // The split is genuinely two-sided at this depth.
     EXPECT_GT(a.totals.fsbm.shard_cells_device, 0u);
     EXPECT_GT(a.totals.fsbm.shard_cells_host, 0u);
@@ -601,8 +583,8 @@ TEST(FsbmProperties, SeedDeterminismUnderResidencyModes) {
     expect_identical_stats(a.totals.fsbm, b.totals.fsbm);
     EXPECT_EQ(a.totals.fsbm.h2d_bytes, b.totals.fsbm.h2d_bytes);
     EXPECT_EQ(a.totals.fsbm.d2h_bytes, b.totals.fsbm.d2h_bytes);
-    EXPECT_EQ(state_hash(a), state_hash(b));
-    hash[n] = state_hash(a);
+    EXPECT_EQ(model::state_hash(a), model::state_hash(b));
+    hash[n] = model::state_hash(a);
     stats[n] = a.totals.fsbm;
     ++n;
   }
