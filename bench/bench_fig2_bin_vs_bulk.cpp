@@ -32,12 +32,13 @@ int main() {
 
   // --- bin scheme parcel ---
   float buf[(4 + fsbm::kIceMax) * fsbm::kMaxNkr] = {};
+  const int nkr = bins.nkr();
   fsbm::CoalWorkspace w;
   w.fl1 = buf;
-  w.g2 = buf + 33;
-  w.g3 = buf + 33 * (1 + fsbm::kIceMax);
-  w.g4 = buf + 33 * (2 + fsbm::kIceMax);
-  w.g5 = buf + 33 * (3 + fsbm::kIceMax);
+  w.g2 = buf + nkr;
+  w.g3 = buf + nkr * (1 + fsbm::kIceMax);
+  w.g4 = buf + nkr * (2 + fsbm::kIceMax);
+  w.g5 = buf + nkr * (3 + fsbm::kIceMax);
   double t_bin = 288.0;
   double qv_bin = 0.995 * wrf::constants::qsat_liquid(t_bin, pres);
 

@@ -1,0 +1,184 @@
+// Hybrid microphysics sweep: throughput vs bin fraction for the phys=
+// knob on the CONUS-style storm patch (a compact storm in mostly calm
+// air — the regime the hybrid is built for).
+//
+// Sweeps phys in {bulk, hybrid, bin} on the single-rank scaled case
+// with the v1 host bin chain (the fidelity economics live on the host:
+// every demoted cell skips the whole bin chain).  Reports per mode the
+// whole-run wall aggregate (min/median/CV over reps), the derived
+// cell-step throughput, and the hybrid's population census.
+//
+// Shape target (exit-code gated in both output modes): hybrid
+// throughput lands STRICTLY between pure bulk (everything cheap) and
+// pure bin (everything expensive), while the hybrid census shows both
+// populations genuinely live.  That is the tentpole's speed-for-
+// fidelity trade in one number.
+//
+// Usage: bench_hybrid [nx ny nz nsteps] [--benchmark_format=json]
+//   default grid: the 64x48x24 scaled CONUS case, 3 steps.
+//   JSON mode emits one record per phys mode; scripts/bench_json.sh
+//   distills the trajectory point BENCH_hybrid.json from it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace wrf;
+
+namespace {
+
+struct Mode {
+  fsbm::PhysScheme phys;
+  bench::RepAggregate wall;      // whole-run wall seconds over reps
+  double cellsteps_per_s = 0;    // grid cell-steps / best wall second
+  double bin_fraction = 0;       // cells_bin / (cells_bin + cells_bulk)
+  std::uint64_t cells_active = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  double surface_precip = 0;
+  double bulk_flops = 0;
+  double bin_flops = 0;          // cond + nucl + coal + sed
+};
+
+Mode measure(fsbm::PhysScheme phys, int nx, int ny, int nz, int nsteps,
+             int reps) {
+  model::RunConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.nz = nz;
+  cfg.npx = cfg.npy = 1;
+  cfg.nsteps = nsteps;
+  cfg.version = fsbm::Version::kV1LookupOnDemand;
+  cfg.phys = phys;
+  cfg.validate();
+
+  Mode m;
+  m.phys = phys;
+  model::RunResult last;
+  m.wall = bench::measure_reps(reps, [&]() {
+    prof::Profiler p;
+    last = model::run_single(cfg, p);
+    return last.wall_sec;
+  });
+  const fsbm::FsbmStats& st = last.totals.fsbm;
+  const double cellsteps = static_cast<double>(cfg.domain().cells()) *
+                           static_cast<double>(nsteps);
+  m.cellsteps_per_s = cellsteps / m.wall.min;
+  const double census = static_cast<double>(st.cells_bin + st.cells_bulk);
+  m.bin_fraction = census > 0
+                       ? static_cast<double>(st.cells_bin) / census
+                       : 1.0;  // phys=bin keeps no census: all bin
+  m.cells_active = st.cells_active;
+  m.promotions = st.promotions;
+  m.demotions = st.demotions;
+  m.surface_precip = st.surface_precip;
+  m.bulk_flops = st.bulk_flops;
+  m.bin_flops = st.cond_flops + st.nucl_flops + st.coal_flops + st.sed_flops;
+  return m;
+}
+
+void print_json(const std::vector<Mode>& modes, int nx, int ny, int nz,
+                int nsteps) {
+  std::printf("{\n  \"context\": {\"executable\": \"bench_hybrid\", "
+              "\"grid\": \"%dx%dx%d\", \"nsteps\": %d, "
+              "\"version\": \"v1-lookup-on-demand\"},\n",
+              nx, ny, nz, nsteps);
+  std::printf("  \"benchmarks\": [\n");
+  for (std::size_t n = 0; n < modes.size(); ++n) {
+    const Mode& m = modes[n];
+    std::printf(
+        "    {\"name\": \"hybrid/phys=%s\", \"run_type\": \"aggregate\", "
+        "\"wall_s_min\": %.4f, \"wall_s_median\": %.4f, \"wall_cv\": %.3f, "
+        "\"reps\": %d, \"cellsteps_per_s\": %.0f, \"bin_fraction\": %.4f, "
+        "\"cells_active\": %llu, \"promotions\": %llu, "
+        "\"demotions\": %llu, \"surface_precip\": %.6e, "
+        "\"bulk_flops\": %.4e, \"bin_flops\": %.4e}%s\n",
+        fsbm::phys_name(m.phys), m.wall.min, m.wall.median, m.wall.cv,
+        m.wall.reps, m.cellsteps_per_s, m.bin_fraction,
+        static_cast<unsigned long long>(m.cells_active),
+        static_cast<unsigned long long>(m.promotions),
+        static_cast<unsigned long long>(m.demotions), m.surface_precip,
+        m.bulk_flops, m.bin_flops, n + 1 < modes.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nx = 64, ny = 48, nz = 24, nsteps = 3;
+  bool json = false;
+  int npos = 0;
+  int pos[4] = {0, 0, 0, 0};
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--benchmark_format=json") == 0) {
+      json = true;
+    } else if (npos < 4 && std::strchr(argv[a], '=') == nullptr) {
+      pos[npos++] = std::atoi(argv[a]);
+    }
+  }
+  if (npos == 4 && pos[0] > 0) {
+    nx = pos[0];
+    ny = pos[1];
+    nz = pos[2];
+    nsteps = pos[3];
+  } else if (npos != 0) {
+    std::fprintf(stderr,
+                 "bench_hybrid: want all four of nx ny nz nsteps "
+                 "(got %d positional args)\n", npos);
+    return 2;
+  }
+  const int reps = 3;
+
+  std::vector<Mode> modes;
+  for (const fsbm::PhysScheme phys :
+       {fsbm::PhysScheme::kBulk, fsbm::PhysScheme::kHybrid,
+        fsbm::PhysScheme::kBin}) {
+    modes.push_back(measure(phys, nx, ny, nz, nsteps, reps));
+  }
+  const Mode& blk = modes[0];
+  const Mode& hyb = modes[1];
+  const Mode& bin = modes[2];
+
+  // The acceptance gates, enforced through the exit code in BOTH output
+  // modes so the CI smoke asserts them: strict bulk > hybrid > bin
+  // throughput ordering, and a genuinely two-sided hybrid census on
+  // this mostly-clear storm case.
+  const bool ordered = blk.cellsteps_per_s > hyb.cellsteps_per_s &&
+                       hyb.cellsteps_per_s > bin.cellsteps_per_s;
+  const bool two_sided =
+      hyb.bin_fraction > 0.0 && hyb.bin_fraction < 1.0;
+  const int exit_code = ordered && two_sided ? 0 : 1;
+
+  if (json) {
+    print_json(modes, nx, ny, nz, nsteps);
+    return exit_code;
+  }
+
+  bench::print_config_header("Hybrid microphysics — throughput vs fidelity");
+  std::printf("scaled CONUS storm patch %dx%dx%d, %d steps, v1 host bin "
+              "chain, %d wall reps\n\n",
+              nx, ny, nz, nsteps, reps);
+  std::printf("  %-8s %14s %12s %12s %10s %8s\n", "phys", "cellsteps/s",
+              "wall min s", "wall med s", "bin frac", "wall CV");
+  for (const Mode& m : modes) {
+    std::printf("  %-8s %14.0f %12.4f %12.4f %10.3f %8.3f\n",
+                fsbm::phys_name(m.phys), m.cellsteps_per_s, m.wall.min,
+                m.wall.median, m.bin_fraction, m.wall.cv);
+  }
+  std::printf("\nhybrid census: %.1f%% of cell-steps at bin fidelity "
+              "(%llu promotions, %llu demotions over the run)\n",
+              100.0 * hyb.bin_fraction,
+              static_cast<unsigned long long>(hyb.promotions),
+              static_cast<unsigned long long>(hyb.demotions));
+  std::printf("speedup: hybrid %.2fx over pure bin (pure bulk bound: "
+              "%.2fx)\n",
+              hyb.cellsteps_per_s / bin.cellsteps_per_s,
+              blk.cellsteps_per_s / bin.cellsteps_per_s);
+  std::printf("shape check: bulk > hybrid > bin throughput, two-sided "
+              "census (%s)\n", exit_code == 0 ? "yes" : "NO");
+  return exit_code;
+}

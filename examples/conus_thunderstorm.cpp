@@ -4,7 +4,7 @@
 // build — the Section IV / VII-B workflow as a user would run it.
 //
 // Run: ./build/conus_thunderstorm [nx ny nz nsteps] [exec=threads:N|hetero:N]
-//      [halo=sync|overlap]
+//      [halo=sync|overlap] [phys=bin|bulk|hybrid]
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,13 +14,11 @@
 using namespace wrf;
 
 int main(int argc, char** argv) {
-  // Positional [nx ny nz nsteps]; exec=... / halo=... may sit anywhere.
+  // Positional [nx ny nz nsteps]; any key=value knob may sit anywhere.
   int pos[4] = {72, 54, 30, 12};  // nsteps default: one simulated minute
   int npos = 0;
   for (int a = 1; a < argc && npos < 4; ++a) {
-    if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
-    if (std::string(argv[a]).rfind("halo=", 0) == 0) continue;
-    if (std::string(argv[a]).rfind("sed=", 0) == 0) continue;
+    if (std::string(argv[a]).find('=') != std::string::npos) continue;
     pos[npos++] = std::atoi(argv[a]);
   }
   model::RunConfig cfg;
@@ -34,6 +32,7 @@ int main(int argc, char** argv) {
   cfg.exec = exec::exec_from_args(argc, argv);
   cfg.halo_mode = dyn::halo_mode_from_args(argc, argv);
   cfg.sed = fsbm::sed_from_args(argc, argv);
+  cfg.phys = fsbm::phys_from_args(argc, argv);  // bin | bulk | hybrid
   cfg.res = mem::residency_from_args(argc, argv);
   cfg.fuse = exec::fuse_from_args(argc, argv);  // off | auto
   cfg.validate();

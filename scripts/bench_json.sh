@@ -27,6 +27,12 @@
 #     multiplexing, shrinking waits, fair-share wait ordering,
 #     ensemble batching, clean completions).
 #
+#   BENCH_hybrid.json — the phys= knob point from bench_hybrid:
+#     cell-step throughput for phys=bulk / hybrid / bin on the scaled
+#     CONUS storm patch, the hybrid's bin-fidelity fraction, and the
+#     acceptance gates (strict bulk > hybrid > bin throughput ordering;
+#     a genuinely two-sided fidelity census).
+#
 # Usage:
 #   scripts/bench_json.sh                 # full rank patch (107 75 50 3)
 #   scripts/bench_json.sh 48 32 20 3      # custom grid
@@ -36,7 +42,8 @@
 # default "BENCH_residency.json"), OUT_HETERO (hetero output path,
 # default "BENCH_hetero.json"), OUT_FUSION (fusion output path, default
 # "BENCH_fusion.json"), OUT_SERVICE (service output path, default
-# "BENCH_service.json").
+# "BENCH_service.json"), OUT_HYBRID (hybrid output path, default
+# "BENCH_hybrid.json").
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,6 +53,7 @@ OUT=${OUT:-BENCH_residency.json}
 OUT_HETERO=${OUT_HETERO:-BENCH_hetero.json}
 OUT_FUSION=${OUT_FUSION:-BENCH_fusion.json}
 OUT_SERVICE=${OUT_SERVICE:-BENCH_service.json}
+OUT_HYBRID=${OUT_HYBRID:-BENCH_hybrid.json}
 
 # Always (re)build — incremental, so this is a no-op when current, and
 # it guarantees the trajectory point never comes from a stale binary.
@@ -53,7 +61,8 @@ if [ ! -d "${BUILD}" ]; then
   cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "${BUILD}" -j "$(nproc)" \
-  --target bench_residency bench_table4_offload2 bench_fusion bench_service
+  --target bench_residency bench_table4_offload2 bench_fusion bench_service \
+  bench_hybrid
 
 ARGS=("$@")
 HETERO_ARGS=("$@")
@@ -261,7 +270,58 @@ print("wrote %s: %d-lane pool parallelism %.2f, p50 wait %.3fs -> %.3fs, "
           "met" if all(gates) else "NOT met"))
 PY
 
+# ---- hybrid microphysics point (phys=bulk/hybrid/bin) ----------------
+RAW_Y=$(mktemp)
+trap 'rm -f "${RAW}" "${RAW_H}" "${RAW_F}" "${RAW_S}" "${RAW_Y}"' EXIT
+rc_y=0
+"${BUILD}/bench_hybrid" ${ARGS[@]+"${ARGS[@]}"} --benchmark_format=json \
+  > "${RAW_Y}" || rc_y=$?
+
+python3 - "${RAW_Y}" "${OUT_HYBRID}" <<'PY'
+import json
+import sys
+
+raw = json.load(open(sys.argv[1]))
+cells = {b["name"]: b for b in raw["benchmarks"]}
+
+
+def pick(phys):
+    return cells["hybrid/phys=%s" % phys]
+
+
+bulk = pick("bulk")
+hyb = pick("hybrid")
+bin_ = pick("bin")
+
+point = {
+    "bench": "hybrid",
+    "context": raw["context"],
+    "bulk": bulk,
+    "hybrid": hyb,
+    "bin": bin_,
+    "bin_fraction": hyb["bin_fraction"],
+    "hybrid_speedup_over_bin_x": round(
+        hyb["cellsteps_per_s"] / max(bin_["cellsteps_per_s"], 1.0), 2),
+    "bulk_bound_speedup_x": round(
+        bulk["cellsteps_per_s"] / max(bin_["cellsteps_per_s"], 1.0), 2),
+    "throughput_strictly_ordered": (
+        bulk["cellsteps_per_s"] > hyb["cellsteps_per_s"]
+        > bin_["cellsteps_per_s"]),
+    "census_two_sided": 0.0 < hyb["bin_fraction"] < 1.0,
+}
+json.dump(point, open(sys.argv[2], "w"), indent=2)
+print("wrote %s: throughput bulk %.0f / hybrid %.0f / bin %.0f "
+      "cellsteps/s (hybrid %.2fx over bin at %.0f%% bin fidelity); "
+      "gates %s" % (
+          sys.argv[2], bulk["cellsteps_per_s"], hyb["cellsteps_per_s"],
+          bin_["cellsteps_per_s"], point["hybrid_speedup_over_bin_x"],
+          100.0 * hyb["bin_fraction"],
+          "met" if point["throughput_strictly_ordered"]
+          and point["census_two_sided"] else "NOT met"))
+PY
+
 [ "${rc}" -ne 0 ] && exit "${rc}"
 [ "${rc_h}" -ne 0 ] && exit "${rc_h}"
 [ "${rc_f}" -ne 0 ] && exit "${rc_f}"
-exit "${rc_s}"
+[ "${rc_s}" -ne 0 ] && exit "${rc_s}"
+exit "${rc_y}"

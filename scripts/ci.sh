@@ -36,7 +36,10 @@ run_tsan() {
   # partition-completeness and seed-determinism laws), and the forecast
   # service (test_svc — scheduler lanes run model::run_single
   # CONCURRENTLY against the shared queue/stats state, so this is where
-  # a racy Scheduler or a non-thread-safe model path would surface).
+  # a racy Scheduler or a non-thread-safe model path would surface), and
+  # the hybrid microphysics (test_hybrid — the two fidelity populations
+  # run on concurrent shards under exec=hetero, and the fidelity sweep
+  # plus split physics pass dispatch through the threaded spaces).
   local build_dir="build-ci-tsan"
   echo "=== ThreadSanitizer ==="
   cmake -B "${build_dir}" -S . \
@@ -44,10 +47,10 @@ run_tsan() {
     -DWRF_TSAN=ON
   cmake --build "${build_dir}" -j "$(nproc)" \
     --target test_par test_exec test_halo_overlap test_fsbm_properties \
-    test_svc
+    test_svc test_hybrid
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties|test_svc)$'
+      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties|test_svc|test_hybrid)$'
 }
 
 run_bench_smoke() {
@@ -58,14 +61,17 @@ run_bench_smoke() {
   # fuse=auto gates (strictly fewer kernel launches under both res
   # modes, less res=step inter-pass traffic), the forecast-service
   # gates (pool multiplexing, shrinking waits, fair-share wait
-  # ordering, ensemble batching, clean completions), and that the JSON
-  # distillation pipeline stays runnable.
+  # ordering, ensemble batching, clean completions), the phys=hybrid
+  # gates (strict bulk > hybrid > bin throughput ordering with a
+  # two-sided fidelity census), and that the JSON distillation pipeline
+  # stays runnable.
   echo "=== bench_json smoke ==="
   BENCH_SMOKE=1 BUILD=build-ci-release \
     OUT=build-ci-release/BENCH_residency_smoke.json \
     OUT_HETERO=build-ci-release/BENCH_hetero_smoke.json \
     OUT_FUSION=build-ci-release/BENCH_fusion_smoke.json \
     OUT_SERVICE=build-ci-release/BENCH_service_smoke.json \
+    OUT_HYBRID=build-ci-release/BENCH_hybrid_smoke.json \
     scripts/bench_json.sh
 }
 

@@ -45,19 +45,32 @@ KesslerStats kessler_cell(double& temp_k, double& qv, double pres_pa,
     st.dq_accr = daccr;
   }
 
+  // Saturation adjustment: ~20 for qsat_liquid, ~10 for the slope +
+  // update; autoconversion adds a handful more.
+  st.flops = 36.0;
+  if (cell.qr > 0.0 && cell.qc > 0.0) st.flops += 8.0;  // accretion branch
+
   // --- rain evaporation in subsaturated air ---
-  if (cell.qr > 0.0 && qv < qs) {
-    const double sub = 1.0 - qv / qs;
-    const double evap_rate =
-        sub * (p.vent_a + p.vent_b * std::pow(cell.qr, 0.65)) *
-        std::pow(cell.qr, 0.5) * 1.0e-3;
-    const double devp = std::min({cell.qr, evap_rate * dt, qs - qv});
-    cell.qr -= devp;
-    qv += devp;
-    temp_k -= c::kLv / c::kCp * devp;
-    st.dq_revp = devp;
+  // The adjustment above changed temp_k, so the saturation value must be
+  // recomputed at the CURRENT temperature: testing (and capping) against
+  // the pre-adjustment qs either suppresses evaporation after latent
+  // warming or over-evaporates after cloud-exhausting cooling.
+  if (cell.qr > 0.0) {
+    const double qs_now = c::qsat_liquid(temp_k, pres_pa);
+    st.flops += 20.0;
+    if (qv < qs_now) {
+      const double sub = 1.0 - qv / qs_now;
+      const double evap_rate =
+          sub * (p.vent_a + p.vent_b * std::pow(cell.qr, 0.65)) *
+          std::pow(cell.qr, 0.5) * 1.0e-3;
+      const double devp = std::min({cell.qr, evap_rate * dt, qs_now - qv});
+      cell.qr -= devp;
+      qv += devp;
+      temp_k -= c::kLv / c::kCp * devp;
+      st.dq_revp = devp;
+      st.flops += 16.0;
+    }
   }
-  st.flops = 60.0;
   return st;
 }
 
@@ -69,29 +82,47 @@ double rain_fall_speed(double qr, double rho_air) {
   return std::min(v, 10.0);
 }
 
-double kessler_sediment_column(double* qr_col, const double* rho, int nz,
-                               double dz, double dt) {
-  if (nz <= 0) return 0.0;
-  double vmax = 0.0;
-  for (int iz = 0; iz < nz; ++iz) {
-    vmax = std::max(vmax, rain_fall_speed(qr_col[iz], rho[iz]));
-  }
-  if (vmax <= 0.0) return 0.0;
-  const int nsub = std::max(1, static_cast<int>(std::ceil(vmax * dt / dz)));
-  const double dts = dt / nsub;
-  double precip = 0.0;
-  for (int s = 0; s < nsub; ++s) {
+KesslerSedStats kessler_sediment_column(double* qr_col, const double* rho,
+                                        int nz, double dz, double dt) {
+  KesslerSedStats st;
+  if (nz <= 0 || dt <= 0.0) return st;
+  // Adaptive CFL substepping: rain intensifies downward as upper levels
+  // drain into lower ones (and the density correction grows toward thin
+  // air), so a substep length fixed from the initial profile's vmax can
+  // leave later substeps over-CFL.  Recompute vmax each substep and size
+  // the substep so courant <= 1 everywhere by construction.
+  double t = 0.0;
+  while (t < dt) {
+    double vmax = 0.0;
+    for (int iz = 0; iz < nz; ++iz) {
+      vmax = std::max(vmax, rain_fall_speed(qr_col[iz], rho[iz]));
+    }
+    st.flops += 10.0 * nz;
+    if (vmax <= 0.0) break;
+    const double remain = dt - t;
+    const bool last = dz / vmax >= remain;
+    const double dts = last ? remain : dz / vmax;
     double flux_in = 0.0;
     for (int iz = nz - 1; iz >= 0; --iz) {
       const double v = rain_fall_speed(qr_col[iz], rho[iz]);
+      // dts was sized from this substep's vmax, so v * dts / dz <= 1 up
+      // to rounding of dz / vmax; the min() only absorbs that last ulp
+      // (it never hides a physically over-CFL flux like the old
+      // fixed-nsub clamp did) and keeps qr from drifting ~1e-19 negative
+      // when a cell evacuates completely.
       const double courant = std::min(1.0, v * dts / dz);
+      st.max_courant = std::max(st.max_courant, courant);
       const double out = rho[iz] * qr_col[iz] * courant;
       qr_col[iz] = (rho[iz] * qr_col[iz] - out + flux_in) / rho[iz];
       flux_in = out;
     }
-    precip += flux_in / rho[0];
+    st.flops += 16.0 * nz;
+    st.surface_precip += flux_in / rho[0];
+    ++st.substeps;
+    if (last) break;
+    t += dts;
   }
-  return precip;
+  return st;
 }
 
 }  // namespace wrf::bulk

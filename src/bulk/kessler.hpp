@@ -31,6 +31,24 @@ struct KesslerStats {
   double dq_auto = 0.0;
   double dq_accr = 0.0;
   double dq_revp = 0.0;
+  /// Flop estimate of the branches that actually ran (saturation
+  /// adjustment always; accretion and rain evaporation only when their
+  /// gates fired) — feeds the same perfmodel counters as the bin chain.
+  double flops = 0.0;
+};
+
+/// Work counters of one kessler_sediment_column call.
+struct KesslerSedStats {
+  /// Mass delivered to the surface, in the same units as the bin
+  /// scheme's SedStats::surface_precip contract: kg/kg column-equivalent
+  /// (sum over substeps of the rho-weighted surface flux, normalized by
+  /// the level-0 density) — so bin and bulk precipitation add directly
+  /// in hybrid conservation checks.
+  double surface_precip = 0.0;
+  std::uint64_t substeps = 0;
+  /// Largest per-cell Courant number the integration used; the adaptive
+  /// substepping keeps this <= 1 by construction.
+  double max_courant = 0.0;
   double flops = 0.0;
 };
 
@@ -44,9 +62,12 @@ KesslerStats kessler_cell(double& temp_k, double& qv, double pres_pa,
 double rain_fall_speed(double qr, double rho_air);
 
 /// Column sedimentation of qr with surface accumulation; `qr_col` has nz
-/// levels, level 0 at the surface.  Returns precipitation (kg/kg at
-/// level 0 equivalents).
-double kessler_sediment_column(double* qr_col, const double* rho, int nz,
-                               double dz, double dt);
+/// levels, level 0 at the surface.  First-order upwind with adaptive CFL
+/// substepping: the column's max fall speed is recomputed every substep
+/// (rain intensifies downward mid-integration as upper levels drain into
+/// lower ones), and each substep length is chosen so no cell exceeds
+/// Courant 1 — never by clamping an over-CFL flux.
+KesslerSedStats kessler_sediment_column(double* qr_col, const double* rho,
+                                        int nz, double dz, double dt);
 
 }  // namespace wrf::bulk

@@ -87,6 +87,12 @@ void FsbmStats::merge(const FsbmStats& o) {
   shard_cells_host += o.shard_cells_host;
   shard_wall_device_sec += o.shard_wall_device_sec;
   shard_wall_host_sec += o.shard_wall_host_sec;
+  cells_bin += o.cells_bin;
+  cells_bulk += o.cells_bulk;
+  promotions += o.promotions;
+  demotions += o.demotions;
+  bulk_flops += o.bulk_flops;
+  bulk_precip += o.bulk_precip;
   if (o.coal_kernel) coal_kernel = o.coal_kernel;
   if (o.cond_kernel) cond_kernel = o.cond_kernel;
 }
@@ -117,9 +123,31 @@ FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
       exec_(exec),
       bins_(nkr),
       tables_(bins_),
-      call_coal_(patch.im, patch.k, patch.jm, std::uint8_t{0}) {
+      call_coal_(patch.im, patch.k, patch.jm, std::uint8_t{0}),
+      fidelity_(patch.im, patch.k, patch.jm, kFidelityBin),
+      calm_steps_(patch.im, patch.k, patch.jm, std::uint8_t{0}) {
   if (nkr > kMaxNkr) {
     throw ConfigError("FastSbm: nkr exceeds kMaxNkr stack workspace bound");
+  }
+  if (params_.phys != PhysScheme::kBin) {
+    const HybridConfig& hc = params_.hybrid;
+    if (hc.rain_bin_cut < 1 || hc.rain_bin_cut >= nkr) {
+      throw ConfigError("FastSbm: hybrid rain_bin_cut outside [1, nkr)");
+    }
+    if (hc.cloud_carrier_bin < 0 || hc.cloud_carrier_bin >= hc.rain_bin_cut ||
+        hc.rain_carrier_bin < hc.rain_bin_cut || hc.rain_carrier_bin >= nkr) {
+      throw ConfigError(
+          "FastSbm: hybrid carrier bins must satisfy cloud < cut <= rain "
+          "< nkr");
+    }
+    if (!(hc.promote_threshold > 0.0) || !(hc.demote_threshold > 0.0) ||
+        hc.demote_threshold >= hc.promote_threshold) {
+      throw ConfigError(
+          "FastSbm: hybrid thresholds need 0 < demote < promote");
+    }
+    if (hc.demote_patience < 1 || hc.demote_patience > 255) {
+      throw ConfigError("FastSbm: hybrid demote_patience outside [1, 255]");
+    }
   }
   const bool offloaded = version_ == Version::kV2Offload2 ||
                          version_ == Version::kV3Offload3 ||
@@ -395,10 +423,169 @@ void FastSbm::mark_coal_writes(const MicroState& state) {
   }
 }
 
+double FastSbm::physics_bulk_cell(MicroState& state, int i, int k, int j) {
+  // Same inertness gate as the bin body: cells colder than t_active are
+  // skipped at either fidelity.
+  if (state.temp(i, k, j) <= params_.t_active) return 0.0;
+  const HybridConfig& hc = params_.hybrid;
+  double temp = state.temp(i, k, j);
+  double qv = state.qv(i, k, j);
+  const double pres = state.pres(i, k, j);
+  float* liq = state.ff[0].slice(i, k, j);
+  bulk::KesslerCell cell;
+  cell.qc = liq[hc.cloud_carrier_bin];
+  cell.qr = liq[hc.rain_carrier_bin];
+  const bulk::KesslerStats ks =
+      bulk::kessler_cell(temp, qv, pres, cell, params_.dt, hc.kessler);
+  state.temp(i, k, j) = static_cast<float>(temp);
+  state.qv(i, k, j) = static_cast<float>(qv);
+  liq[hc.cloud_carrier_bin] = static_cast<float>(cell.qc);
+  liq[hc.rain_carrier_bin] = static_cast<float>(cell.qr);
+  return ks.flops;
+}
+
+bool FastSbm::column_all_bulk(int i, int j) const {
+  if (params_.phys == PhysScheme::kBin) return false;
+  for (int k = patch_.k.lo; k <= patch_.k.hi; ++k) {
+    if (fidelity_(i, k, j) != kFidelityBulk) return false;
+  }
+  return true;
+}
+
+double FastSbm::sediment_bulk_column(MicroState& state, int i, int j,
+                                     FsbmStats& pt) {
+  const int nz = patch_.k.size();
+  const int klo = patch_.k.lo;
+  const HybridConfig& hc = params_.hybrid;
+  auto& liq = state.ff[0];
+  thread_local std::vector<double> qr_col;
+  thread_local std::vector<double> rho_col;
+  qr_col.resize(static_cast<std::size_t>(nz));
+  rho_col.resize(static_cast<std::size_t>(nz));
+  for (int iz = 0; iz < nz; ++iz) {
+    qr_col[static_cast<std::size_t>(iz)] =
+        liq(hc.rain_carrier_bin, i, klo + iz, j);
+    rho_col[static_cast<std::size_t>(iz)] = state.rho(i, klo + iz, j);
+  }
+  const bulk::KesslerSedStats ss = bulk::kessler_sediment_column(
+      qr_col.data(), rho_col.data(), nz, params_.sed.dz, params_.dt);
+  for (int iz = 0; iz < nz; ++iz) {
+    liq(hc.rain_carrier_bin, i, klo + iz, j) =
+        static_cast<float>(qr_col[static_cast<std::size_t>(iz)]);
+  }
+  pt.bulk_precip += ss.surface_precip;
+  pt.bulk_flops += ss.flops;
+  return ss.surface_precip;
+}
+
+void FastSbm::pass_fidelity(MicroState& state, FsbmStats& st,
+                            prof::Profiler& prof) {
+  prof::ScopedRange fr(prof, "fidelity");
+  const HybridConfig& hc = params_.hybrid;
+  const int nkr = bins_.nkr();
+  const bool init = !fidelity_initialized_;
+  // phys=bulk is the all-bulk override through the same machinery.
+  const HybridConfig::Override ov = params_.phys == PhysScheme::kBulk
+                                        ? HybridConfig::Override::kAllBulk
+                                        : hc.override_mode;
+
+  exec::LaunchParams lp;
+  lp.name = "fidelity";
+  lp.collapse = 3;
+  const FsbmStats sum = exec_space().parallel_reduce<FsbmStats>(
+      exec::Range3{patch_.ip, patch_.k, patch_.jp}, lp,
+      [&](FsbmStats& pt, int i, int k, int j) {
+        std::uint8_t& fid = fidelity_(i, k, j);
+        std::uint8_t& calm = calm_steps_(i, k, j);
+        float* liq = state.ff[0].slice(i, k, j);
+        if (ov == HybridConfig::Override::kAllBin) {
+          fid = kFidelityBin;
+          calm = 0;
+          ++pt.cells_bin;
+          return;
+        }
+        if (ov == HybridConfig::Override::kAllBulk) {
+          if (fid == kFidelityBin) ++pt.demotions;
+          fid = kFidelityBulk;
+          calm = 0;
+          demote_liquid(liq, nkr, hc);
+          ++pt.cells_bulk;
+          return;
+        }
+        // Adaptive rule: the coal-gate temperature shape (the same cut
+        // that drives call_coal_) plus a liquid-mass trigger.  The
+        // promote/demote threshold band and the demotion patience
+        // counter are the hysteresis that keeps cells from flapping.
+        double lm = 0.0;
+        for (int n = 0; n < nkr; ++n) lm += liq[n];
+        const bool warm = state.temp(i, k, j) > params_.t_coal;
+        const bool wants_bin = warm && lm > hc.promote_threshold;
+        const bool calm_now = !warm || lm < hc.demote_threshold;
+        if (fid == kFidelityBin) {
+          bool demote = false;
+          if (init) {
+            // Cold start: the rule applies directly, no patience — a
+            // fresh run should not spend demote_patience steps running
+            // every calm cell at bin fidelity.
+            demote = !wants_bin;
+          } else if (calm_now) {
+            if (calm < 255) ++calm;
+            demote = calm >= hc.demote_patience;
+          } else {
+            calm = 0;
+          }
+          if (demote) {
+            fid = kFidelityBulk;
+            calm = 0;
+            demote_liquid(liq, nkr, hc);
+            ++pt.demotions;
+            ++pt.cells_bulk;
+          } else {
+            ++pt.cells_bin;
+          }
+          return;
+        }
+        if (wants_bin) {
+          promote_liquid(liq, nkr, hc);
+          fid = kFidelityBin;
+          calm = 0;
+          ++pt.promotions;
+          ++pt.cells_bin;
+          return;
+        }
+        // Stays bulk: re-collapse what advection smeared off the
+        // carriers since last step (idempotent when nothing did).
+        demote_liquid(liq, nkr, hc);
+        ++pt.cells_bulk;
+      });
+  st.merge(sum);
+  fidelity_initialized_ = true;
+  // Residency: the transforms rewrote (only) the liquid bin field, and
+  // only when some cell was or became bulk.  Under the all-bin override
+  // nothing is written, so the device traffic stays identical to
+  // phys=bin — part of the bitwise regression gate.
+  if (persist() && (sum.cells_bulk > 0 || sum.promotions > 0)) {
+    const gpu::TransferStats t0 = device_->transfers();
+    mark_written({ids_.ff[0]}, exec_device_);
+    st.charge_transfer_delta(t0, device_->transfers());
+  }
+}
+
 void FastSbm::cond_run_cell(MicroState& state, int i, int k, int j,
                             const CondConfig& cond_cfg,
                             const NuclConfig& nucl_cfg, CondCounters& cnt) {
   call_coal_(i, k, j) = 0;
+  if (params_.phys != PhysScheme::kBin &&
+      fidelity_(i, k, j) == kFidelityBulk) {
+    // Bulk-fidelity lane: the Kessler cell on the carried moments; the
+    // coal predicate stays 0, so bulk cells never reach the collision
+    // kernel (and under exec=hetero never join the device shard).
+    const double flops = physics_bulk_cell(state, i, k, j);
+    cnt.bulk_flops_milli.fetch_add(
+        static_cast<std::uint64_t>(flops * 1000.0),
+        std::memory_order_relaxed);
+    return;
+  }
   if (state.temp(i, k, j) <= params_.t_active) return;
   cnt.active.fetch_add(1, std::memory_order_relaxed);
   StackWorkspace sw;
@@ -429,6 +616,17 @@ void FastSbm::emit_cond_trace(const MicroState& state, int i, int k, int j,
     return reinterpret_cast<std::uint64_t>(p);
   };
   out.push_back({addr(&state.temp(i, k, j)), 4, false});
+  if (params_.phys != PhysScheme::kBin &&
+      fidelity_(i, k, j) == kFidelityBulk) {
+    // Bulk lane: thermo plus the two carrier bins — the light access
+    // pattern is most of why hybrid lanes are cheap.
+    if (state.temp(i, k, j) <= params_.t_active) return;
+    out.push_back({addr(&state.qv(i, k, j)), 4, true});
+    const float* sl = state.ff[0].slice(i, k, j);
+    out.push_back({addr(sl + params_.hybrid.cloud_carrier_bin), 4, true});
+    out.push_back({addr(sl + params_.hybrid.rain_carrier_bin), 4, true});
+    return;
+  }
   if (state.temp(i, k, j) <= params_.t_active) return;
   out.push_back({addr(&state.qv(i, k, j)), 4, true});
   for (int s = 0; s < kNumSpecies; ++s) {
@@ -473,7 +671,9 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
     cond_run_cell(state, i, k, j, cond_cfg, nucl_cfg, cnt);
   };
   desc.flops_total = [&]() {
-    return static_cast<double>(cnt.flops_milli.load()) / 1000.0;
+    return static_cast<double>(cnt.flops_milli.load() +
+                               cnt.bulk_flops_milli.load()) /
+           1000.0;
   };
   desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
     const int i = patch_.ip.lo + static_cast<int>(it % ni);
@@ -521,7 +721,8 @@ void FastSbm::pass_cond_offload(MicroState& state, FsbmStats& st,
   }
   st.cells_active += cnt.active.load();
   st.cells_coal += cnt.coal_cells.load();
-  st.cond_flops += desc.flops_total();
+  st.cond_flops += static_cast<double>(cnt.flops_milli.load()) / 1000.0;
+  st.bulk_flops += static_cast<double>(cnt.bulk_flops_milli.load()) / 1000.0;
 }
 
 void FastSbm::pass_physics(MicroState& state, FsbmStats& st,
@@ -542,10 +743,8 @@ void FastSbm::pass_physics(MicroState& state, FsbmStats& st,
   exec::LaunchParams lp;
   lp.name = "pass_physics";
   lp.collapse = 3;
-  const FsbmStats sum = exec_space().parallel_reduce<FsbmStats>(
-      exec::Range3{patch_.ip, patch_.k, patch_.jp}, lp,
-      [&](FsbmStats& pt, int i, int k, int j) {
-        call_coal_(i, k, j) = 0;
+  const exec::Range3 range{patch_.ip, patch_.k, patch_.jp};
+  const auto bin_cell = [&](FsbmStats& pt, int i, int k, int j) {
         if (state.temp(i, k, j) <= params_.t_active) return;
         ++pt.cells_active;
 
@@ -612,7 +811,48 @@ void FastSbm::pass_physics(MicroState& state, FsbmStats& st,
           call_coal_(i, k, j) = 1;
           ++pt.cells_coal;
         }
-      });
+  };
+
+  FsbmStats sum;
+  if (params_.phys == PhysScheme::kBin) {
+    sum = exec_space().parallel_reduce<FsbmStats>(
+        range, lp, [&](FsbmStats& pt, int i, int k, int j) {
+          call_coal_(i, k, j) = 0;
+          bin_cell(pt, i, k, j);
+        });
+  } else {
+    // phys=bulk|hybrid: route the two fidelity populations through the
+    // predicate-split dispatch (exec/exec.hpp SplitPlan).  Tiles holding
+    // any bin-fidelity cell form one shard, pure-bulk tiles the other;
+    // both run the same per-cell body (which branches on fidelity for
+    // the mixed tiles), over the SAME tile plan parallel_reduce would
+    // use, with plan-wide partials merged in tile order.  With an
+    // all-bin fidelity field the first list is every tile and the
+    // second is empty, which reproduces the phys=bin dispatch — and its
+    // results — bit for bit.
+    const exec::TilePlan plan = exec::ExecSpace::plan_for(range, lp);
+    const exec::SplitPlan sp = exec::split_plan(
+        range, plan, [&](int i, int k, int j) {
+          return fidelity_(i, k, j) == kFidelityBin;
+        });
+    std::vector<FsbmStats> parts(static_cast<std::size_t>(plan.tiles()));
+    const exec::TileFn body = [&](std::int64_t t, std::int64_t b,
+                                  std::int64_t e) {
+      FsbmStats& pt = parts[static_cast<std::size_t>(t)];
+      for (std::int64_t f = b; f < e; ++f) {
+        const exec::Range3::Cell c = range.cell(f);
+        call_coal_(c.i, c.k, c.j) = 0;
+        if (fidelity_(c.i, c.k, c.j) == kFidelityBin) {
+          bin_cell(pt, c.i, c.k, c.j);
+        } else {
+          pt.bulk_flops += physics_bulk_cell(state, c.i, c.k, c.j);
+        }
+      }
+    };
+    exec_space().run_tile_list(sp.plan, sp.device_tiles, lp, body);
+    exec_space().run_tile_list(sp.plan, sp.host_tiles, lp, body);
+    for (const FsbmStats& part : parts) sum.merge(part);
+  }
   if (inline_coal && sum.cells_coal > 0) {
     prof.add_range_time("coal_bott_new_loop", sum.cells_coal,
                         sum.wall_coal_sec);
@@ -859,7 +1099,9 @@ void FastSbm::pass_cond_coal_fused(MicroState& state, FsbmStats& st,
     coal_run_cell(state, i, k, j, pooled, kcnt);
   };
   desc.flops_total = [&]() {
-    return static_cast<double>(ccnt.flops_milli.load()) / 1000.0 +
+    return static_cast<double>(ccnt.flops_milli.load() +
+                               ccnt.bulk_flops_milli.load()) /
+               1000.0 +
            coal_flops_model(kcnt.interactions.load(), kcnt.lookups.load());
   };
   desc.trace = [&](std::int64_t it, std::vector<gpu::AccessEvent>& out) {
@@ -925,6 +1167,8 @@ void FastSbm::pass_cond_coal_fused(MicroState& state, FsbmStats& st,
   st.cells_active += ccnt.active.load();
   st.cells_coal += ccnt.coal_cells.load();
   st.cond_flops += static_cast<double>(ccnt.flops_milli.load()) / 1000.0;
+  st.bulk_flops +=
+      static_cast<double>(ccnt.bulk_flops_milli.load()) / 1000.0;
   st.coal_interactions += kcnt.interactions.load();
   st.kernel_entries += kcnt.lookups.load();
   st.coal_flops +=
@@ -1163,7 +1407,23 @@ void FastSbm::pass_sedimentation(MicroState& state, FsbmStats& st,
           rho_col[static_cast<std::size_t>(iz)] =
               state.rho(i, patch_.k.lo + iz, j);
         }
+        // A column that is bulk-fidelity at every level sediments its
+        // liquid through the Kessler column solver (rain carrier bin
+        // only); its ice species still take the bin path below.  Mixed
+        // columns stay fully on the bin path — the carrier bins fall
+        // with their own bin velocities there, which is the price of a
+        // column-local solver, and the fidelity rule promotes such
+        // columns' wet cells anyway.
+        const bool bulk_col =
+            params_.phys != PhysScheme::kBin && column_all_bulk(i, j);
+        if (bulk_col) {
+          const double p = sediment_bulk_column(state, i, j, pt);
+          state.precip(i, 0, j) =
+              static_cast<float>(state.precip(i, 0, j) + p);
+          pt.surface_precip += p;
+        }
         for (int s = 0; s < kNumSpecies; ++s) {
+          if (bulk_col && s == static_cast<int>(Species::kLiquid)) continue;
           auto& f = state.ff[static_cast<std::size_t>(s)];
           // Gather the column (bin-fastest slices per level).
           for (int iz = 0; iz < nz; ++iz) {
@@ -1229,15 +1489,17 @@ void FastSbm::pass_sedimentation_blocked(MicroState& state, FsbmStats& st,
         // this).
         thread_local std::vector<float> g_blk;
         thread_local std::vector<double> rho_blk;
+        thread_local std::vector<double> rho_bin;
         thread_local std::vector<double> precip_col;
         thread_local std::vector<double> precip_mat;
-        thread_local std::vector<int> ci, cj;
+        thread_local std::vector<int> ci, cj, bincols;
         g_blk.resize(static_cast<std::size_t>(nb) * nz * nkr);
         rho_blk.resize(static_cast<std::size_t>(nb) * nz);
         precip_col.resize(static_cast<std::size_t>(nb));
         precip_mat.resize(static_cast<std::size_t>(nb) * kNumSpecies);
         ci.resize(static_cast<std::size_t>(nb));
         cj.resize(static_cast<std::size_t>(nb));
+        bincols.resize(static_cast<std::size_t>(nb));
 
         for (std::int64_t c0 = b; c0 < e; c0 += nb) {
           const int ncol =
@@ -1257,41 +1519,85 @@ void FastSbm::pass_sedimentation_blocked(MicroState& state, FsbmStats& st,
                             cj[static_cast<std::size_t>(c)]);
             }
           }
+          // Fidelity split of the chunk: pure-bulk columns take the
+          // Kessler column solver for their liquid (in flat column
+          // order, so bulk stats accumulate like the per-column path);
+          // the remainder forms a compacted sub-block for the bin
+          // solver.  Under phys=bin every column is a bin column and
+          // the compaction is the identity, leaving the block math —
+          // and its results — untouched.
+          int ncb = 0;
+          for (int c = 0; c < ncol; ++c) {
+            if (params_.phys != PhysScheme::kBin &&
+                column_all_bulk(ci[static_cast<std::size_t>(c)],
+                                cj[static_cast<std::size_t>(c)])) {
+              precip_mat[static_cast<std::size_t>(c) * kNumSpecies] =
+                  sediment_bulk_column(state, ci[static_cast<std::size_t>(c)],
+                                       cj[static_cast<std::size_t>(c)], pt);
+            } else {
+              bincols[static_cast<std::size_t>(ncb++)] = c;
+            }
+          }
           for (int s = 0; s < kNumSpecies; ++s) {
+            // The liquid species runs only over the compacted bin
+            // columns; ice species always take the full chunk (bulk
+            // cells never carry bulk ice).
+            const bool liquid = s == static_cast<int>(Species::kLiquid);
+            const int nsc = liquid ? ncb : ncol;
+            if (nsc == 0) continue;
+            const auto nsz = static_cast<std::size_t>(nsc);
+            const auto col_of = [&](int c) {
+              return liquid ? bincols[static_cast<std::size_t>(c)] : c;
+            };
+            const double* rho = rho_blk.data();
+            if (liquid && ncb < ncol) {
+              rho_bin.resize(nsz * static_cast<std::size_t>(nz));
+              for (int iz = 0; iz < nz; ++iz) {
+                for (int c = 0; c < nsc; ++c) {
+                  rho_bin[static_cast<std::size_t>(iz) * nsz +
+                          static_cast<std::size_t>(c)] =
+                      rho_blk[static_cast<std::size_t>(iz) * nc +
+                              static_cast<std::size_t>(col_of(c))];
+                }
+              }
+              rho = rho_bin.data();
+            }
             auto& f = state.ff[static_cast<std::size_t>(s)];
             // Gather: transpose bin-fastest level slices into the
             // column-minor SoA block.
             for (int iz = 0; iz < nz; ++iz) {
-              for (int c = 0; c < ncol; ++c) {
+              for (int c = 0; c < nsc; ++c) {
+                const int cc = col_of(c);
                 const float* sl =
-                    f.slice(ci[static_cast<std::size_t>(c)], klo + iz,
-                            cj[static_cast<std::size_t>(c)]);
+                    f.slice(ci[static_cast<std::size_t>(cc)], klo + iz,
+                            cj[static_cast<std::size_t>(cc)]);
                 float* dst =
-                    g_blk.data() + static_cast<std::size_t>(iz) * nkr * nc +
+                    g_blk.data() + static_cast<std::size_t>(iz) * nkr * nsz +
                     static_cast<std::size_t>(c);
                 for (int k = 0; k < nkr; ++k) {
-                  dst[static_cast<std::size_t>(k) * nc] = sl[k];
+                  dst[static_cast<std::size_t>(k) * nsz] = sl[k];
                 }
               }
             }
             const SedStats ss = sediment_block(
-                bins_, static_cast<Species>(s), g_blk.data(), rho_blk.data(),
-                nz, ncol, cfg, precip_col.data());
+                bins_, static_cast<Species>(s), g_blk.data(), rho, nz, nsc,
+                cfg, precip_col.data());
             // Scatter back.
             for (int iz = 0; iz < nz; ++iz) {
-              for (int c = 0; c < ncol; ++c) {
-                float* sl = f.slice(ci[static_cast<std::size_t>(c)], klo + iz,
-                                    cj[static_cast<std::size_t>(c)]);
+              for (int c = 0; c < nsc; ++c) {
+                const int cc = col_of(c);
+                float* sl = f.slice(ci[static_cast<std::size_t>(cc)], klo + iz,
+                                    cj[static_cast<std::size_t>(cc)]);
                 const float* src =
-                    g_blk.data() + static_cast<std::size_t>(iz) * nkr * nc +
+                    g_blk.data() + static_cast<std::size_t>(iz) * nkr * nsz +
                     static_cast<std::size_t>(c);
                 for (int k = 0; k < nkr; ++k) {
-                  sl[k] = src[static_cast<std::size_t>(k) * nc];
+                  sl[k] = src[static_cast<std::size_t>(k) * nsz];
                 }
               }
             }
-            for (int c = 0; c < ncol; ++c) {
-              precip_mat[static_cast<std::size_t>(c) * kNumSpecies +
+            for (int c = 0; c < nsc; ++c) {
+              precip_mat[static_cast<std::size_t>(col_of(c)) * kNumSpecies +
                          static_cast<std::size_t>(s)] = precip_col[c];
             }
             pt.sed_flops += ss.flops;
@@ -1335,6 +1641,13 @@ FsbmStats FastSbm::step(MicroState& state, prof::Profiler& prof) {
   // old offloaded/hetero conditions).
   const std::size_t launches0 =
       device_ != nullptr ? device_->launches().size() : 0;
+  // The fidelity sweep is a step prologue, not a PassGraph node: it
+  // reads only the liquid field + thermo and decides which scheme each
+  // cell runs this step, so it must precede every pass and must never
+  // fuse with one.  Under phys=bin it is skipped entirely — no extra
+  // launches, no extra stats, bitwise-identical behavior to builds
+  // without the knob.
+  if (params_.phys != PhysScheme::kBin) pass_fidelity(state, st, prof);
   for (const auto& group : schedule_.groups) {
     const exec::PassNode& head = graph_.node(group[0]);
     if (group.size() == 2) {

@@ -31,6 +31,7 @@
 #include "exec/exec.hpp"
 #include "exec/passgraph.hpp"
 #include "fsbm/coal_bott.hpp"
+#include "fsbm/hybrid.hpp"
 #include "fsbm/kernels.hpp"
 #include "fsbm/nucleation.hpp"
 #include "fsbm/onecond.hpp"
@@ -88,6 +89,15 @@ struct FsbmParams {
   /// the paper's one-launch-per-pass layout.  Both modes produce
   /// bitwise-identical state and physics statistics.
   exec::FuseMode fuse = exec::FuseMode::kOff;
+
+  /// The `phys=` knob (fsbm/hybrid.hpp): bin runs the full FSBM chain
+  /// everywhere (the default); bulk runs the Kessler scheme everywhere;
+  /// hybrid adapts per cell through the fidelity field.  phys=hybrid
+  /// with hybrid.override_mode == kAllBin is bitwise identical to
+  /// phys=bin — state, physics stats, and transfer traffic (asserted in
+  /// tests/test_hybrid.cpp).
+  PhysScheme phys = PhysScheme::kBin;
+  HybridConfig hybrid;
 
   /// The `res=` knob (offloaded versions only; a no-op for v0/v1).
   /// kStep opens a per-launch `target data` region around every
@@ -150,6 +160,18 @@ struct FsbmStats {
   std::uint64_t shard_cells_host = 0;
   double shard_wall_device_sec = 0.0;
   double shard_wall_host_sec = 0.0;
+  /// Hybrid microphysics (phys=bulk|hybrid): the fidelity census after
+  /// each step's fidelity pass (cells summed over steps), the fidelity
+  /// transitions that fired, and the bulk population's work.  All zero
+  /// under phys=bin.  `bulk_precip` is also included in surface_precip
+  /// (both populations share the SedStats kg/kg column-equivalent units
+  /// contract), so conservation checks read one number.
+  std::uint64_t cells_bin = 0;
+  std::uint64_t cells_bulk = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  double bulk_flops = 0.0;
+  double bulk_precip = 0.0;
 
   /// Charge the device transfer delta [t0, now) into these counters.
   /// The link rate is direction-independent, so the modeled-ms delta
@@ -243,6 +265,32 @@ class FastSbm {
     int i, k, j;
   };
 
+  /// Step prologue under phys=bulk|hybrid: resolve each cell's fidelity
+  /// for this step (promote/demote transitions with hysteresis, or the
+  /// override), apply the bin<->bulk transforms, and re-collapse cells
+  /// that stay bulk (advection smears neighbor bins into them).  Never
+  /// runs under phys=bin.
+  void pass_fidelity(MicroState& state, FsbmStats& st, prof::Profiler& prof);
+
+  /// One bulk cell's physics (the Kessler scheme on the carried
+  /// moments); shares the t_active inertness gate with the bin body.
+  /// Returns the flops run (0 when the gate skipped the cell).
+  double physics_bulk_cell(MicroState& state, int i, int k, int j);
+
+  /// True when the whole computational column at (i, j) is bulk
+  /// fidelity — the sedimentation passes then run the Kessler column
+  /// solver on the rain carrier instead of the liquid bin solver.
+  bool column_all_bulk(int i, int j) const;
+
+  /// Kessler sedimentation of one bulk column's rain carrier: updates
+  /// the carrier bins and the work counters, returns the surface precip
+  /// so each caller can fold it into `state.precip` and
+  /// `surface_precip` in its own accumulation order (the blocked path
+  /// routes it through the species-0 slot of its precip matrix to keep
+  /// the per-column path's (column, species) order).
+  double sediment_bulk_column(MicroState& state, int i, int j,
+                              FsbmStats& pt);
+
   /// Pass 1: nucleation + condensation per cell; fills the coal
   /// predicate for v2/v3 or runs collisions inline for v0/v1.
   void pass_physics(MicroState& state, FsbmStats& st, prof::Profiler& prof);
@@ -310,6 +358,8 @@ class FastSbm {
     std::atomic<std::uint64_t> coal_cells{0};
     /// flops * 1000 as an integer so relaxed adds stay exact.
     std::atomic<std::uint64_t> flops_milli{0};
+    /// Bulk-fidelity lanes' Kessler flops (phys=bulk|hybrid only).
+    std::atomic<std::uint64_t> bulk_flops_milli{0};
   };
 
   /// One offloaded condensation lane (the §VIII body): predicate
@@ -401,6 +451,16 @@ class FastSbm {
   std::unique_ptr<Field4D<float>> pool_fl1_, pool_g2_, pool_g3_, pool_g4_,
       pool_g5_;
   Field3D<std::uint8_t> call_coal_;  ///< the predicate array of Listing 6
+  /// Per-cell fidelity (kFidelityBin/kFidelityBulk) and the demotion
+  /// patience counters.  Initialized all-bin / zero; only read or
+  /// written when params_.phys != kBin.
+  Field3D<std::uint8_t> fidelity_;
+  Field3D<std::uint8_t> calm_steps_;
+  /// False until the first fidelity pass: the cold-start pass applies
+  /// the fidelity rule directly (no demotion patience), so a fresh run
+  /// does not spend `demote_patience` steps running every calm cell at
+  /// bin fidelity.
+  bool fidelity_initialized_ = false;
   std::uint64_t pool_bytes_ = 0;
   /// The device data environment (owned by device_space_); null for
   /// host-only versions.

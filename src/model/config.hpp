@@ -54,6 +54,16 @@ struct RunConfig {
   /// dyn::parse_halo_mode / dyn::halo_mode_from_args.
   dyn::HaloMode halo_mode = dyn::HaloMode::kSync;
 
+  /// The `phys=` knob: bin runs the full FSBM chain in every cell (the
+  /// default); bulk runs the corrected Kessler scheme everywhere;
+  /// hybrid adapts per cell — active/precipitating cells run the bin
+  /// chain, the calm remainder runs Kessler, with hysteresis so cells
+  /// don't flap (fsbm/hybrid.hpp).  phys=hybrid with an all-bin
+  /// fidelity override is bitwise identical to phys=bin — asserted in
+  /// tests/test_hybrid.cpp.  Parse with fsbm::parse_phys /
+  /// fsbm::phys_from_args.  Tunables live in fsbm_params.hybrid.
+  fsbm::PhysScheme phys = fsbm::PhysScheme::kBin;
+
   /// The `sed=` knob: column dispatches sedimentation one column at a
   /// time (the unamortized oracle); block:N gathers N columns per tile
   /// into a per-thread SoA block and runs the blocked solver with

@@ -40,17 +40,21 @@ void RunConfig::validate() const {
       (sed.block < 1 || sed.block > 4096)) {
     throw ConfigError("RunConfig: sed block width outside [1, 4096]");
   }
+  // The hybrid knob's own tunables are validated against nkr by the
+  // scheme ctor (FastSbm), which knows the bin grid.
 }
 
 std::string RunConfig::describe() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "grid %dx%dx%d dx=%.0fm dt=%.1fs nkr=%d ranks=%dx%d "
-                "version=%s exec=%s halo=%s sed=%s res=%s fuse=%s ngpus=%d",
+                "version=%s exec=%s halo=%s phys=%s sed=%s res=%s fuse=%s "
+                "ngpus=%d",
                 nx, ny, nz, dx, dt, nkr, npx, npy,
                 fsbm::version_name(version), exec.describe().c_str(),
-                dyn::halo_mode_name(halo_mode), sed.describe().c_str(),
-                mem::residency_name(res), exec::fuse_name(fuse), ngpus);
+                dyn::halo_mode_name(halo_mode), fsbm::phys_name(phys),
+                sed.describe().c_str(), mem::residency_name(res),
+                exec::fuse_name(fuse), ngpus);
   return buf;
 }
 
@@ -74,6 +78,7 @@ RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
   params.sed_dispatch = config_.sed;
   params.residency = config_.res;
   params.fuse = config_.fuse;
+  params.phys = config_.phys;
   fsbm_ = std::make_unique<fsbm::FastSbm>(patch_, config_.nkr,
                                           config_.version, params,
                                           device_.get(), exec_space_.get());

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "bulk/kessler.hpp"
 #include "util/constants.hpp"
+#include "util/rng.hpp"
 
 namespace wrf::bulk {
 namespace {
@@ -99,12 +102,156 @@ TEST(Kessler, SedimentationConservesColumn) {
   for (int iz = 0; iz < 16; ++iz) qr[static_cast<std::size_t>(iz)] = 1.0e-3;
   double before = 0.0;
   for (double v : qr) before += v;
-  const double precip =
+  const KesslerSedStats st =
       kessler_sediment_column(qr.data(), rho.data(), nz, 400.0, 20.0);
   double after = 0.0;
   for (double v : qr) after += v;
-  EXPECT_NEAR(after + precip, before, before * 1e-9);
-  EXPECT_GT(precip, 0.0);
+  EXPECT_NEAR(after + st.surface_precip, before, before * 1e-9);
+  EXPECT_GT(st.surface_precip, 0.0);
+}
+
+TEST(Kessler, RainEvaporationSeesPostAdjustmentSaturation) {
+  // Regression (stale-qs bug): the saturation adjustment warms a
+  // supersaturated cell, so the saturation value at the CURRENT
+  // temperature sits slightly above the adjusted qv (qs is convex in T
+  // and the adjustment is linearized) — rain must evaporate a little.
+  // The old code tested qv against the PRE-adjustment qs, which the
+  // adjusted qv always exceeds, so evaporation was silently suppressed
+  // in every warming cell.
+  double temp = 285.0;
+  const double pres = 90000.0;
+  double qv = 1.2 * c::qsat_liquid(temp, pres);
+  KesslerCell cell;
+  cell.qr = 1.0e-3;
+  const KesslerStats st = kessler_cell(temp, qv, pres, cell, 5.0);
+  EXPECT_GT(st.dq_cond, 0.0);  // the adjustment condensed (cell warmed)
+  EXPECT_GT(st.dq_revp, 0.0);  // and rain still evaporates vs current qs
+}
+
+TEST(Kessler, RainEvaporationCapUsesCurrentTemperature) {
+  // Regression (stale-qs bug, cap side): when the adjustment exhausts
+  // the cloud and cools the cell, the qs - qv evaporation cap must use
+  // qs at the post-adjustment temperature.  Construct a cell where the
+  // cap binds: qr and the ventilation rate are large, so devp equals
+  // exactly qsat(T1) - qv1 with T1/qv1 the post-adjustment state.  The
+  // old code capped at the warmer pre-adjustment qs and over-evaporated
+  // by ~20% here.
+  const double temp0 = 290.0;
+  const double pres = 90000.0;
+  const double qs0 = c::qsat_liquid(temp0, pres);
+  double temp = temp0;
+  double qv = 0.5 * qs0;
+  KesslerCell cell;
+  cell.qc = 5.0e-4;   // exhausted by the adjustment (dq = -qc)
+  cell.qr = 2.0e-2;
+  const KesslerStats st = kessler_cell(temp, qv, pres, cell, 400.0);
+  EXPECT_DOUBLE_EQ(st.dq_cond, -5.0e-4);
+  const double temp1 = temp0 + c::kLv / c::kCp * st.dq_cond;
+  const double qv1 = 0.5 * qs0 - st.dq_cond;
+  const double cap = c::qsat_liquid(temp1, pres) - qv1;
+  EXPECT_NEAR(st.dq_revp, cap, cap * 1e-12);
+}
+
+TEST(Kessler, SedimentationAdaptsToRainIntensifyingDownward) {
+  // Regression (stale-vmax bug): a dense rainy slab aloft drains into
+  // near-vacuum layers where the density correction drives the fall
+  // speed to the 10 m/s cap — far above the initial-profile vmax of
+  // ~4.1 m/s.  Physically the whole column reaches the surface well
+  // within dt (600 m at >= 4.1 then 10 m/s is under 90 s).  The old
+  // code froze nsub from the initial vmax and clamped the over-CFL
+  // fluxes, transporting the rain at roughly half its fall speed and
+  // leaving ~1/3 of the mass aloft at dt = 100 s.
+  const int nz = 3;
+  const double dz = 200.0, dt = 100.0;
+  std::vector<double> rho = {0.05, 0.05, 3.0};
+  std::vector<double> qr = {0.0, 0.0, 1.0e-3};
+  double mass0 = 0.0;
+  for (int iz = 0; iz < nz; ++iz) {
+    mass0 += rho[static_cast<std::size_t>(iz)] * qr[static_cast<std::size_t>(iz)];
+  }
+  const KesslerSedStats st =
+      kessler_sediment_column(qr.data(), rho.data(), nz, dz, dt);
+  // CFL contract: courant <= 1 by construction, and the adaptive loop
+  // actually ran at the capped speed (courant ~ 1 on the fast cells; the
+  // old fixed-nsub code would have needed courant ~ 1.67 there and
+  // clamped it away).
+  EXPECT_LE(st.max_courant, 1.0 + 1e-12);
+  EXPECT_GT(st.max_courant, 0.99);
+  EXPECT_GE(st.substeps, 3u);
+  // Essentially the whole column drained (the old code delivers ~68%).
+  EXPECT_GE(st.surface_precip * rho[0], 0.99 * mass0);
+  // Mass closes and nothing went negative.
+  double mass1 = st.surface_precip * rho[0];
+  for (int iz = 0; iz < nz; ++iz) {
+    EXPECT_GE(qr[static_cast<std::size_t>(iz)], 0.0);
+    mass1 += rho[static_cast<std::size_t>(iz)] * qr[static_cast<std::size_t>(iz)];
+  }
+  EXPECT_NEAR(mass1, mass0, mass0 * 1e-12);
+}
+
+TEST(Kessler, CellConservesWaterAndMoistStaticEnergy) {
+  // Conservation laws over randomized cells: total water qv + qc + qr
+  // and moist static energy cp*T + Lv*qv are both invariant across
+  // kessler_cell — every phase change pairs a qv update with the
+  // matching latent-heat temperature update.
+  Rng rng(0xBA11AD0ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    double temp = rng.uniform(250.0, 305.0);
+    const double pres = rng.uniform(5.0e4, 1.02e5);
+    double qv = rng.uniform(0.2, 1.4) * c::qsat_liquid(temp, pres);
+    KesslerCell cell;
+    if (rng.uniform() < 0.7) cell.qc = rng.uniform(0.0, 3.0e-3);
+    if (rng.uniform() < 0.7) cell.qr = rng.uniform(0.0, 5.0e-3);
+    const double dt = rng.uniform(1.0, 60.0);
+    const double water0 = qv + cell.qc + cell.qr;
+    const double mse0 = c::kCp * temp + c::kLv * qv;
+    kessler_cell(temp, qv, pres, cell, dt);
+    EXPECT_NEAR(qv + cell.qc + cell.qr, water0, water0 * 1e-12);
+    EXPECT_NEAR(c::kCp * temp + c::kLv * qv, mse0, mse0 * 1e-12);
+    EXPECT_GE(qv, 0.0);
+    EXPECT_GE(cell.qc, 0.0);
+    EXPECT_GE(cell.qr, 0.0);
+  }
+}
+
+TEST(Kessler, SedimentationConservesMassAndNonNegativity) {
+  // Randomized columns: rho-weighted rain mass + delivered precip is
+  // invariant (the precip contract is kg/kg column-equivalent — the
+  // rho-weighted surface flux normalized by the level-0 density, the
+  // same units as the bin scheme's SedStats::surface_precip), and no
+  // level goes negative in any CFL regime.
+  Rng rng(0x5ED0BA11ull);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int nz = 4 + static_cast<int>(rng.uniform(0.0, 28.0));
+    std::vector<double> qr(static_cast<std::size_t>(nz), 0.0);
+    std::vector<double> rho(static_cast<std::size_t>(nz));
+    for (int iz = 0; iz < nz; ++iz) {
+      rho[static_cast<std::size_t>(iz)] = rng.uniform(0.05, 3.0);
+      if (rng.uniform() < 0.5) {
+        qr[static_cast<std::size_t>(iz)] = rng.uniform(0.0, 8.0e-3);
+      }
+    }
+    const double dz = rng.uniform(100.0, 600.0);
+    const double dt = rng.uniform(2.0, 300.0);
+    double mass0 = 0.0;
+    for (int iz = 0; iz < nz; ++iz) {
+      mass0 += rho[static_cast<std::size_t>(iz)] *
+               qr[static_cast<std::size_t>(iz)];
+    }
+    const KesslerSedStats st =
+        kessler_sediment_column(qr.data(), rho.data(), nz, dz, dt);
+    EXPECT_LE(st.max_courant, 1.0 + 1e-12);
+    double mass1 = st.surface_precip * rho[0];
+    for (int iz = 0; iz < nz; ++iz) {
+      EXPECT_GE(qr[static_cast<std::size_t>(iz)], 0.0);
+      mass1 += rho[static_cast<std::size_t>(iz)] *
+               qr[static_cast<std::size_t>(iz)];
+    }
+    const double tol =
+        std::max(mass0, 1e-12) *
+        (static_cast<double>(st.substeps) + 1.0) * 1e-14;
+    EXPECT_NEAR(mass1, mass0, tol);
+  }
 }
 
 TEST(Kessler, BinSchemeNeedsNoThresholdBulkDoes) {

@@ -31,9 +31,12 @@
 #include <vector>
 
 #include "fsbm/coal_bott.hpp"
+#include "fsbm/hybrid.hpp"
 #include "fsbm/kernels.hpp"
 #include "fsbm/sedimentation.hpp"
+#include "model/case_conus.hpp"
 #include "model/driver.hpp"
+#include "util/constants.hpp"
 #include "util/rng.hpp"
 
 namespace wrf::fsbm {
@@ -593,6 +596,143 @@ TEST(FsbmProperties, SeedDeterminismUnderResidencyModes) {
   // persist's per-launch re-uploads collapse to dirty bytes: traffic
   // must strictly shrink even with host-side passes re-staling fields.
   EXPECT_LT(stats[1].d2h_bytes, stats[0].d2h_bytes);
+}
+
+// ---- hybrid bin<->bulk transforms (fsbm/hybrid.hpp) --------------------
+
+/// A random liquid spectrum: lognormal-ish mass scattered over a random
+/// subset of bins, with occasional zero and single-bin degenerate cases.
+std::vector<float> random_spectrum(Rng& rng) {
+  std::vector<float> liq(kNkr, 0.0f);
+  const int mode = static_cast<int>(rng.bounded(10));
+  if (mode == 0) return liq;  // all-zero cell
+  const int lo = static_cast<int>(rng.bounded(kNkr));
+  const int hi =
+      mode == 1 ? lo : lo + static_cast<int>(rng.bounded(
+                                static_cast<std::uint64_t>(kNkr - lo)));
+  for (int n = lo; n <= hi; ++n) {
+    liq[static_cast<std::size_t>(n)] =
+        static_cast<float>(std::exp(rng.uniform(-20.0, -5.0)));
+  }
+  return liq;
+}
+
+double spectrum_mass(const std::vector<float>& liq) {
+  double m = 0.0;
+  for (const float v : liq) m += v;
+  return m;
+}
+
+TEST(FsbmProperties, DemotePromoteRoundTripConservesLiquidUlpScaled) {
+  // Total water across the transforms: demotion integrates the spectrum
+  // into (qc, qr) at the rain-bin cut; promotion reconstructs a
+  // moment-matched spectrum.  Each direction stores kNkr floats once,
+  // so mass drift is bounded by an ulp-scaled tolerance — per category,
+  // not just in total.
+  Rng rng(0x5eedu);
+  const HybridConfig cfg;
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE(trial);
+    std::vector<float> liq = random_spectrum(rng);
+    double qc0 = 0.0, qr0 = 0.0;
+    for (int n = 0; n < cfg.rain_bin_cut; ++n) qc0 += liq[n];
+    for (int n = cfg.rain_bin_cut; n < kNkr; ++n) qr0 += liq[n];
+    const double tol =
+        (qc0 + qr0) * static_cast<double>(kNkr) *
+        static_cast<double>(std::numeric_limits<float>::epsilon());
+
+    const BulkMoments m = demote_liquid(liq.data(), kNkr, cfg);
+    EXPECT_NEAR(m.qc, qc0, tol);
+    EXPECT_NEAR(m.qr, qr0, tol);
+    EXPECT_NEAR(spectrum_mass(liq), qc0 + qr0, tol);
+
+    promote_liquid(liq.data(), kNkr, cfg);
+    double qc1 = 0.0, qr1 = 0.0;
+    for (int n = 0; n < cfg.rain_bin_cut; ++n) qc1 += liq[n];
+    for (int n = cfg.rain_bin_cut; n < kNkr; ++n) qr1 += liq[n];
+    EXPECT_NEAR(qc1, qc0, tol);
+    EXPECT_NEAR(qr1, qr0, tol);
+  }
+}
+
+TEST(FsbmProperties, DemoteIsIdempotent) {
+  // A second demotion of an already-collapsed cell must be a bitwise
+  // no-op (every step re-collapses resident bulk cells, so this runs
+  // constantly in hybrid mode).
+  Rng rng(0xb01du);
+  const HybridConfig cfg;
+  for (int trial = 0; trial < 100; ++trial) {
+    SCOPED_TRACE(trial);
+    std::vector<float> liq = random_spectrum(rng);
+    const BulkMoments m1 = demote_liquid(liq.data(), kNkr, cfg);
+    std::vector<float> once = liq;
+    const BulkMoments m2 = demote_liquid(liq.data(), kNkr, cfg);
+    EXPECT_EQ(std::memcmp(liq.data(), once.data(), once.size() * 4), 0);
+    EXPECT_EQ(static_cast<float>(m1.qc), static_cast<float>(m2.qc));
+    EXPECT_EQ(static_cast<float>(m1.qr), static_cast<float>(m2.qr));
+  }
+}
+
+TEST(FsbmProperties, TransformsNeverGoNegative) {
+  Rng rng(0x9051u);
+  const HybridConfig cfg;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<float> liq = random_spectrum(rng);
+    demote_liquid(liq.data(), kNkr, cfg);
+    for (const float v : liq) EXPECT_GE(v, 0.0f);
+    promote_liquid(liq.data(), kNkr, cfg);
+    for (const float v : liq) EXPECT_GE(v, 0.0f);
+  }
+}
+
+/// Domain totals for the hybrid budget laws: total water (vapor +
+/// condensate + accumulated precip, via MicroState) and the moist
+/// static energy proxy cp*T + Lv*qv.  The transforms never touch temp
+/// or qv, so microphysics drift of the MSE sum under phys=hybrid must
+/// match the bin scheme's own saturation-adjustment linearization — no
+/// new leak from promotion/demotion.
+double domain_mse(const MicroState& s) {
+  namespace c = constants;
+  double h = 0.0;
+  const auto& p = s.patch;
+  for (int j = p.jp.lo; j <= p.jp.hi; ++j) {
+    for (int k = p.k.lo; k <= p.k.hi; ++k) {
+      for (int i = p.ip.lo; i <= p.ip.hi; ++i) {
+        h += c::kCp * s.temp(i, k, j) + c::kLv * s.qv(i, k, j);
+      }
+    }
+  }
+  return h;
+}
+
+TEST(FsbmProperties, HybridRunConservesWaterAndMoistStaticEnergy) {
+  // Microphysics-only stepping of the storm case at phys=hybrid, with
+  // promotions and demotions live: the water budget closes to the same
+  // tolerance the pure-bin scheme is held to, and the MSE proxy drifts
+  // no more than condensation's linearized latent-heat update already
+  // allows.
+  model::RunConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 12;
+  cfg.nz = 14;
+  cfg.npx = cfg.npy = 1;
+  const grid::Patch patch = grid::decompose(cfg.domain(), 1, 1, cfg.halo)[0];
+  MicroState state(patch, cfg.nkr);
+  model::init_case_conus(cfg, state);
+  const double water0 = state.total_water();
+  const double mse0 = domain_mse(state);
+  FsbmParams params;
+  params.phys = PhysScheme::kHybrid;
+  FastSbm scheme(patch, cfg.nkr, Version::kV1LookupOnDemand, params);
+  prof::Profiler prof;
+  FsbmStats st;
+  for (int s = 0; s < 3; ++s) st.merge(scheme.step(state, prof));
+  // The run must actually exercise both fidelities and the transforms.
+  EXPECT_GT(st.cells_bin, 0u);
+  EXPECT_GT(st.cells_bulk, 0u);
+  EXPECT_GT(st.demotions, 0u);
+  EXPECT_NEAR(state.total_water(), water0, water0 * 5e-4);
+  EXPECT_NEAR(domain_mse(state), mse0, mse0 * 5e-4);
 }
 
 }  // namespace
