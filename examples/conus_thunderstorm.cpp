@@ -4,12 +4,16 @@
 // build — the Section IV / VII-B workflow as a user would run it.
 //
 // Run: ./build/conus_thunderstorm [nx ny nz nsteps] [exec=threads:N|hetero:N]
-//      [halo=sync|overlap] [phys=bin|bulk|hybrid]
+//      [halo=sync|overlap] [phys=bin|bulk|hybrid] [obs=trace[:path]]
+//      [out=path]   (history file; default build/conus_thunderstorm_out.bin)
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 
 #include "model/driver.hpp"
+#include "obs/export.hpp"
 
 using namespace wrf;
 
@@ -17,9 +21,15 @@ int main(int argc, char** argv) {
   // Positional [nx ny nz nsteps]; any key=value knob may sit anywhere.
   int pos[4] = {72, 54, 30, 12};  // nsteps default: one simulated minute
   int npos = 0;
-  for (int a = 1; a < argc && npos < 4; ++a) {
-    if (std::string(argv[a]).find('=') != std::string::npos) continue;
-    pos[npos++] = std::atoi(argv[a]);
+  std::string out_path = "build/conus_thunderstorm_out.bin";
+  for (int a = 1; a < argc; ++a) {
+    const std::string s(argv[a]);
+    if (s.rfind("out=", 0) == 0) {
+      out_path = s.substr(4);
+      continue;
+    }
+    if (s.find('=') != std::string::npos) continue;
+    if (npos < 4) pos[npos++] = std::atoi(argv[a]);
   }
   model::RunConfig cfg;
   cfg.nx = pos[0];
@@ -35,6 +45,7 @@ int main(int argc, char** argv) {
   cfg.phys = fsbm::phys_from_args(argc, argv);  // bin | bulk | hybrid
   cfg.res = mem::residency_from_args(argc, argv);
   cfg.fuse = exec::fuse_from_args(argc, argv);  // off | auto
+  cfg.obs = obs::obs_from_args(argc, argv);     // off | metrics | trace
   cfg.validate();
 
   std::printf("CONUS-like thunderstorm\n=======================\n%s\n\n",
@@ -50,10 +61,42 @@ int main(int argc, char** argv) {
   storm.init();
   prof::Profiler prof;
 
+  // The storm loop drives RankModel directly (not run_single), so the
+  // example owns its trace sink: installed after init() so the recorded
+  // window matches what FsbmStats charges, exported after the loop.
+  std::unique_ptr<obs::TraceSink> sink;
+  std::unique_ptr<obs::ScopedActive> active;
+  if (!solo.obs.off()) {
+    sink = std::make_unique<obs::TraceSink>();
+    if (solo.obs.trace()) {
+      active = std::make_unique<obs::ScopedActive>(sink.get());
+    }
+  }
+  model::StepStats totals;
+
   std::printf("%6s %14s %14s %14s %12s\n", "step", "cloud frac",
               "max liquid", "total precip", "wall (s)");
   for (int s = 0; s < solo.nsteps; ++s) {
     const model::StepStats st = storm.step(prof);
+    if (sink) {
+      obs::StepRecord rec;
+      rec.step = s;
+      rec.rank = 0;
+      rec.wall_sec = st.wall_sec;
+      rec.fsbm_wall_sec = st.fsbm.wall_total_sec;
+      rec.coal_wall_sec = st.fsbm.wall_coal_sec;
+      rec.halo_wall_sec = st.halo_wall_sec;
+      rec.halo_bytes = st.halo_bytes;
+      rec.h2d_bytes = st.fsbm.h2d_bytes;
+      rec.d2h_bytes = st.fsbm.d2h_bytes;
+      rec.kernel_launches = st.fsbm.kernel_launches;
+      rec.shard_cells_device = st.fsbm.shard_cells_device;
+      rec.shard_cells_host = st.fsbm.shard_cells_host;
+      rec.cells_bin = st.fsbm.cells_bin;
+      rec.cells_bulk = st.fsbm.cells_bulk;
+      sink->record_step(rec);
+    }
+    totals.merge(st);
     const auto& state = storm.state();
     float max_liq = 0.0f;
     double precip = 0.0;
@@ -72,6 +115,24 @@ int main(int argc, char** argv) {
                 model::cloudy_fraction(state), max_liq, precip, st.wall_sec);
   }
 
+  // Export before anything else runs: the verification twin below would
+  // otherwise emit into (or, with its own obs knob, overwrite) the
+  // storm's trace.
+  active.reset();
+  if (sink) {
+    const std::string obs_path = solo.obs.export_path();
+    if (solo.obs.trace()) {
+      obs::write_chrome_trace(*sink, obs_path);
+    } else {
+      obs::Registry reg;
+      totals.fsbm.publish(reg);
+      obs::write_metrics_jsonl(*sink, reg, obs_path);
+    }
+    std::printf("\nobs %s written to %s (%llu events)\n",
+                solo.obs.trace() ? "trace" : "metrics", obs_path.c_str(),
+                static_cast<unsigned long long>(sink->event_count()));
+  }
+
   if (storm.device() != nullptr) {
     const auto& launches = storm.device()->launches();
     if (!launches.empty()) {
@@ -83,10 +144,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Verification against the CPU build (diffwrf workflow).
+  // Verification against the CPU build (diffwrf workflow).  The twin
+  // runs with obs off — its run must not disturb the storm's exports.
   std::printf("\nverification vs CPU build (diffstate):\n");
   model::RunConfig cpu_cfg = solo;
   cpu_cfg.version = fsbm::Version::kV1LookupOnDemand;
+  cpu_cfg.obs = obs::ObsConfig{};
   prof::Profiler p2;
   const model::RunResult cpu = model::run_single(cpu_cfg, p2);
   const io::DiffReport rep =
@@ -95,8 +158,14 @@ int main(int argc, char** argv) {
   std::printf("worst agreement: %.2f digits (paper §VII-B: 3-6 digits)\n",
               rep.worst_digits);
 
-  // Write the history file like a real run would.
-  storm.snapshot().write("conus_thunderstorm_out.bin");
-  std::printf("\nhistory written to conus_thunderstorm_out.bin\n");
+  // Write the history file like a real run would (out= overrides; the
+  // default keeps run artifacts out of the source tree, under build/).
+  const std::filesystem::path op(out_path);
+  if (op.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(op.parent_path(), ec);
+  }
+  storm.snapshot().write(out_path);
+  std::printf("\nhistory written to %s\n", out_path.c_str());
   return 0;
 }

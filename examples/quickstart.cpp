@@ -6,7 +6,7 @@
 // Build & run:
 //   cmake --build build && ./build/quickstart [exec=threads:N] [halo=overlap]
 //                                             [sed=block:8] [exec=hetero:N]
-//                                             [phys=hybrid]
+//                                             [phys=hybrid] [obs=trace[:path]]
 
 #include <cstdio>
 
@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   cfg.res = mem::residency_from_args(argc, argv);  // step | persist
   cfg.fuse = exec::fuse_from_args(argc, argv);     // off | auto
   cfg.phys = fsbm::phys_from_args(argc, argv);     // bin | bulk | hybrid
+  cfg.obs = obs::obs_from_args(argc, argv);        // off | metrics | trace
 
   std::printf("miniWRF-SBM quickstart\n======================\n");
   std::printf("case: %s\n\n", cfg.describe().c_str());

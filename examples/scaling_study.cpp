@@ -4,7 +4,7 @@
 // Table VII bench uses, but lets you vary GPUs and rank counts.
 //
 // Run: ./build/scaling_study [ngpus] [exec=threads:N|hetero:N]
-//      [halo=sync|overlap]
+//      [halo=sync|overlap] [obs=trace[:path]]
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,9 +18,7 @@ using namespace wrf;
 int main(int argc, char** argv) {
   int ngpus = 16;
   for (int a = 1; a < argc; ++a) {
-    if (std::string(argv[a]).rfind("exec=", 0) == 0) continue;
-    if (std::string(argv[a]).rfind("halo=", 0) == 0) continue;
-    if (std::string(argv[a]).rfind("sed=", 0) == 0) continue;
+    if (std::string(argv[a]).find('=') != std::string::npos) continue;
     ngpus = std::atoi(argv[a]);
     break;
   }
@@ -38,6 +36,7 @@ int main(int argc, char** argv) {
   cfg.sed = fsbm::sed_from_args(argc, argv);
   cfg.res = mem::residency_from_args(argc, argv);
   cfg.fuse = exec::fuse_from_args(argc, argv);
+  cfg.obs = obs::obs_from_args(argc, argv);  // traces the calibration run
   prof::Profiler prof;
   const model::RunResult res = model::run_simulation(cfg, prof);
 

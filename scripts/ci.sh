@@ -39,7 +39,11 @@ run_tsan() {
   # a racy Scheduler or a non-thread-safe model path would surface), and
   # the hybrid microphysics (test_hybrid — the two fidelity populations
   # run on concurrent shards under exec=hetero, and the fidelity sweep
-  # plus split physics pass dispatch through the threaded spaces).
+  # plus split physics pass dispatch through the threaded spaces), and
+  # the observability layer (test_obs — concurrent shard threads and
+  # threaded-space workers emit into one TraceSink's per-thread buffers,
+  # and test_svc's trace mode has scheduler lanes emitting while the
+  # dispatcher records lifecycle instants).
   local build_dir="build-ci-tsan"
   echo "=== ThreadSanitizer ==="
   cmake -B "${build_dir}" -S . \
@@ -47,10 +51,42 @@ run_tsan() {
     -DWRF_TSAN=ON
   cmake --build "${build_dir}" -j "$(nproc)" \
     --target test_par test_exec test_halo_overlap test_fsbm_properties \
-    test_svc test_hybrid
+    test_svc test_hybrid test_obs
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties|test_svc|test_hybrid)$'
+      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties|test_svc|test_hybrid|test_obs)$'
+}
+
+run_obs_smoke() {
+  # Smoke the observability exporters end to end: quickstart with
+  # obs=trace must write a trace that (a) parses as JSON — the real
+  # parser, not the unit tests' structural scan — and (b) has balanced
+  # B/E span pairs with monotone timestamps on every track.
+  echo "=== obs trace smoke ==="
+  local build_dir="build-ci-release"
+  local trace="${build_dir}/obs_ci_trace.json"
+  (cd "${build_dir}" && ./quickstart exec=threads:2 \
+    obs="trace:$(basename "${trace}")" > /dev/null)
+  python3 -m json.tool "${trace}" > /dev/null
+  python3 - "${trace}" <<'EOF'
+import collections, json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "empty trace"
+open_spans = collections.Counter()
+last_ts = {}
+for e in events:
+    tid = e["tid"]
+    assert e["ts"] >= last_ts.get(tid, 0), f"ts regression on track {tid}"
+    last_ts[tid] = e["ts"]
+    if e["ph"] == "B":
+        open_spans[tid] += 1
+    elif e["ph"] == "E":
+        open_spans[tid] -= 1
+        assert open_spans[tid] >= 0, f"E without B on track {tid}"
+assert not +open_spans, f"unbalanced spans: {dict(open_spans)}"
+print(f"obs smoke: {len(events)} events on {len(last_ts)} tracks, "
+      "balanced and monotone")
+EOF
 }
 
 run_bench_smoke() {
@@ -79,11 +115,13 @@ if [ $# -eq 0 ]; then
   run_matrix_config Debug
   run_matrix_config Release
   run_bench_smoke
+  run_obs_smoke
 elif [ "${1}" = "tsan" ]; then
   run_tsan
 elif [ "${1}" = "bench" ]; then
   run_matrix_config Release
   run_bench_smoke
+  run_obs_smoke
 else
   run_matrix_config "${1}"
 fi

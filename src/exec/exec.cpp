@@ -6,6 +6,7 @@
 
 #include "gpu/device.hpp"
 #include "mem/residency.hpp"
+#include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 
 namespace wrf::exec {
@@ -39,7 +40,9 @@ SplitPlan split_plan(const Range3& r, const TilePlan& plan,
 
 void ExecSpace::run_tile_list(const TilePlan& plan,
                               const std::vector<std::int64_t>& tiles,
-                              const LaunchParams&, const TileFn& fn) {
+                              const LaunchParams& p, const TileFn& fn) {
+  OBS_SPAN("pass", p.name,
+           {{"space", "serial"}, {"tiles", tiles.size()}});
   for (const std::int64_t t : tiles) {
     fn(t, plan.tile_begin(t), plan.tile_end(t));
   }
@@ -47,8 +50,12 @@ void ExecSpace::run_tile_list(const TilePlan& plan,
 
 // ----------------------------------------------------------------- serial
 
-void SerialSpace::run_tiles(const TilePlan& plan, const LaunchParams&,
+void SerialSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
                             const TileFn& fn) {
+  OBS_SPAN("pass", p.name,
+           {{"space", "serial"},
+            {"tiles", plan.tiles()},
+            {"iters", plan.total()}});
   for (std::int64_t t = 0; t < plan.tiles(); ++t) {
     fn(t, plan.tile_begin(t), plan.tile_end(t));
   }
@@ -123,9 +130,13 @@ void run_tile_list_on_pool(par::ThreadPool& pool, const TilePlan& plan,
 
 }  // namespace
 
-void ThreadedSpace::run_tiles(const TilePlan& plan, const LaunchParams&,
+void ThreadedSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
                               const TileFn& fn) {
   if (plan.tiles() == 0) return;
+  OBS_SPAN("pass", p.name,
+           {{"space", "threads"},
+            {"tiles", plan.tiles()},
+            {"iters", plan.total()}});
   if (plan.tiles() == 1 || pool_->size() == 1) {
     // One tile (or one worker) gains nothing from dispatch overhead.
     for (std::int64_t t = 0; t < plan.tiles(); ++t) {
@@ -144,6 +155,8 @@ void ThreadedSpace::run_tile_list(const TilePlan& plan,
     ExecSpace::run_tile_list(plan, tiles, p, fn);
     return;
   }
+  OBS_SPAN("pass", p.name,
+           {{"space", "threads"}, {"tiles", tiles.size()}});
   run_tile_list_on_pool(*pool_, plan, tiles, fn);
 }
 
@@ -185,6 +198,10 @@ gpu::KernelDesc model_desc(const LaunchParams& p, std::int64_t iterations) {
 void DeviceSpace::run_tiles(const TilePlan& plan, const LaunchParams& p,
                             const TileFn& fn) {
   if (plan.tiles() == 0) return;
+  OBS_SPAN("pass", p.name,
+           {{"space", "device"},
+            {"tiles", plan.tiles()},
+            {"iters", plan.total()}});
   // Functional execution first, tile-deterministic like the host spaces.
   if (plan.tiles() == 1) {
     fn(0, plan.tile_begin(0), plan.tile_end(0));
@@ -204,6 +221,10 @@ void DeviceSpace::run_tile_list(const TilePlan& plan,
   for (const std::int64_t t : tiles) {
     iters += plan.tile_end(t) - plan.tile_begin(t);
   }
+  OBS_SPAN("pass", p.name,
+           {{"space", "device"},
+            {"tiles", tiles.size()},
+            {"iters", iters}});
   if (tiles.size() == 1) {
     const std::int64_t t = tiles.front();
     fn(t, plan.tile_begin(t), plan.tile_end(t));
@@ -247,6 +268,12 @@ void HeteroSpace::run_tile_list(const TilePlan& plan,
 
 void HeteroSpace::run_split(const SplitPlan& sp, const LaunchParams& p,
                             const TileFn& device_fn, const TileFn& host_fn) {
+  OBS_SPAN("pass", p.name,
+           {{"space", "hetero"},
+            {"device_tiles", sp.device_tiles.size()},
+            {"host_tiles", sp.host_tiles.size()},
+            {"device_cells", sp.device_cells},
+            {"host_cells", sp.host_cells}});
   // Host remainder on its own thread so it overlaps the device shard's
   // functional execution + modeled launch — the heterogeneous overlap
   // the TSan job exercises.  Exceptions from the host side are carried

@@ -10,6 +10,7 @@
 
 #include "analyzer/embedded_sources.hpp"
 #include "analyzer/fusion.hpp"
+#include "obs/trace.hpp"
 #include "util/constants.hpp"
 
 namespace wrf::fsbm {
@@ -111,6 +112,62 @@ void FsbmStats::charge_transfer_delta(const gpu::TransferStats& t0,
     h2d_ms += ms * (static_cast<double>(h2d) / total);
     d2h_ms += ms * (static_cast<double>(d2h) / total);
   }
+}
+
+void FsbmStats::publish(obs::Registry& reg) const {
+  using Labels = obs::Registry::Labels;
+  auto C = [&](const char* n, double v, Labels l = {}) {
+    reg.counter(n, v, std::move(l));
+  };
+  C("wrf_fsbm_cells_active_total", static_cast<double>(cells_active));
+  C("wrf_fsbm_cells_coal_total", static_cast<double>(cells_coal));
+  C("wrf_fsbm_kernel_table_fills_total",
+    static_cast<double>(kernel_table_fills));
+  C("wrf_fsbm_kernel_entries_total", static_cast<double>(kernel_entries));
+  C("wrf_fsbm_coal_interactions_total",
+    static_cast<double>(coal_interactions));
+  C("wrf_fsbm_flops_total", coal_flops, {{"pass", "coal"}});
+  C("wrf_fsbm_flops_total", cond_flops, {{"pass", "cond"}});
+  C("wrf_fsbm_flops_total", nucl_flops, {{"pass", "nucl"}});
+  C("wrf_fsbm_flops_total", sed_flops, {{"pass", "sed"}});
+  C("wrf_fsbm_flops_total", bulk_flops, {{"pass", "bulk"}});
+  C("wrf_fsbm_sed_substeps_total", static_cast<double>(sed_substeps));
+  C("wrf_fsbm_sed_lockstep_substeps_total",
+    static_cast<double>(sed_lockstep_substeps));
+  C("wrf_fsbm_sed_tv_lookups_total", static_cast<double>(sed_tv_lookups));
+  C("wrf_fsbm_sed_corr_evals_total", static_cast<double>(sed_corr_evals));
+  C("wrf_fsbm_surface_precip_total", surface_precip);
+  C("wrf_fsbm_bulk_precip_total", bulk_precip);
+  C("wrf_fsbm_wall_seconds_total", wall_total_sec, {{"section", "total"}});
+  C("wrf_fsbm_wall_seconds_total", wall_coal_sec, {{"section", "coal"}});
+  C("wrf_kernel_launches_total", static_cast<double>(kernel_launches));
+  C("wrf_kernel_launch_latency_ms_total", launch_latency_ms);
+  C("wrf_xfer_bytes_total", static_cast<double>(h2d_bytes),
+    {{"dir", "h2d"}});
+  C("wrf_xfer_bytes_total", static_cast<double>(d2h_bytes),
+    {{"dir", "d2h"}});
+  C("wrf_xfer_transfers_total", static_cast<double>(h2d_transfers),
+    {{"dir", "h2d"}});
+  C("wrf_xfer_transfers_total", static_cast<double>(d2h_transfers),
+    {{"dir", "d2h"}});
+  C("wrf_xfer_modeled_ms_total", h2d_ms, {{"dir", "h2d"}});
+  C("wrf_xfer_modeled_ms_total", d2h_ms, {{"dir", "d2h"}});
+  C("wrf_shard_cells_total", static_cast<double>(shard_cells_device),
+    {{"shard", "device"}});
+  C("wrf_shard_cells_total", static_cast<double>(shard_cells_host),
+    {{"shard", "host"}});
+  C("wrf_shard_wall_seconds_total", shard_wall_device_sec,
+    {{"shard", "device"}});
+  C("wrf_shard_wall_seconds_total", shard_wall_host_sec,
+    {{"shard", "host"}});
+  C("wrf_fidelity_cells_total", static_cast<double>(cells_bin),
+    {{"fidelity", "bin"}});
+  C("wrf_fidelity_cells_total", static_cast<double>(cells_bulk),
+    {{"fidelity", "bulk"}});
+  C("wrf_fidelity_transitions_total", static_cast<double>(promotions),
+    {{"kind", "promote"}});
+  C("wrf_fidelity_transitions_total", static_cast<double>(demotions),
+    {{"kind", "demote"}});
 }
 
 FastSbm::FastSbm(const grid::Patch& patch, int nkr, Version version,
@@ -560,6 +617,13 @@ void FastSbm::pass_fidelity(MicroState& state, FsbmStats& st,
       });
   st.merge(sum);
   fidelity_initialized_ = true;
+  if (obs::TraceSink* sink = obs::active()) {
+    sink->instant("fidelity", "census",
+                  {{"cells_bin", sum.cells_bin},
+                   {"cells_bulk", sum.cells_bulk},
+                   {"promotions", sum.promotions},
+                   {"demotions", sum.demotions}});
+  }
   // Residency: the transforms rewrote (only) the liquid bin field, and
   // only when some cell was or became bulk.  Under the all-bin override
   // nothing is written, so the device traffic stays identical to
@@ -1633,6 +1697,9 @@ void FastSbm::pass_sedimentation_blocked(MicroState& state, FsbmStats& st,
 
 FsbmStats FastSbm::step(MicroState& state, prof::Profiler& prof) {
   prof::ScopedRange r(prof, "fast_sbm");
+  OBS_SPAN("fsbm", "fast_sbm",
+           {{"version", version_name(version_)},
+            {"groups", schedule_.groups.size()}});
   const auto t0 = Clock::now();
   FsbmStats st;
   // Walk the fusion schedule: a two-pass group is the fused cond+coal

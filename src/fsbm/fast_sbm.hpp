@@ -39,6 +39,7 @@
 #include "fsbm/state.hpp"
 #include "gpu/device.hpp"
 #include "mem/residency.hpp"
+#include "obs/registry.hpp"
 #include "prof/prof.hpp"
 
 namespace wrf::fsbm {
@@ -181,6 +182,15 @@ struct FsbmStats {
                              const gpu::TransferStats& now);
 
   void merge(const FsbmStats& o);
+
+  /// publish() contract (obs/registry.hpp): add every counter above
+  /// into `reg` under the wrf_fsbm_*/wrf_xfer_*/wrf_shard_*/
+  /// wrf_fidelity_* names, byte-exact (e.g. the
+  /// wrf_xfer_bytes_total{dir="h2d"} counter receives exactly
+  /// h2d_bytes, so registry totals reconcile with this struct and with
+  /// gpu::TransferStats — the gate in tests/test_obs.cpp).  Publishing
+  /// N partials accumulates like merging them first.
+  void publish(obs::Registry& reg) const;
 };
 
 /// One rank's FSBM scheme instance.  Owns the kernel tables and the v3

@@ -4,9 +4,24 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "par/thread_pool.hpp"
 
 namespace wrf::gpu {
+
+void TransferStats::publish(obs::Registry& reg) const {
+  reg.counter("wrf_device_bytes_total", static_cast<double>(h2d_bytes),
+              {{"dir", "h2d"}});
+  reg.counter("wrf_device_bytes_total", static_cast<double>(d2h_bytes),
+              {{"dir", "d2h"}});
+  reg.counter("wrf_device_transfers_total", static_cast<double>(h2d_count),
+              {{"dir", "h2d"}});
+  reg.counter("wrf_device_transfers_total", static_cast<double>(d2h_count),
+              {{"dir", "d2h"}});
+  reg.counter("wrf_device_alloc_bytes_total",
+              static_cast<double>(alloc_bytes));
+  reg.counter("wrf_device_transfer_modeled_ms_total", modeled_time_ms);
+}
 
 DeviceSpec DeviceSpec::a100_40gb() {
   DeviceSpec d;
@@ -101,6 +116,11 @@ void Device::update_to(std::uint64_t bytes) {
   ++transfers_.h2d_count;
   transfers_.modeled_time_ms +=
       static_cast<double>(bytes) / (spec_.host_link_gbs * 1e6);
+  // Every h2d byte flows through here (map_to included), so the summed
+  // xfer events reconcile exactly with TransferStats and FsbmStats.
+  if (obs::TraceSink* sink = obs::active()) {
+    sink->instant("xfer", "h2d", {{"bytes", bytes}});
+  }
 }
 
 void Device::update_from(std::uint64_t bytes) {
@@ -108,6 +128,9 @@ void Device::update_from(std::uint64_t bytes) {
   ++transfers_.d2h_count;
   transfers_.modeled_time_ms +=
       static_cast<double>(bytes) / (spec_.host_link_gbs * 1e6);
+  if (obs::TraceSink* sink = obs::active()) {
+    sink->instant("xfer", "d2h", {{"bytes", bytes}});
+  }
 }
 
 void Device::map_to(std::uint64_t bytes) {
@@ -273,6 +296,10 @@ KernelStats Device::launch(const KernelDesc& desc) {
   ks.iterations = desc.iterations;
   ks.fused_passes = desc.fused_passes < 1 ? 1 : desc.fused_passes;
 
+  obs::Span span(obs::active(), "kernel", desc.name,
+                 {{"iters", desc.iterations},
+                  {"fused_passes", ks.fused_passes}});
+
   // --- functional execution on the host pool ---
   const auto t0 = std::chrono::steady_clock::now();
   if (desc.body && desc.iterations > 0) {
@@ -417,6 +444,8 @@ KernelStats Device::launch(const KernelDesc& desc) {
 
   total_kernel_ms_ += ks.modeled_time_ms;
   launches_.push_back(ks);
+  span.arg("modeled_us",
+           static_cast<std::int64_t>(ks.modeled_time_ms * 1e3));
   return ks;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "gpu/cache.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace wrf::par {
@@ -159,6 +160,13 @@ struct TransferStats {
   std::uint64_t d2h_count = 0;  ///< number of d2h transfers issued
   std::uint64_t alloc_bytes = 0;
   double modeled_time_ms = 0.0;
+
+  /// publish() contract (obs/registry.hpp): add the totals above into
+  /// `reg` under wrf_device_* names, byte-exact.  Distinct from the
+  /// wrf_xfer_* family FsbmStats publishes (which charges the same
+  /// transfers to the microphysics), so a RunResult publishing both
+  /// never double-counts a metric.
+  void publish(obs::Registry& reg) const;
 };
 
 /// One simulated device instance.

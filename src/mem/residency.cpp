@@ -3,8 +3,25 @@
 #include <algorithm>
 
 #include "gpu/device.hpp"
+#include "obs/trace.hpp"
 
 namespace wrf::mem {
+
+namespace {
+
+/// One "region" instant per DataRegion verb that actually moved bytes:
+/// field name, direction, byte count, and how many dirty spans the copy
+/// coalesced.  The byte-level "xfer" event the Device emits underneath
+/// stays the reconciliation source; this adds the field-level context.
+void note_region(obs::TraceSink* sink, const char* dir,
+                 const std::string& field, std::uint64_t bytes,
+                 std::size_t spans) {
+  if (sink == nullptr || bytes == 0) return;
+  sink->instant("region", field,
+                {{"dir", dir}, {"bytes", bytes}, {"spans", spans}});
+}
+
+}  // namespace
 
 // ------------------------------------------------------------ res= knob
 
@@ -180,6 +197,7 @@ void DataRegion::map_alloc(FieldId f) {
 void DataRegion::map_to(FieldId f) {
   map_alloc(f);
   Slot& s = slot(f);
+  note_region(obs::active(), "h2d", s.name, s.bytes, 1);
   device_->update_to(s.bytes);
   // The full h2d copy makes both sides agree: pending marks on either
   // side are superseded (a stale device-dirty range must not survive a
@@ -193,6 +211,7 @@ void DataRegion::map_from(FieldId f) {
   if (!s.resident) {
     throw Error("DataRegion: map_from of non-resident field '" + s.name + "'");
   }
+  note_region(obs::active(), "d2h", s.name, s.bytes, 1);
   device_->update_from(s.bytes);
   // Same agreement rule, d2h direction: the copy overwrites the host
   // buffer, so pending host-dirty marks are superseded too.
@@ -238,8 +257,13 @@ void DataRegion::mark_host_dirty_ranges(FieldId f,
 std::uint64_t DataRegion::update_to(FieldId f) {
   Slot& s = slot(f);
   if (!s.resident) map_alloc(f);
+  obs::TraceSink* sink = obs::active();
+  const std::size_t spans = sink ? s.host_dirty.spans() : 0;
   const std::uint64_t bytes = s.host_dirty.take_all();
-  if (bytes > 0) device_->update_to(bytes);
+  if (bytes > 0) {
+    note_region(sink, "h2d", s.name, bytes, spans);
+    device_->update_to(bytes);
+  }
   return bytes;
 }
 
@@ -247,8 +271,13 @@ std::uint64_t DataRegion::update_to_range(FieldId f, std::uint64_t off,
                                           std::uint64_t len) {
   Slot& s = slot(f);
   if (!s.resident) map_alloc(f);
+  obs::TraceSink* sink = obs::active();
+  const std::size_t spans = sink ? s.host_dirty.spans() : 0;
   const std::uint64_t bytes = s.host_dirty.take_range(off, len);
-  if (bytes > 0) device_->update_to(bytes);
+  if (bytes > 0) {
+    note_region(sink, "h2d", s.name, bytes, spans);
+    device_->update_to(bytes);
+  }
   return bytes;
 }
 
@@ -256,23 +285,38 @@ std::uint64_t DataRegion::update_to_ranges(FieldId f,
                                            const std::vector<ByteRange>& rows) {
   Slot& s = slot(f);
   if (!s.resident) map_alloc(f);
+  obs::TraceSink* sink = obs::active();
+  const std::size_t spans = sink ? s.host_dirty.spans() : 0;
   const std::uint64_t bytes = s.host_dirty.take_ranges(rows);
-  if (bytes > 0) device_->update_to(bytes);
+  if (bytes > 0) {
+    note_region(sink, "h2d", s.name, bytes, spans);
+    device_->update_to(bytes);
+  }
   return bytes;
 }
 
 std::uint64_t DataRegion::update_from(FieldId f) {
   Slot& s = slot(f);
+  obs::TraceSink* sink = obs::active();
+  const std::size_t spans = sink ? s.device_dirty.spans() : 0;
   const std::uint64_t bytes = s.device_dirty.take_all();
-  if (bytes > 0) device_->update_from(bytes);
+  if (bytes > 0) {
+    note_region(sink, "d2h", s.name, bytes, spans);
+    device_->update_from(bytes);
+  }
   return bytes;
 }
 
 std::uint64_t DataRegion::update_from_range(FieldId f, std::uint64_t off,
                                             std::uint64_t len) {
   Slot& s = slot(f);
+  obs::TraceSink* sink = obs::active();
+  const std::size_t spans = sink ? s.device_dirty.spans() : 0;
   const std::uint64_t bytes = s.device_dirty.take_range(off, len);
-  if (bytes > 0) device_->update_from(bytes);
+  if (bytes > 0) {
+    note_region(sink, "d2h", s.name, bytes, spans);
+    device_->update_from(bytes);
+  }
   return bytes;
 }
 
@@ -280,8 +324,13 @@ std::uint64_t DataRegion::update_from_ranges(
     FieldId f, const std::vector<ByteRange>& rows) {
   Slot& s = slot(f);
   if (!s.resident) return 0;
+  obs::TraceSink* sink = obs::active();
+  const std::size_t spans = sink ? s.device_dirty.spans() : 0;
   const std::uint64_t bytes = s.device_dirty.take_ranges(rows);
-  if (bytes > 0) device_->update_from(bytes);
+  if (bytes > 0) {
+    note_region(sink, "d2h", s.name, bytes, spans);
+    device_->update_from(bytes);
+  }
   return bytes;
 }
 

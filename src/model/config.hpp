@@ -11,6 +11,7 @@
 #include "gpu/device.hpp"
 #include "grid/decomp.hpp"
 #include "mem/residency.hpp"
+#include "obs/trace.hpp"
 
 namespace wrf::model {
 
@@ -89,6 +90,16 @@ struct RunConfig {
   /// tests/test_fusion.cpp.  Parse with exec::parse_fuse /
   /// exec::fuse_from_args.
   exec::FuseMode fuse = exec::FuseMode::kOff;
+
+  /// The `obs=` knob: off records nothing (bitwise identical to a build
+  /// without the hooks — asserted in tests/test_obs.cpp); metrics
+  /// collects the per-step time series + metric registry and writes
+  /// metrics JSONL; trace additionally records spans for every pass
+  /// dispatch, halo round, transfer, kernel launch, and fidelity flip,
+  /// and writes Chrome trace-event JSON (Perfetto-loadable).  Neither
+  /// mode changes physics.  Parse with obs::ObsConfig::parse /
+  /// obs::obs_from_args.
+  obs::ObsConfig obs;
 
   // Decomposition.
   int npx = 2;

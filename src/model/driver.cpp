@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 
 #include "model/halo.hpp"
+#include "obs/export.hpp"
 
 namespace wrf::model {
 
@@ -13,6 +15,61 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/// Per-run observability session: owns the TraceSink, installs it as
+/// the active sink for the stepping window (trace mode only), records
+/// the per-step time series, and writes the export selected by the
+/// knob.  Constructed after model init so the trace covers exactly the
+/// transfers FsbmStats charges — what makes event-sum reconciliation
+/// exact.  A mode=off session is inert.
+class ObsRun {
+ public:
+  explicit ObsRun(const obs::ObsConfig& cfg) : cfg_(cfg) {
+    if (cfg_.off()) return;
+    sink_ = std::make_unique<obs::TraceSink>();
+    if (cfg_.trace()) active_.emplace(sink_.get());
+  }
+
+  void record(int step, int rank, const StepStats& st) {
+    if (!sink_) return;
+    obs::StepRecord r;
+    r.step = step;
+    r.rank = rank;
+    r.wall_sec = st.wall_sec;
+    r.fsbm_wall_sec = st.fsbm.wall_total_sec;
+    r.coal_wall_sec = st.fsbm.wall_coal_sec;
+    r.halo_wall_sec = st.halo_wall_sec;
+    r.halo_bytes = st.halo_bytes;
+    r.h2d_bytes = st.fsbm.h2d_bytes;
+    r.d2h_bytes = st.fsbm.d2h_bytes;
+    r.kernel_launches = st.fsbm.kernel_launches;
+    r.shard_cells_device = st.fsbm.shard_cells_device;
+    r.shard_cells_host = st.fsbm.shard_cells_host;
+    r.cells_bin = st.fsbm.cells_bin;
+    r.cells_bulk = st.fsbm.cells_bulk;
+    sink_->record_step(r);
+  }
+
+  /// Uninstall the sink and write the export.  Call after every rank
+  /// thread has been joined (drain must not race live emitters).
+  void finish(const RunResult& result) {
+    if (!sink_) return;
+    active_.reset();
+    if (cfg_.trace()) {
+      obs::write_chrome_trace(*sink_, cfg_.export_path());
+    } else {
+      obs::Registry reg;
+      result.publish(reg);
+      obs::write_metrics_jsonl(*sink_, reg, cfg_.export_path());
+    }
+  }
+
+ private:
+  obs::ObsConfig cfg_;
+  std::unique_ptr<obs::TraceSink> sink_;
+  std::optional<obs::ScopedActive> active_;
+};
+
 }  // namespace
 
 void RunConfig::validate() const {
@@ -55,7 +112,12 @@ std::string RunConfig::describe() const {
                 dyn::halo_mode_name(halo_mode), fsbm::phys_name(phys),
                 sed.describe().c_str(), mem::residency_name(res),
                 exec::fuse_name(fuse), ngpus);
-  return buf;
+  std::string out = buf;
+  // Appended only when enabled: obs is pure observation (no physics
+  // effect), so default describe() strings — and the svc shape keys
+  // derived from them — stay exactly as before the knob existed.
+  if (!obs.off()) out += " obs=" + obs.describe();
+  return out;
 }
 
 RankModel::RankModel(const RunConfig& config, const grid::Patch& patch,
@@ -254,6 +316,7 @@ RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
   RunResult result;
   result.snapshots.resize(static_cast<std::size_t>(config.nranks()));
   std::mutex mu;
+  ObsRun obsrun(config.obs);
   const auto t0 = Clock::now();
 
   result.comm = par::run(config.nranks(), [&](par::RankCtx& ctx) {
@@ -262,7 +325,9 @@ RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
     rank_model.init();
     StepStats local;
     for (int s = 0; s < config.nsteps; ++s) {
-      local.merge(rank_model.step(prof));
+      StepStats st = rank_model.step(prof);
+      obsrun.record(s, ctx.rank(), st);
+      local.merge(st);
       ctx.barrier();  // WRF's implicit per-step synchronization
     }
     // snapshot()'s res=persist pre-output flush is a modeled transfer
@@ -286,6 +351,7 @@ RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
     result.resident_bytes_per_rank = rank_model.scheme().resident_bytes();
   });
   result.wall_sec = seconds_since(t0);
+  obsrun.finish(result);  // rank threads joined by par::run — safe to drain
   return result;
 }
 
@@ -319,8 +385,11 @@ RunResult run_single(const RunConfig& config, prof::Profiler& prof) {
   const auto t0 = Clock::now();
   RankModel rank_model(c, patches[0], nullptr);
   rank_model.init();
+  ObsRun obsrun(c.obs);
   for (int s = 0; s < c.nsteps; ++s) {
-    result.totals.merge(rank_model.step(prof));
+    StepStats st = rank_model.step(prof);
+    obsrun.record(s, 0, st);
+    result.totals.merge(st);
   }
   // Charge snapshot()'s res=persist pre-output flush (see run_simulation).
   const gpu::TransferStats snap_t0 = rank_model.device() != nullptr
@@ -337,7 +406,33 @@ RunResult run_single(const RunConfig& config, prof::Profiler& prof) {
   result.pool_bytes_per_rank = rank_model.scheme().pool_bytes();
   result.resident_bytes_per_rank = rank_model.scheme().resident_bytes();
   result.wall_sec = seconds_since(t0);
+  obsrun.finish(result);
   return result;
+}
+
+void RunResult::publish(obs::Registry& reg) const {
+  totals.fsbm.publish(reg);
+  comm.publish(reg);
+  reg.counter("wrf_dyn_cells_total",
+              static_cast<double>(totals.dyn.tend.cells),
+              {{"phase", "tend"}});
+  reg.counter("wrf_dyn_cells_total",
+              static_cast<double>(totals.dyn.update.cells),
+              {{"phase", "update"}});
+  reg.counter("wrf_dyn_flops_total", totals.dyn.tend.flops,
+              {{"phase", "tend"}});
+  reg.counter("wrf_dyn_flops_total", totals.dyn.update.flops,
+              {{"phase", "update"}});
+  reg.counter("wrf_halo_bytes_total",
+              static_cast<double>(totals.halo_bytes));
+  reg.counter("wrf_halo_wall_seconds_total", totals.halo_wall_sec);
+  reg.counter("wrf_step_wall_seconds_total", totals.wall_sec);
+  reg.gauge("wrf_run_wall_seconds", wall_sec);
+  reg.gauge("wrf_run_pool_bytes_per_rank",
+            static_cast<double>(pool_bytes_per_rank));
+  reg.gauge("wrf_run_resident_bytes_per_rank",
+            static_cast<double>(resident_bytes_per_rank));
+  reg.gauge("wrf_run_device_shard_fraction", device_shard_fraction());
 }
 
 }  // namespace wrf::model

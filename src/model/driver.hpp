@@ -14,6 +14,7 @@
 #include "model/case_conus.hpp"
 #include "model/config.hpp"
 #include "model/halo.hpp"
+#include "obs/registry.hpp"
 #include "par/simpi.hpp"
 #include "prof/prof.hpp"
 
@@ -130,6 +131,13 @@ struct RunResult {
                ? static_cast<double>(totals.fsbm.shard_cells_device) / total
                : 0.0;
   }
+
+  /// publish() contract (obs/registry.hpp): fold the whole run into
+  /// `reg` — totals.fsbm and comm via their own publish() verbs, the
+  /// dynamics/halo counters, and run-level gauges (wall seconds, pool
+  /// and resident bytes).  Counters accumulate, so metric totals equal
+  /// the struct fields exactly (gated in tests/test_obs.cpp).
+  void publish(obs::Registry& reg) const;
 };
 
 /// Run `config.nsteps` steps on `config.nranks()` simpi ranks and return

@@ -1,5 +1,7 @@
 #include "model/halo.hpp"
 
+#include "obs/trace.hpp"
+
 namespace wrf::model {
 
 using grid::Side;
@@ -182,6 +184,10 @@ void HaloExchange::begin(par::RankCtx& ctx) {
   if (in_flight_) {
     throw Error("HaloExchange::begin: previous round not finished");
   }
+  OBS_SPAN("halo", "begin",
+           {{"round", round_},
+            {"bytes", bytes_per_round_},
+            {"fields", fields()}});
   in_flight_ = true;
   exec::ExecSpace& space = ex_ != nullptr ? *ex_ : exec::serial();
   // All sends first (eager-buffered: posting order is deadlock-free),
@@ -224,10 +230,13 @@ void HaloExchange::begin(par::RankCtx& ctx) {
   }
 }
 
-void HaloExchange::finish(par::RankCtx& /*ctx*/) {
+void HaloExchange::finish(par::RankCtx& ctx) {
   if (!in_flight_) {
     throw Error("HaloExchange::finish: no round in flight");
   }
+  obs::Span span(obs::active(), "halo", "finish",
+                 {{"round", round_}, {"bytes", bytes_per_round_}});
+  const double wait0 = obs::active() ? ctx.stats().wait_sec : 0.0;
   exec::ExecSpace& space = ex_ != nullptr ? *ex_ : exec::serial();
   // Drain in posting order (this is where overlap shows up as reduced
   // wait_sec); unpack rectangles are disjoint, order deterministic.
@@ -253,6 +262,10 @@ void HaloExchange::finish(par::RankCtx& /*ctx*/) {
   recvs_.clear();
   ++round_;
   in_flight_ = false;
+  if (obs::active() != nullptr) {
+    span.arg("wait_us", static_cast<std::int64_t>(
+                            (ctx.stats().wait_sec - wait0) * 1e6));
+  }
 }
 
 // ------------------------------------------- single-field conveniences

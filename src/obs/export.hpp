@@ -1,0 +1,50 @@
+#pragma once
+// Observability: the three exporters.
+//
+//   * Chrome trace-event JSON — load in chrome://tracing or Perfetto
+//     (ui.perfetto.dev > "Open trace file").  One track (tid) per
+//     emitting thread/lane; spans are balanced B/E pairs with
+//     monotonically non-decreasing timestamps per track (gated in
+//     tests/test_obs.cpp and the ci.sh span-balance check).
+//   * Metrics JSONL — one {"type":"step",...} record per model step
+//     (the rebalancer-facing time series), followed by one
+//     {"type":"metric",...} line per registry entry.
+//   * Prometheus text exposition — a snapshot of a Registry, written by
+//     the forecast service (svc::Scheduler::shutdown).
+//
+// The write_* helpers create parent directories as needed and throw
+// util Error on I/O failure, so a mistyped obs=trace:path fails loudly
+// instead of silently dropping the trace.
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace wrf::obs {
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Render tracks as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}; pid 0, tid = track id).
+std::string chrome_trace_json(const std::vector<TrackEvents>& tracks);
+
+/// Drain `sink` and write the Chrome trace to `path`.
+void write_chrome_trace(const TraceSink& sink, const std::string& path);
+
+/// Render the step series + registry as metrics JSONL.
+std::string metrics_jsonl(const std::vector<StepRecord>& steps,
+                          const Registry& reg);
+
+void write_metrics_jsonl(const TraceSink& sink, const Registry& reg,
+                         const std::string& path);
+
+/// Render a Registry in Prometheus text exposition format
+/// (# TYPE comments; counters end in _total).
+std::string prometheus_text(const Registry& reg);
+
+void write_prometheus(const Registry& reg, const std::string& path);
+
+}  // namespace wrf::obs

@@ -1,0 +1,75 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+namespace wrf::obs {
+
+std::string Registry::key(const std::string& name, const Labels& labels) {
+  std::string k = name;
+  k += '{';
+  for (const auto& [lk, lv] : labels) {
+    k += lk;
+    k += '=';
+    k += lv;
+    k += ',';
+  }
+  k += '}';
+  return k;
+}
+
+Metric& Registry::upsert(const std::string& name, Labels&& labels,
+                         bool is_counter) {
+  std::sort(labels.begin(), labels.end());
+  const std::string k = key(name, labels);
+  auto it = table_.find(k);
+  if (it == table_.end()) {
+    Metric m;
+    m.name = name;
+    m.labels = std::move(labels);
+    m.is_counter = is_counter;
+    it = table_.emplace(k, std::move(m)).first;
+  }
+  return it->second;
+}
+
+void Registry::counter(const std::string& name, double v, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  upsert(name, std::move(labels), /*is_counter=*/true).value += v;
+}
+
+void Registry::gauge(const std::string& name, double v, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Metric& m = upsert(name, std::move(labels), /*is_counter=*/false);
+  m.is_counter = false;
+  m.value = v;
+}
+
+double Registry::value(const std::string& name, const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(key(name, sorted));
+  return it == table_.end() ? 0.0 : it->second.value;
+}
+
+bool Registry::has(const std::string& name, const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::lock_guard<std::mutex> lk(mu_);
+  return table_.count(key(name, sorted)) != 0;
+}
+
+std::vector<Metric> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Metric> out;
+  out.reserve(table_.size());
+  for (const auto& [k, m] : table_) out.push_back(m);
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return table_.size();
+}
+
+}  // namespace wrf::obs

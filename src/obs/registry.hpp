@@ -1,0 +1,66 @@
+#pragma once
+// Observability: the metrics registry.
+//
+// A Registry holds named monotonic counters and gauges, each with an
+// optional label set, keyed by (name, sorted labels).  Every stats
+// struct in the system publishes into one through a single
+// `publish(Registry&)` verb — FsbmStats, par::CommStats/RunStats,
+// gpu::TransferStats, svc::ServiceStats, model::RunResult — so the
+// exporters (Prometheus text, metrics JSONL) read one source of truth
+// instead of N bespoke printing paths.
+//
+// The publish() contract: counters are *added* (publishing two stats
+// structs accumulates, exactly like merging the structs first), gauges
+// are *set* (last writer wins).  Metric totals must reconcile exactly
+// with the struct fields they came from — the gate in tests/test_obs.cpp.
+//
+// Naming scheme (Prometheus conventions): `wrf_<subsystem>_<what>_<unit>`
+// with a `_total` suffix on counters; dimensions go into labels, e.g.
+//   wrf_xfer_bytes_total{dir="h2d"}
+//   wrf_fsbm_flops_total{pass="coal"}
+//   wrf_svc_wait_seconds{class="interactive",quantile="0.95"}
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wrf::obs {
+
+/// One registered metric (a snapshot row).
+struct Metric {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  ///< sorted
+  double value = 0.0;
+  bool is_counter = true;
+};
+
+/// Named counters and gauges with label sets.  Thread-safe; iteration
+/// order (snapshot()) is deterministic — sorted by (name, labels).
+class Registry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Add `v` to the monotonic counter `name{labels}` (created at 0).
+  void counter(const std::string& name, double v, Labels labels = {});
+  /// Set the gauge `name{labels}` to `v`.
+  void gauge(const std::string& name, double v, Labels labels = {});
+
+  /// Current value of `name{labels}`; 0.0 when absent.
+  double value(const std::string& name, const Labels& labels = {}) const;
+  bool has(const std::string& name, const Labels& labels = {}) const;
+
+  /// All metrics in deterministic order.
+  std::vector<Metric> snapshot() const;
+  std::size_t size() const;
+
+ private:
+  Metric& upsert(const std::string& name, Labels&& labels, bool is_counter);
+  static std::string key(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Metric> table_;
+};
+
+}  // namespace wrf::obs

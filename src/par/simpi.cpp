@@ -307,6 +307,25 @@ double RunStats::total_wait_sec() const {
   return t;
 }
 
+void CommStats::publish(obs::Registry& reg) const {
+  reg.counter("wrf_comm_messages_total",
+              static_cast<double>(messages_sent), {{"dir", "send"}});
+  reg.counter("wrf_comm_messages_total",
+              static_cast<double>(messages_recvd), {{"dir", "recv"}});
+  reg.counter("wrf_comm_bytes_total", static_cast<double>(bytes_sent),
+              {{"dir", "send"}});
+  reg.counter("wrf_comm_bytes_total", static_cast<double>(bytes_recvd),
+              {{"dir", "recv"}});
+  reg.counter("wrf_comm_wait_seconds_total", wait_sec);
+  reg.counter("wrf_comm_barriers_total", static_cast<double>(barriers));
+  reg.counter("wrf_comm_reductions_total",
+              static_cast<double>(reductions));
+}
+
+void RunStats::publish(obs::Registry& reg) const {
+  for (const auto& s : per_rank) s.publish(reg);
+}
+
 RunStats run(int nranks, const std::function<void(RankCtx&)>& fn) {
   if (nranks <= 0) throw ConfigError("simpi::run: nranks must be positive");
   Comm comm(nranks);

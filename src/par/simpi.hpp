@@ -28,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace wrf::par {
@@ -41,6 +42,12 @@ struct CommStats {
   double wait_sec = 0.0;             ///< time blocked in wait/wait_all
   std::uint64_t barriers = 0;
   std::uint64_t reductions = 0;
+
+  /// publish() contract (obs/registry.hpp): add every counter above into
+  /// `reg` under wrf_comm_* names (messages/bytes split by a dir label),
+  /// exactly — metric totals equal these fields.  Publishing each rank's
+  /// stats accumulates like summing them first.
+  void publish(obs::Registry& reg) const;
 };
 
 class Comm;  // shared state owned by run()
@@ -137,6 +144,10 @@ struct RunStats {
   std::uint64_t total_messages_recvd() const;
   std::uint64_t total_bytes_recvd() const;
   double total_wait_sec() const;
+
+  /// publish() contract: fold every rank's CommStats into `reg`
+  /// (counters add, so this equals publishing the per-rank totals).
+  void publish(obs::Registry& reg) const;
 };
 
 /// Spawn `nranks` threads, run `fn(ctx)` on each, join, and return the

@@ -159,15 +159,21 @@ void Profiler::reset() {
 std::string Profiler::format_flat_report() const {
   auto rows = flat_report();
   std::string out;
-  char buf[256];
-  std::snprintf(buf, sizeof(buf), "%8s %12s %12s %10s  %s\n", "%time",
-                "excl(s)", "incl(s)", "calls", "name");
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%8s %12s %12s %10s  ", "%time",
+                "excl(s)", "incl(s)", "calls");
   out += buf;
+  out += "name\n";
   for (const auto& r : rows) {
-    std::snprintf(buf, sizeof(buf), "%8.2f %12.4f %12.4f %10llu  %s\n",
+    // Numeric columns through snprintf (fixed width keeps them aligned);
+    // the name appended unformatted, so a range name of any length —
+    // nested pass labels, per-job ranges — never truncates the row.
+    std::snprintf(buf, sizeof(buf), "%8.2f %12.4f %12.4f %10llu  ",
                   r.percent_exclusive, r.exclusive_sec, r.inclusive_sec,
-                  static_cast<unsigned long long>(r.calls), r.name.c_str());
+                  static_cast<unsigned long long>(r.calls));
     out += buf;
+    out += r.name;
+    out += '\n';
   }
   return out;
 }

@@ -1,7 +1,9 @@
 #include "svc/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "obs/export.hpp"
 #include "util/error.hpp"
 
 namespace wrf::svc {
@@ -20,6 +22,59 @@ double job_cost(const model::RunConfig& cfg) {
 }
 
 }  // namespace
+
+double ClassStats::wait_quantile_sec(double q) const {
+  if (wait_samples_sec.empty()) return 0.0;
+  std::vector<double> v = wait_samples_sec;
+  std::sort(v.begin(), v.end());
+  const double pos =
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  return v[lo] + (v[hi] - v[lo]) * (pos - static_cast<double>(lo));
+}
+
+void ServiceStats::publish(obs::Registry& reg) const {
+  for (int c = 0; c < kNumClasses; ++c) {
+    const ClassStats& cs = cls[static_cast<std::size_t>(c)];
+    const std::string name = job_class_name(static_cast<JobClass>(c));
+    auto J = [&](const char* state, std::uint64_t n) {
+      reg.counter("wrf_svc_jobs_total", static_cast<double>(n),
+                  {{"class", name}, {"state", state}});
+    };
+    J("submitted", cs.submitted);
+    J("admitted", cs.admitted);
+    J("rejected", cs.rejected);
+    J("completed", cs.completed);
+    J("failed", cs.failed);
+    reg.counter("wrf_svc_wait_seconds_total", cs.wait_total_sec,
+                {{"class", name}});
+    reg.counter("wrf_svc_service_seconds_total", cs.service_total_sec,
+                {{"class", name}});
+    reg.counter("wrf_svc_run_wall_seconds_total", cs.wall_total_sec,
+                {{"class", name}});
+    reg.counter("wrf_svc_deadline_jobs_total",
+                static_cast<double>(cs.deadline_jobs), {{"class", name}});
+    reg.counter("wrf_svc_deadline_met_total",
+                static_cast<double>(cs.deadline_met), {{"class", name}});
+    reg.gauge("wrf_svc_wait_seconds", cs.wait_p50_sec(),
+              {{"class", name}, {"quantile", "0.5"}});
+    reg.gauge("wrf_svc_wait_seconds", cs.wait_p95_sec(),
+              {{"class", name}, {"quantile", "0.95"}});
+    reg.gauge("wrf_svc_wait_max_seconds", cs.wait_max_sec,
+              {{"class", name}});
+    reg.gauge("wrf_svc_service_max_seconds", cs.service_max_sec,
+              {{"class", name}});
+  }
+  reg.gauge("wrf_svc_lanes", static_cast<double>(lanes));
+  reg.counter("wrf_svc_dispatches_total", static_cast<double>(dispatches));
+  reg.counter("wrf_svc_batches_total", static_cast<double>(batches));
+  reg.counter("wrf_svc_batched_jobs_total",
+              static_cast<double>(batched_jobs));
+  reg.counter("wrf_svc_lane_busy_seconds_total", lane_busy_sec);
+  reg.gauge("wrf_svc_makespan_seconds", makespan_sec());
+  reg.gauge("wrf_svc_occupancy", occupancy());
+}
 
 std::uint64_t ServiceStats::submitted() const noexcept {
   std::uint64_t n = 0;
@@ -66,6 +121,15 @@ Scheduler::Scheduler(const SchedulerConfig& config)
   }
   paused_ = config_.start_paused;
   stats_.lanes = config_.lanes;
+  if (!config_.obs.off()) {
+    sink_ = std::make_unique<obs::TraceSink>();
+    if (config_.obs.trace()) {
+      // Process-wide install: the spans every lane-run job emits (pass
+      // dispatches, kernels, transfers) flow into the service trace,
+      // one track per lane thread.
+      active_ = std::make_unique<obs::ScopedActive>(sink_.get());
+    }
+  }
   lanes_.reserve(static_cast<std::size_t>(config_.lanes));
   for (int l = 0; l < config_.lanes; ++l) {
     lanes_.emplace_back([this, l] { lane_loop(l); });
@@ -84,10 +148,14 @@ Ticket Scheduler::submit(Job job) {
   // Normalize outside the lock: the service runs every job single-rank
   // on one lane, against the lane's device model.  JobResult::config
   // records this effective config, so re-running it standalone through
-  // model::run_single reproduces the job bit for bit.
+  // model::run_single reproduces the job bit for bit.  Observability is
+  // the scheduler's, never the job's: forcing obs=off keeps lane runs
+  // from writing export files or re-installing sinks (the scheduler's
+  // own sink still sees their spans) and keeps shape keys stable.
   job.config.npx = 1;
   job.config.npy = 1;
   job.config.device_spec = config_.lane_spec;
+  job.config.obs = obs::ObsConfig{};
 
   RejectReason why = RejectReason::kNone;
   std::string message;
@@ -120,6 +188,12 @@ Ticket Scheduler::submit(Job job) {
   ticket.id = next_id_++;
   ClassStats& cs = stats_.cls[static_cast<std::size_t>(class_index(job.cls))];
   ++cs.submitted;
+  if (sink_) {
+    sink_->instant("svc", "submit",
+                   {{"id", ticket.id},
+                    {"class", job_class_name(job.cls)},
+                    {"job", job.name}});
+  }
 
   const double now = now_sec();
   JobResult result;
@@ -144,6 +218,12 @@ Ticket Scheduler::submit(Job job) {
   }
 
   ++cs.admitted;
+  if (sink_) {
+    sink_->instant("svc", "admit",
+                   {{"id", ticket.id},
+                    {"class", job_class_name(job.cls)},
+                    {"footprint_bytes", footprint}});
+  }
   QueueEntry entry;
   entry.id = ticket.id;
   entry.seq = next_seq_++;
@@ -190,6 +270,22 @@ void Scheduler::shutdown() {
     if (t.joinable()) t.join();
   }
   lanes_.clear();
+
+  // Lanes are joined: the sink is quiescent, exports are safe.  The
+  // Prometheus snapshot is the forecast service's scrape file; trace
+  // mode additionally writes the Chrome trace (obs path override).
+  active_.reset();
+  if (sink_) {
+    obs::Registry reg;
+    stats().publish(reg);
+    obs::write_prometheus(reg, "obs_service.prom");
+    if (config_.obs.trace()) {
+      const std::string path = config_.obs.path.empty()
+                                   ? "obs_service_trace.json"
+                                   : config_.obs.path;
+      obs::write_chrome_trace(*sink_, path);
+    }
+  }
 }
 
 std::vector<JobResult> Scheduler::take_results() {
@@ -222,6 +318,7 @@ void Scheduler::record_locked(JobResult&& result) {
       const double wait = result.wait_sec();
       const double service = result.service_sec();
       cs.wait_total_sec += wait;
+      cs.wait_samples_sec.push_back(wait);
       if (wait > cs.wait_max_sec) cs.wait_max_sec = wait;
       cs.service_total_sec += service;
       if (service > cs.service_max_sec) cs.service_max_sec = service;
@@ -231,6 +328,13 @@ void Scheduler::record_locked(JobResult&& result) {
       }
       if (result.finish_sec > stats_.last_finish_sec) {
         stats_.last_finish_sec = result.finish_sec;
+      }
+      if (sink_) {
+        sink_->instant("svc", "complete",
+                       {{"id", result.id},
+                        {"lane", result.lane},
+                        {"class", job_class_name(result.cls)},
+                        {"outcome", job_outcome_name(result.outcome)}});
       }
       break;
     }
@@ -292,6 +396,19 @@ void Scheduler::lane_loop(int lane) {
       stats_.first_start_sec = batch_start;
       stats_.any_dispatched = true;
     }
+    if (sink_) {
+      sink_->instant("svc", "dispatch",
+                     {{"lane", lane},
+                      {"batch_seq", batch_seq},
+                      {"jobs", batch.size()},
+                      {"class", job_class_name(batch.front().job.cls)}});
+      if (batch.size() > 1) {
+        sink_->instant("svc", "batch",
+                       {{"lane", lane},
+                        {"batch_seq", batch_seq},
+                        {"jobs", batch.size()}});
+      }
+    }
     lk.unlock();
 
     // Run the batch back to back on this lane, scheduler unlocked.  Each
@@ -300,14 +417,24 @@ void Scheduler::lane_loop(int lane) {
     for (Pending& p : batch) {
       JobResult& r = p.result;
       r.start_sec = now_sec();
-      try {
-        prof::Profiler prof;
-        r.run = model::run_single(r.config, prof);
-        r.state_hash = model::state_hash(r.run);
-        r.outcome = JobOutcome::kCompleted;
-      } catch (const std::exception& e) {
-        r.outcome = JobOutcome::kFailed;
-        r.error = e.what();
+      {
+        // Span the whole lane occupancy of this job; its internal run
+        // spans nest underneath on the same (lane-thread) track.
+        obs::Span job_span(sink_.get(), "svc",
+                           sink_ ? r.name : std::string(),
+                           {{"id", r.id},
+                            {"lane", lane},
+                            {"batch_seq", batch_seq}});
+        try {
+          prof::Profiler prof;
+          r.run = model::run_single(r.config, prof);
+          r.state_hash = model::state_hash(r.run);
+          r.outcome = JobOutcome::kCompleted;
+        } catch (const std::exception& e) {
+          r.outcome = JobOutcome::kFailed;
+          r.error = e.what();
+        }
+        job_span.arg("outcome", job_outcome_name(r.outcome));
       }
       r.finish_sec = now_sec();
       std::lock_guard<std::mutex> rec(mu_);

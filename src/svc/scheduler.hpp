@@ -29,6 +29,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -36,6 +37,8 @@
 #include <vector>
 
 #include "gpu/device.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "svc/fairshare.hpp"
 #include "svc/job.hpp"
 
@@ -54,6 +57,15 @@ struct SchedulerConfig {
   /// until resume().  Lets callers (and tests) submit a whole stream
   /// first, so dispatch order is a pure function of the queue contents.
   bool start_paused = false;
+  /// Service-level observability.  `metrics` writes a Prometheus text
+  /// snapshot at shutdown; `trace` additionally installs a TraceSink for
+  /// the scheduler's lifetime — lifecycle instants (submit/admit/
+  /// dispatch/batch/complete) plus every lane-run job's internal spans,
+  /// one track per lane thread — and writes Chrome trace JSON.  Job
+  /// configs are normalized to obs=off either way (the scheduler's sink
+  /// sees their spans; jobs never write their own export files), so
+  /// shape keys, state hashes, and results stay identical to obs=off.
+  obs::ObsConfig obs;
 };
 
 /// What submit() returns: the job's id and its admission verdict.  A
@@ -80,6 +92,15 @@ struct ClassStats {
   double wall_total_sec = 0.0;     ///< RunResult::wall_sec, completed jobs
   std::uint64_t deadline_jobs = 0;
   std::uint64_t deadline_met = 0;
+  /// Every completed/failed job's queue wait, in recording order — the
+  /// sample set behind the wait quantiles below.
+  std::vector<double> wait_samples_sec;
+
+  /// Linear-interpolated quantile of wait_samples_sec (q in [0, 1]);
+  /// 0 when the class has no finished jobs yet.
+  double wait_quantile_sec(double q) const;
+  double wait_p50_sec() const { return wait_quantile_sec(0.50); }
+  double wait_p95_sec() const { return wait_quantile_sec(0.95); }
 };
 
 /// Aggregate service view, a snapshot of Scheduler::stats().
@@ -116,6 +137,13 @@ struct ServiceStats {
   double occupancy() const noexcept {
     return lanes > 0 ? pool_parallelism() / lanes : 0.0;
   }
+
+  /// publish() contract (obs/registry.hpp): fold the service view into
+  /// `reg` — per-class job counts (state label), wait/service/wall
+  /// second totals and wait p50/p95 gauges, plus pool-level dispatch/
+  /// batch counters and makespan/occupancy gauges, all under wrf_svc_*
+  /// names.  Counter values equal the fields above exactly.
+  void publish(obs::Registry& reg) const;
 };
 
 class Scheduler {
@@ -154,6 +182,10 @@ class Scheduler {
 
   const SchedulerConfig& config() const noexcept { return config_; }
 
+  /// The scheduler's trace sink (null when SchedulerConfig::obs is off).
+  /// Read it only after shutdown() — lanes emit into it while running.
+  const obs::TraceSink* trace_sink() const noexcept { return sink_.get(); }
+
  private:
   struct Pending {
     Job job;             ///< normalized config inside
@@ -167,6 +199,12 @@ class Scheduler {
 
   SchedulerConfig config_;
   std::chrono::steady_clock::time_point epoch_;
+  /// Observability: the sink outlives the lanes; the ScopedActive makes
+  /// it the process-wide sink for the scheduler's lifetime (trace mode),
+  /// so lane-run jobs' internal spans land here.  Exports happen in
+  /// shutdown(), after the lanes have joined.
+  std::unique_ptr<obs::TraceSink> sink_;
+  std::unique_ptr<obs::ScopedActive> active_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< lanes wait: work or shutdown

@@ -139,5 +139,103 @@ TEST(Profiler, GlobalInstanceIsStable) {
   EXPECT_EQ(&a, &b);
 }
 
+// ------------------------------------------- add_range_time semantics
+
+TEST(Profiler, AddRangeTimeOutsideAnyRangeMergesDirectly) {
+  Profiler p;
+  p.add_range_time("bulk", 7, 0.25);
+  p.add_range_time("bulk", 3, 0.75);
+  EXPECT_EQ(p.calls("bulk"), 10u);
+  EXPECT_DOUBLE_EQ(p.inclusive_sec("bulk"), 1.0);
+  // No enclosing range: the time is all its own.
+  EXPECT_DOUBLE_EQ(p.exclusive_sec("bulk"), 1.0);
+}
+
+TEST(Profiler, AddRangeTimeCreditsOpenParent) {
+  Profiler p;
+  {
+    ScopedRange outer(p, "dispatch");
+    spin_ms(10);
+    p.add_range_time("worker", 4, 0.003);  // well under elapsed wall
+  }
+  EXPECT_EQ(p.calls("worker"), 4u);
+  EXPECT_DOUBLE_EQ(p.inclusive_sec("worker"), 0.003);
+  // The parent's exclusive time drops by exactly the credited seconds.
+  EXPECT_NEAR(p.exclusive_sec("dispatch") + 0.003,
+              p.inclusive_sec("dispatch"), 0.002);
+  EXPECT_GE(p.exclusive_sec("dispatch"), 0.0);
+}
+
+TEST(Profiler, AddRangeTimeClampsChildCreditToParentHeadroom) {
+  // A parallel dispatch can report more summed worker seconds than the
+  // parent's wall time; the credit must clamp so the parent's exclusive
+  // time never goes negative — while the child keeps its full
+  // thread-summed CPU time.
+  Profiler p;
+  {
+    ScopedRange outer(p, "dispatch");
+    spin_ms(2);
+    p.add_range_time("workers", 8, 100.0);  // 8 threads' worth, clamped
+    spin_ms(2);
+  }
+  EXPECT_DOUBLE_EQ(p.inclusive_sec("workers"), 100.0);
+  EXPECT_DOUBLE_EQ(p.exclusive_sec("workers"), 100.0);
+  EXPECT_GE(p.exclusive_sec("dispatch"), 0.0);
+  // The parent's wall stays wall-sized, not worker-summed.
+  EXPECT_LT(p.inclusive_sec("dispatch"), 10.0);
+}
+
+TEST(Profiler, AddRangeTimeRepeatedCreditsStayClamped) {
+  // Several oversized credits against one parent: each clamps to the
+  // remaining headroom, never driving exclusive time negative.
+  Profiler p;
+  {
+    ScopedRange outer(p, "dispatch");
+    spin_ms(2);
+    p.add_range_time("a", 1, 50.0);
+    p.add_range_time("b", 1, 50.0);
+  }
+  EXPECT_GE(p.exclusive_sec("dispatch"), 0.0);
+  EXPECT_DOUBLE_EQ(p.inclusive_sec("a"), 50.0);
+  EXPECT_DOUBLE_EQ(p.inclusive_sec("b"), 50.0);
+}
+
+// ------------------------------------------------- report formatting
+
+TEST(Profiler, FormatAlignsColumnsRegardlessOfNameLength) {
+  Profiler p;
+  const std::string long_name =
+      "fsbm/coalescence/kernel_table_fill/with/very/long/nested/path";
+  {
+    ScopedRange a(p, "x");
+  }
+  p.add_range_time(long_name, 123456789ull, 1234.5);
+  const std::string rep = p.format_flat_report();
+
+  // Names go last on each row, so a long name can never truncate and
+  // every row's name starts at the same column as the header's.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < rep.size()) {
+    const std::size_t nl = rep.find('\n', pos);
+    lines.push_back(rep.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 3u);
+  const std::size_t name_col = lines[0].find("name");
+  ASSERT_NE(name_col, std::string::npos);
+  bool saw_long = false;
+  bool saw_short = false;
+  for (std::size_t n = 1; n < lines.size(); ++n) {
+    if (lines[n].size() >= name_col + 1) {
+      const std::string name = lines[n].substr(name_col);
+      if (name == long_name) saw_long = true;
+      if (name == "x") saw_short = true;
+    }
+  }
+  EXPECT_TRUE(saw_long) << rep;
+  EXPECT_TRUE(saw_short) << rep;
+}
+
 }  // namespace
 }  // namespace wrf::prof

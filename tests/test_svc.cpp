@@ -605,5 +605,141 @@ TEST(SvcScheduler, ServiceStatsAddUp) {
   EXPECT_TRUE(sched.take_results().empty());
 }
 
+TEST(SvcStats, WaitQuantilesInterpolate) {
+  svc::ClassStats cs;
+  // No finished jobs: quantiles are 0, not NaN.
+  EXPECT_DOUBLE_EQ(cs.wait_p50_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(cs.wait_p95_sec(), 0.0);
+
+  cs.wait_samples_sec = {4.0};
+  EXPECT_DOUBLE_EQ(cs.wait_p50_sec(), 4.0);
+  EXPECT_DOUBLE_EQ(cs.wait_p95_sec(), 4.0);
+
+  // Linear interpolation over the sorted samples, insertion order
+  // irrelevant: {1,2,3,4} -> p50 = 2.5, p95 = 1 + 0.95*3 = 3.85.
+  cs.wait_samples_sec = {3.0, 1.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(cs.wait_p50_sec(), 2.5);
+  EXPECT_DOUBLE_EQ(cs.wait_p95_sec(), 3.85);
+  // q clamps to [0, 1].
+  EXPECT_DOUBLE_EQ(cs.wait_quantile_sec(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cs.wait_quantile_sec(2.0), 4.0);
+}
+
+TEST(SvcStats, WaitSamplesFeedQuantilesAndPublish) {
+  svc::SchedulerConfig sc = one_lane_no_batch();
+  svc::Scheduler sched(sc);
+  for (int n = 0; n < 4; ++n) {
+    svc::Job job;
+    job.config = tiny_case(static_cast<std::uint64_t>(n) + 1);
+    job.cls = svc::JobClass::kBatch;
+    ASSERT_TRUE(sched.submit(job).admitted);
+  }
+  sched.drain();
+  const svc::ServiceStats stats = sched.stats();
+  sched.shutdown();
+
+  const svc::ClassStats& cs =
+      stats.cls[static_cast<int>(svc::JobClass::kBatch)];
+  ASSERT_EQ(cs.wait_samples_sec.size(), 4u);  // one per finished job
+  double sum = 0.0;
+  for (const double w : cs.wait_samples_sec) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_DOUBLE_EQ(sum, cs.wait_total_sec);  // same recordings
+  EXPECT_LE(cs.wait_p50_sec(), cs.wait_p95_sec());
+  EXPECT_LE(cs.wait_p95_sec(), cs.wait_max_sec + 1e-12);
+
+  // publish() reconciles: counters equal the fields exactly.
+  obs::Registry reg;
+  stats.publish(reg);
+  EXPECT_DOUBLE_EQ(
+      reg.value("wrf_svc_jobs_total",
+                {{"class", "batch"}, {"state", "completed"}}),
+      static_cast<double>(cs.completed));
+  EXPECT_DOUBLE_EQ(
+      reg.value("wrf_svc_jobs_total",
+                {{"class", "batch"}, {"state", "submitted"}}),
+      4.0);
+  EXPECT_DOUBLE_EQ(reg.value("wrf_svc_wait_seconds_total", {{"class", "batch"}}),
+                   cs.wait_total_sec);
+  EXPECT_DOUBLE_EQ(
+      reg.value("wrf_svc_wait_seconds",
+                {{"class", "batch"}, {"quantile", "0.5"}}),
+      cs.wait_p50_sec());
+  EXPECT_DOUBLE_EQ(
+      reg.value("wrf_svc_wait_seconds",
+                {{"class", "batch"}, {"quantile", "0.95"}}),
+      cs.wait_p95_sec());
+  EXPECT_DOUBLE_EQ(reg.value("wrf_svc_dispatches_total"),
+                   static_cast<double>(stats.dispatches));
+  EXPECT_DOUBLE_EQ(reg.value("wrf_svc_lanes"), 1.0);
+}
+
+// ----------------------------------------------------- scheduler tracing
+
+TEST(SvcScheduler, TraceModeRecordsLifecycleAndKeepsResultsIdentical) {
+  // Same stream twice — obs off, then obs=trace — with fixed seeds: the
+  // trace run must record the full lifecycle yet leave every result
+  // bitwise identical (jobs are normalized to obs=off internally).
+  auto run_stream = [](const obs::ObsConfig& obs) {
+    svc::SchedulerConfig sc;
+    sc.lanes = 2;
+    sc.batch_max = 2;
+    sc.start_paused = true;
+    sc.obs = obs;
+    svc::Scheduler sched(sc);
+    for (int n = 0; n < 4; ++n) {
+      svc::Job job;
+      job.config = tiny_case(static_cast<std::uint64_t>(n) + 1);
+      job.cls = n < 2 ? svc::JobClass::kInteractive : svc::JobClass::kEnsemble;
+      job.name = "job-" + std::to_string(n);
+      EXPECT_TRUE(sched.submit(job).admitted);
+    }
+    sched.drain();
+    sched.shutdown();
+
+    std::map<std::uint64_t, std::uint64_t> hash_by_seed;
+    for (const svc::JobResult& r : sched.take_results()) {
+      EXPECT_EQ(r.outcome, svc::JobOutcome::kCompleted);
+      hash_by_seed[r.config.seed] = r.state_hash;
+    }
+
+    std::uint64_t events = 0;
+    std::uint64_t svc_instants = 0;
+    if (const obs::TraceSink* sink = sched.trace_sink()) {
+      for (const obs::TrackEvents& track : sink->drain()) {
+        std::uint64_t prev_ts = 0;
+        std::int64_t open = 0;
+        for (const obs::TraceEvent& e : track.events) {
+          ++events;
+          EXPECT_GE(e.ts_us, prev_ts);  // monotone per track
+          prev_ts = e.ts_us;
+          if (e.phase == 'B') ++open;
+          if (e.phase == 'E') --open;
+          EXPECT_GE(open, 0);
+          if (e.phase == 'i' && std::string(e.cat) == "svc") ++svc_instants;
+        }
+        EXPECT_EQ(open, 0);  // balanced spans on every track
+      }
+    }
+    return std::make_tuple(hash_by_seed, events, svc_instants);
+  };
+
+  obs::ObsConfig trace_cfg;
+  trace_cfg.mode = obs::ObsMode::kTrace;
+  trace_cfg.path = "obs_test_svc_trace.json";
+  const auto [hashes_off, ev_off, si_off] = run_stream(obs::ObsConfig{});
+  const auto [hashes_on, ev_on, si_on] = run_stream(trace_cfg);
+
+  EXPECT_EQ(hashes_off, hashes_on);  // tracing never changes results
+  EXPECT_EQ(ev_off, 0u);
+  EXPECT_GT(ev_on, 0u);
+  // Lifecycle instants: submit + admit + dispatch + complete per job at
+  // minimum (4 jobs), plus any batch markers.
+  EXPECT_GE(si_on, 16u);
+  EXPECT_EQ(si_off, 0u);
+}
+
 }  // namespace
 }  // namespace wrf
