@@ -15,56 +15,21 @@
 
 #include "model/driver.hpp"
 #include "perfmodel/scaling.hpp"
+#include "tune/measure.hpp"
 
 namespace wrf::bench {
 
-/// Aggregate of N repetitions of one measurement: the robust trio the
-/// benches report instead of a single noisy sample.  `cv` is the
-/// coefficient of variation (stddev/mean) — a quick stability gauge; a
-/// smoke run with cv > ~0.2 means the wall numbers are jitter, not
-/// signal, and only the counter-based columns should be trusted.
-struct RepAggregate {
-  double min = 0.0;
-  double median = 0.0;
-  double mean = 0.0;
-  double cv = 0.0;
-  int reps = 0;
-};
-
-/// Aggregate already-collected samples.  For benches whose rep loop
-/// yields several metrics at once (e.g. the hetero bench's device and
-/// host shard walls per run): collect each metric into its own vector
-/// and aggregate them separately.  `samples` must be non-empty.
-inline RepAggregate aggregate_samples(std::vector<double> samples) {
-  RepAggregate agg;
-  std::sort(samples.begin(), samples.end());
-  agg.reps = static_cast<int>(samples.size());
-  agg.min = samples.front();
-  const std::size_t n = samples.size();
-  agg.median = n % 2 == 1 ? samples[n / 2]
-                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
-  double sum = 0.0;
-  for (double s : samples) sum += s;
-  agg.mean = sum / static_cast<double>(n);
-  double var = 0.0;
-  for (double s : samples) var += (s - agg.mean) * (s - agg.mean);
-  var /= static_cast<double>(n);
-  agg.cv = agg.mean > 0.0 ? std::sqrt(var) / agg.mean : 0.0;
-  return agg;
-}
-
-/// Run `fn` (returning one double sample) `reps` times and aggregate.
-/// The first call is NOT discarded: callers that want a warmup should do
-/// it themselves before measuring (the FSBM benches construct a fresh
-/// RankModel per rep, so there is no cross-rep cache to warm).
-template <typename Fn>
-RepAggregate measure_reps(int reps, Fn&& fn) {
-  if (reps < 1) reps = 1;
-  std::vector<double> samples;
-  samples.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) samples.push_back(fn());
-  return aggregate_samples(std::move(samples));
-}
+// The statistical measurement primitives live in src/tune/measure.hpp
+// (the autotuner aggregates its rungs with exactly this code); the
+// benches keep their historical wrf::bench spelling via re-export.
+// RepAggregate: min / median / mean / CV over N reps — `min` is the
+// headline wall column, `cv` the stability gauge.  measure_reps has a
+// fixed-count overload and an adaptive MeasurePolicy overload (repeat
+// until CV <= target or the rep cap).
+using tune::aggregate_samples;
+using tune::MeasurePolicy;
+using tune::measure_reps;
+using tune::RepAggregate;
 
 /// Print the Table II configuration header every bench starts with.
 inline void print_config_header(const char* what) {

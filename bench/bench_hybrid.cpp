@@ -44,7 +44,7 @@ struct Mode {
 };
 
 Mode measure(fsbm::PhysScheme phys, int nx, int ny, int nz, int nsteps,
-             int reps) {
+             const bench::MeasurePolicy& policy) {
   model::RunConfig cfg;
   cfg.nx = nx;
   cfg.ny = ny;
@@ -58,7 +58,7 @@ Mode measure(fsbm::PhysScheme phys, int nx, int ny, int nz, int nsteps,
   Mode m;
   m.phys = phys;
   model::RunResult last;
-  m.wall = bench::measure_reps(reps, [&]() {
+  m.wall = bench::measure_reps(policy, [&]() {
     prof::Profiler p;
     last = model::run_single(cfg, p);
     return last.wall_sec;
@@ -131,13 +131,17 @@ int main(int argc, char** argv) {
                  "(got %d positional args)\n", npos);
     return 2;
   }
-  const int reps = 3;
+  // Adaptive reps: at least 3, growing to 8 until the wall CV drops
+  // under 10% — the same tune::MeasurePolicy discipline the autotuner's
+  // rungs use, so a noisy host spends reps instead of committing jitter.
+  bench::MeasurePolicy policy;
+  policy.max_reps = 8;
 
   std::vector<Mode> modes;
   for (const fsbm::PhysScheme phys :
        {fsbm::PhysScheme::kBulk, fsbm::PhysScheme::kHybrid,
         fsbm::PhysScheme::kBin}) {
-    modes.push_back(measure(phys, nx, ny, nz, nsteps, reps));
+    modes.push_back(measure(phys, nx, ny, nz, nsteps, policy));
   }
   const Mode& blk = modes[0];
   const Mode& hyb = modes[1];
@@ -160,8 +164,9 @@ int main(int argc, char** argv) {
 
   bench::print_config_header("Hybrid microphysics — throughput vs fidelity");
   std::printf("scaled CONUS storm patch %dx%dx%d, %d steps, v1 host bin "
-              "chain, %d wall reps\n\n",
-              nx, ny, nz, nsteps, reps);
+              "chain, adaptive wall reps (%d-%d, target CV %.2f)\n\n",
+              nx, ny, nz, nsteps, policy.min_reps, policy.max_reps,
+              policy.target_cv);
   std::printf("  %-8s %14s %12s %12s %10s %8s\n", "phys", "cellsteps/s",
               "wall min s", "wall med s", "bin frac", "wall CV");
   for (const Mode& m : modes) {

@@ -20,10 +20,12 @@
 //       min(lanes, hw_threads) > 1 — reported, not gated, since CI
 //       hosts vary).
 //
-// Usage: bench_service [jobs_per_class] [--benchmark_format=json]
-//   default 8 jobs per class (24 jobs per pool width); the CI smoke
-//   passes 3.  JSON mode emits one record per pool width;
-//   scripts/bench_json.sh distills BENCH_service.json from it.
+// Usage: bench_service [jobs_per_class] [reps=N] [--benchmark_format=json]
+//   default 8 jobs per class (24 jobs per pool width) and 3 whole-stream
+//   repetitions per width — every wall metric is a min/median/CV
+//   aggregate over the reps and the committed numbers are medians; the
+//   CI smoke passes 3 jobs per class.  JSON mode emits one record per
+//   pool width; scripts/bench_json.sh distills BENCH_service.json.
 
 #include <algorithm>
 #include <cstdio>
@@ -46,6 +48,25 @@ struct Sweep {
   double wait_p50 = 0.0, wait_p95 = 0.0;
   double class_wait_mean[svc::kNumClasses] = {0, 0, 0};
   double jobs_per_sec = 0.0;
+};
+
+/// One pool width measured over N whole-stream repetitions: every wall
+/// metric is an aggregate_samples() min/median/CV over the reps (the
+/// committed numbers are medians, with the makespan CV as the stability
+/// gauge); counters come from the last rep, with the cleanliness gates
+/// checked in every rep.
+struct SweepAgg {
+  int lanes = 0;
+  int jobs = 0;
+  bench::RepAggregate makespan;
+  bench::RepAggregate jobs_per_sec;
+  bench::RepAggregate wait_p50;
+  bench::RepAggregate wait_p95;
+  bench::RepAggregate class_wait_mean[svc::kNumClasses];
+  bench::RepAggregate pool_parallelism;
+  svc::ServiceStats stats;        ///< last rep (counters)
+  bool clean_all_reps = true;     ///< every rep completed everything
+  bool batched_all_reps = true;   ///< every rep saw a multi-job dispatch
 };
 
 model::RunConfig scenario(int nx, int ny, int nz, int nsteps,
@@ -130,7 +151,41 @@ Sweep run_pool(int lanes, int jobs_per_class) {
   return s;
 }
 
-void print_json(const std::vector<Sweep>& sweeps, int jobs_per_class,
+SweepAgg run_pool_reps(int lanes, int jobs_per_class, int reps) {
+  SweepAgg agg;
+  agg.lanes = lanes;
+  agg.jobs = 3 * jobs_per_class;
+  std::vector<double> makespan, jps, p50, p95, par;
+  std::vector<double> cls_mean[svc::kNumClasses];
+  for (int r = 0; r < reps; ++r) {
+    const Sweep s = run_pool(lanes, jobs_per_class);
+    makespan.push_back(s.stats.makespan_sec());
+    jps.push_back(s.jobs_per_sec);
+    p50.push_back(s.wait_p50);
+    p95.push_back(s.wait_p95);
+    par.push_back(s.stats.pool_parallelism());
+    for (int c = 0; c < svc::kNumClasses; ++c) {
+      cls_mean[c].push_back(s.class_wait_mean[c]);
+    }
+    agg.clean_all_reps = agg.clean_all_reps && s.stats.failed() == 0 &&
+                         s.stats.rejected() == 0 &&
+                         s.stats.completed() ==
+                             static_cast<std::uint64_t>(s.jobs);
+    agg.batched_all_reps = agg.batched_all_reps && s.stats.batches > 0;
+    agg.stats = s.stats;
+  }
+  agg.makespan = bench::aggregate_samples(makespan);
+  agg.jobs_per_sec = bench::aggregate_samples(jps);
+  agg.wait_p50 = bench::aggregate_samples(p50);
+  agg.wait_p95 = bench::aggregate_samples(p95);
+  agg.pool_parallelism = bench::aggregate_samples(par);
+  for (int c = 0; c < svc::kNumClasses; ++c) {
+    agg.class_wait_mean[c] = bench::aggregate_samples(cls_mean[c]);
+  }
+  return agg;
+}
+
+void print_json(const std::vector<SweepAgg>& sweeps, int jobs_per_class,
                 unsigned hw_threads) {
   std::printf("{\n  \"context\": {\"executable\": \"bench_service\", "
               "\"jobs_per_class\": %d, \"batch_max\": 4, "
@@ -138,11 +193,15 @@ void print_json(const std::vector<Sweep>& sweeps, int jobs_per_class,
               jobs_per_class, hw_threads);
   std::printf("  \"benchmarks\": [\n");
   for (std::size_t n = 0; n < sweeps.size(); ++n) {
-    const Sweep& s = sweeps[n];
+    const SweepAgg& s = sweeps[n];
+    // Wall metrics are rep medians (historical key names unchanged);
+    // makespan additionally reports its min and CV, and `reps` records
+    // the sample count behind every aggregate.
     std::printf(
         "    {\"name\": \"service/lanes=%d\", \"run_type\": \"aggregate\", "
         "\"jobs\": %d, \"completed\": %llu, \"rejected\": %llu, "
-        "\"failed\": %llu, \"makespan_s\": %.4f, \"jobs_per_s\": %.3f, "
+        "\"failed\": %llu, \"makespan_s\": %.4f, \"makespan_min_s\": %.4f, "
+        "\"makespan_cv\": %.3f, \"reps\": %d, \"jobs_per_s\": %.3f, "
         "\"wait_p50_s\": %.4f, \"wait_p95_s\": %.4f, "
         "\"wait_mean_interactive_s\": %.4f, \"wait_mean_ensemble_s\": %.4f, "
         "\"wait_mean_batch_s\": %.4f, \"pool_parallelism\": %.3f, "
@@ -153,9 +212,11 @@ void print_json(const std::vector<Sweep>& sweeps, int jobs_per_class,
         static_cast<unsigned long long>(s.stats.completed()),
         static_cast<unsigned long long>(s.stats.rejected()),
         static_cast<unsigned long long>(s.stats.failed()),
-        s.stats.makespan_sec(), s.jobs_per_sec, s.wait_p50, s.wait_p95,
-        s.class_wait_mean[0], s.class_wait_mean[1], s.class_wait_mean[2],
-        s.stats.pool_parallelism(), s.stats.occupancy(),
+        s.makespan.median, s.makespan.min, s.makespan.cv, s.makespan.reps,
+        s.jobs_per_sec.median, s.wait_p50.median, s.wait_p95.median,
+        s.class_wait_mean[0].median, s.class_wait_mean[1].median,
+        s.class_wait_mean[2].median, s.pool_parallelism.median,
+        s.lanes > 0 ? s.pool_parallelism.median / s.lanes : 0.0,
         static_cast<unsigned long long>(s.stats.dispatches),
         static_cast<unsigned long long>(s.stats.batches),
         static_cast<unsigned long long>(s.stats.batched_jobs),
@@ -172,38 +233,44 @@ void print_json(const std::vector<Sweep>& sweeps, int jobs_per_class,
 
 int main(int argc, char** argv) {
   int jobs_per_class = 8;
+  int reps = 3;
   bool json = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--benchmark_format=json") == 0) {
       json = true;
+    } else if (std::strncmp(argv[a], "reps=", 5) == 0) {
+      reps = std::atoi(argv[a] + 5);
     } else if (std::strchr(argv[a], '=') == nullptr) {
       jobs_per_class = std::atoi(argv[a]);
     }
   }
   if (jobs_per_class < 2) jobs_per_class = 2;
+  if (reps < 1) reps = 1;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
 
-  std::vector<Sweep> sweeps;
+  std::vector<SweepAgg> sweeps;
   for (const int lanes : {1, 2, 4}) {
-    sweeps.push_back(run_pool(lanes, jobs_per_class));
+    sweeps.push_back(run_pool_reps(lanes, jobs_per_class, reps));
   }
 
-  const Sweep& one = sweeps.front();
-  const Sweep& widest = sweeps.back();
+  // Shape gates evaluated on rep medians (single-shot values were one
+  // scheduler-timing sample; medians make the committed numbers and the
+  // exit code reproducible).
+  const SweepAgg& one = sweeps.front();
+  const SweepAgg& widest = sweeps.back();
   bool parallelism_ok = true, batching_ok = true, clean = true;
-  for (const Sweep& s : sweeps) {
-    parallelism_ok = parallelism_ok &&
-                     s.stats.pool_parallelism() >= 0.5 * s.lanes;
-    batching_ok = batching_ok && s.stats.batches > 0;
-    clean = clean && s.stats.failed() == 0 && s.stats.rejected() == 0 &&
-            s.stats.completed() == static_cast<std::uint64_t>(s.jobs);
+  for (const SweepAgg& s : sweeps) {
+    parallelism_ok =
+        parallelism_ok && s.pool_parallelism.median >= 0.5 * s.lanes;
+    batching_ok = batching_ok && s.batched_all_reps;
+    clean = clean && s.clean_all_reps;
   }
-  const bool waits_shrink = widest.wait_p50 < one.wait_p50;
+  const bool waits_shrink = widest.wait_p50.median < one.wait_p50.median;
   const bool fair_share_ordered =
-      one.class_wait_mean[0] <= one.class_wait_mean[1] &&
-      one.class_wait_mean[1] <= one.class_wait_mean[2];
+      one.class_wait_mean[0].median <= one.class_wait_mean[1].median &&
+      one.class_wait_mean[1].median <= one.class_wait_mean[2].median;
   const bool throughput_holds =
-      widest.jobs_per_sec >= 0.8 * one.jobs_per_sec;
+      widest.jobs_per_sec.median >= 0.8 * one.jobs_per_sec.median;
   const int exit_code = (parallelism_ok && batching_ok && clean &&
                          waits_shrink && fair_share_ordered &&
                          throughput_holds)
@@ -220,17 +287,19 @@ int main(int argc, char** argv) {
   std::printf("stream: %d jobs per class (interactive v3/persist with "
               "deadlines, ensemble v2/step same-shape members, batch "
               "v1 host-only), weights 8/3/1, batch_max 4, %u hardware "
-              "threads\n\n", jobs_per_class, hw);
-  std::printf("  %5s %9s %8s %8s %8s %22s %8s %7s %7s\n", "lanes",
-              "makespan", "jobs/s", "p50 wait", "p95 wait",
-              "mean wait I/E/B (s)", "pool par", "occup", "batches");
-  for (const Sweep& s : sweeps) {
-    std::printf("  %5d %8.3fs %8.3f %7.3fs %7.3fs %6.3f %6.3f %6.3f "
-                "%8.2f %6.0f%% %7llu\n",
-                s.lanes, s.stats.makespan_sec(), s.jobs_per_sec,
-                s.wait_p50, s.wait_p95, s.class_wait_mean[0],
-                s.class_wait_mean[1], s.class_wait_mean[2],
-                s.stats.pool_parallelism(), 100.0 * s.stats.occupancy(),
+              "threads, %d whole-stream reps (medians below, makespan "
+              "CV as stability gauge)\n\n", jobs_per_class, hw, reps);
+  std::printf("  %5s %9s %7s %8s %8s %8s %22s %8s %7s\n", "lanes",
+              "makespan", "mk CV", "jobs/s", "p50 wait", "p95 wait",
+              "mean wait I/E/B (s)", "pool par", "batches");
+  for (const SweepAgg& s : sweeps) {
+    std::printf("  %5d %8.3fs %7.3f %8.3f %7.3fs %7.3fs %6.3f %6.3f "
+                "%6.3f %8.2f %7llu\n",
+                s.lanes, s.makespan.median, s.makespan.cv,
+                s.jobs_per_sec.median, s.wait_p50.median,
+                s.wait_p95.median, s.class_wait_mean[0].median,
+                s.class_wait_mean[1].median, s.class_wait_mean[2].median,
+                s.pool_parallelism.median,
                 static_cast<unsigned long long>(s.stats.batches));
   }
   std::printf("\nexpected wall-throughput scaling on this host: "

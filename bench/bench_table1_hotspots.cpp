@@ -85,28 +85,36 @@ int main(int argc, char** argv) {
   if (sweep.kind == exec::ExecKind::kSerial) {
     sweep.kind = exec::ExecKind::kThreads;  // default sweep target
   }
-  auto host_pass_sec = [&](const exec::ExecConfig& e) {
-    model::RunConfig c = bench::bench_case(fsbm::Version::kV0Baseline, 3);
-    c.npx = c.npy = 1;
-    c.exec = e;
-    const auto ps = grid::decompose(c.domain(), 1, 1, c.halo);
-    model::RankModel rank(c, ps[0], nullptr);
-    rank.init();
-    prof::Profiler p;
-    double sbm_sec = 0.0;
-    for (int s = 0; s < c.nsteps; ++s) {
-      sbm_sec += rank.step(p).fsbm.wall_total_sec;
-    }
-    return sbm_sec;
+  // Wall columns are min/median/CV aggregates over reps (the tuner's
+  // measurement discipline, bench::measure_reps) — speedups compare
+  // minima, the least-noise estimate on a shared host.
+  const int wall_reps = 3;
+  auto host_pass = [&](const exec::ExecConfig& e) {
+    return bench::measure_reps(wall_reps, [&]() {
+      model::RunConfig c = bench::bench_case(fsbm::Version::kV0Baseline, 3);
+      c.npx = c.npy = 1;
+      c.exec = e;
+      const auto ps = grid::decompose(c.domain(), 1, 1, c.halo);
+      model::RankModel rank(c, ps[0], nullptr);
+      rank.init();
+      prof::Profiler p;
+      double sbm_sec = 0.0;
+      for (int s = 0; s < c.nsteps; ++s) {
+        sbm_sec += rank.step(p).fsbm.wall_total_sec;
+      }
+      return sbm_sec;
+    });
   };
-  const double t_serial = host_pass_sec(exec::ExecConfig{});
-  const double t_exec = host_pass_sec(sweep);
+  const bench::RepAggregate t_serial = host_pass(exec::ExecConfig{});
+  const bench::RepAggregate t_exec = host_pass(sweep);
   std::printf("\nhost physics pass (fast_sbm, v0, 1 rank): exec sweep "
-              "(%u hardware threads)\n",
-              std::thread::hardware_concurrency());
-  std::printf("  %-16s %10.3f s\n", "serial", t_serial);
-  std::printf("  %-16s %10.3f s   speedup %.2fx\n", sweep.describe().c_str(),
-              t_exec, t_exec > 0.0 ? t_serial / t_exec : 0.0);
+              "(%u hardware threads, %d reps)\n",
+              std::thread::hardware_concurrency(), wall_reps);
+  std::printf("  %-16s %10.3f s  (median %.3f, cv %.3f)\n", "serial",
+              t_serial.min, t_serial.median, t_serial.cv);
+  std::printf("  %-16s %10.3f s  (median %.3f, cv %.3f)  speedup %.2fx\n",
+              sweep.describe().c_str(), t_exec.min, t_exec.median, t_exec.cv,
+              t_exec.min > 0.0 ? t_serial.min / t_exec.min : 0.0);
 
   // Sedimentation dispatch sweep (sed= knob): the per-column oracle vs
   // the blocked multi-column solver.  The blocked path hoists the
@@ -120,20 +128,26 @@ int main(int argc, char** argv) {
   struct SedRow {
     std::string mode;
     fsbm::FsbmStats f;
-    double wall = 0.0;
+    bench::RepAggregate wall;
   };
   auto sed_run = [&](const fsbm::SedDispatch& sd) {
-    model::RunConfig c = bench::bench_case(fsbm::Version::kV1LookupOnDemand, 3);
-    c.npx = c.npy = 1;
-    c.sed = sd;
-    const auto ps = grid::decompose(c.domain(), 1, 1, c.halo);
-    model::RankModel rank(c, ps[0], nullptr);
-    rank.init();
-    prof::Profiler p;
     SedRow row;
     row.mode = sd.describe();
-    for (int s = 0; s < c.nsteps; ++s) row.f.merge(rank.step(p).fsbm);
-    row.wall = p.inclusive_sec("sedimentation");
+    // Counters are deterministic per dispatch mode; only the wall column
+    // is aggregated over reps (stats kept from the last rep).
+    row.wall = bench::measure_reps(wall_reps, [&]() {
+      model::RunConfig c =
+          bench::bench_case(fsbm::Version::kV1LookupOnDemand, 3);
+      c.npx = c.npy = 1;
+      c.sed = sd;
+      const auto ps = grid::decompose(c.domain(), 1, 1, c.halo);
+      model::RankModel rank(c, ps[0], nullptr);
+      rank.init();
+      prof::Profiler p;
+      row.f = fsbm::FsbmStats{};
+      for (int s = 0; s < c.nsteps; ++s) row.f.merge(rank.step(p).fsbm);
+      return p.inclusive_sec("sedimentation");
+    });
     return row;
   };
   std::vector<fsbm::SedDispatch> sed_modes;
@@ -148,17 +162,19 @@ int main(int argc, char** argv) {
   if (custom.kind == fsbm::SedDispatch::Kind::kBlock) {
     sed_modes.push_back(custom);
   }
-  std::printf("\nsedimentation dispatch sweep (column vs block, v1, 1 rank):\n");
-  std::printf("  %-10s %9s %13s %13s %11s %11s %9s\n", "sed=", "wall s",
-              "tv_lookups", "corr_evals", "substeps", "lockstep", "amort");
+  std::printf("\nsedimentation dispatch sweep (column vs block, v1, 1 rank, "
+              "%d reps):\n", wall_reps);
+  std::printf("  %-10s %9s %7s %13s %13s %11s %11s %9s\n", "sed=",
+              "wall min", "cv", "tv_lookups", "corr_evals", "substeps",
+              "lockstep", "amort");
   double lookups_column = 0.0;
   for (const auto& sd : sed_modes) {
     const SedRow row = sed_run(sd);
     const double lookups =
         static_cast<double>(row.f.sed_tv_lookups + row.f.sed_corr_evals);
     if (sd.kind == fsbm::SedDispatch::Kind::kColumn) lookups_column = lookups;
-    std::printf("  %-10s %9.3f %13llu %13llu %11llu %11llu %8.1fx\n",
-                row.mode.c_str(), row.wall,
+    std::printf("  %-10s %9.3f %7.3f %13llu %13llu %11llu %11llu %8.1fx\n",
+                row.mode.c_str(), row.wall.min, row.wall.cv,
                 static_cast<unsigned long long>(row.f.sed_tv_lookups),
                 static_cast<unsigned long long>(row.f.sed_corr_evals),
                 static_cast<unsigned long long>(row.f.sed_substeps),

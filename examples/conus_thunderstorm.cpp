@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   cfg.res = mem::residency_from_args(argc, argv);
   cfg.fuse = exec::fuse_from_args(argc, argv);  // off | auto
   cfg.obs = obs::obs_from_args(argc, argv);     // off | metrics | trace
+  cfg.tune = tune::tune_from_args(argc, argv);  // off | auto | file:<path>
   cfg.validate();
 
   std::printf("CONUS-like thunderstorm\n=======================\n%s\n\n",

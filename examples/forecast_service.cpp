@@ -17,6 +17,7 @@
 // Build & run:
 //   cmake --build build && ./build/forecast_service [lanes=N]
 //                                                   [obs=metrics|trace[:path]]
+//                                                   [tune=auto|file:tuned.json]
 //
 // With obs on, the scheduler writes obs_service.prom (Prometheus text) at
 // shutdown; obs=trace additionally writes a Chrome/Perfetto trace with one
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
   sc.batch_max = 4;
   sc.start_paused = true;  // submit the whole stream, then release it
   sc.obs = obs::obs_from_args(argc, argv);  // off | metrics | trace[:path]
+  sc.tune = tune::tune_from_args(argc, argv);  // off | auto | file:<path>
 
   std::printf("miniWRF-SBM forecast service\n============================\n");
   std::printf("pool: %d lanes of %s (%.1f GB DRAM each)\n",

@@ -7,6 +7,7 @@
 //   cmake --build build && ./build/quickstart [exec=threads:N] [halo=overlap]
 //                                             [sed=block:8] [exec=hetero:N]
 //                                             [phys=hybrid] [obs=trace[:path]]
+//                                             [tune=auto|file:tuned.json]
 
 #include <cstdio>
 
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   cfg.fuse = exec::fuse_from_args(argc, argv);     // off | auto
   cfg.phys = fsbm::phys_from_args(argc, argv);     // bin | bulk | hybrid
   cfg.obs = obs::obs_from_args(argc, argv);        // off | metrics | trace
+  cfg.tune = tune::tune_from_args(argc, argv);     // off | auto | file:<path>
 
   std::printf("miniWRF-SBM quickstart\n======================\n");
   std::printf("case: %s\n\n", cfg.describe().c_str());

@@ -33,6 +33,17 @@
 #     acceptance gates (strict bulk > hybrid > bin throughput ordering;
 #     a genuinely two-sided fidelity census).
 #
+#   BENCH_tuner.json — the autotuner point from bench_tuner: tuned vs
+#     untuned throughput on the CONUS rank patch (the tuned side loaded
+#     back through tune=file:, i.e. the artifact round trip), the
+#     winning knob string, the deciding rung's CV, and the gates
+#     (tuned >= untuned; deciding CV under target; tune=file: bitwise
+#     identical to the same knobs set explicitly).
+#
+# Every distilled point is stamped with the bench schema version and
+# the machine fingerprint (hardware threads + modeled DeviceSpec) so
+# committed trajectory points are comparable across hosts.
+#
 # Usage:
 #   scripts/bench_json.sh                 # full rank patch (107 75 50 3)
 #   scripts/bench_json.sh 48 32 20 3      # custom grid
@@ -43,7 +54,8 @@
 # default "BENCH_hetero.json"), OUT_FUSION (fusion output path, default
 # "BENCH_fusion.json"), OUT_SERVICE (service output path, default
 # "BENCH_service.json"), OUT_HYBRID (hybrid output path, default
-# "BENCH_hybrid.json").
+# "BENCH_hybrid.json"), OUT_TUNER (tuner output path, default
+# "BENCH_tuner.json").
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -54,6 +66,14 @@ OUT_HETERO=${OUT_HETERO:-BENCH_hetero.json}
 OUT_FUSION=${OUT_FUSION:-BENCH_fusion.json}
 OUT_SERVICE=${OUT_SERVICE:-BENCH_service.json}
 OUT_HYBRID=${OUT_HYBRID:-BENCH_hybrid.json}
+OUT_TUNER=${OUT_TUNER:-BENCH_tuner.json}
+
+# Stamp applied to every distilled point: schema version for the
+# trajectory-point format itself, plus the machine fingerprint (the
+# same fields tune::local_fingerprint records in tuned.json).
+export BENCH_SCHEMA_VERSION=1
+export BENCH_HW_THREADS="$(nproc)"
+export BENCH_DEVICE_NAME="NVIDIA A100-SXM4-40GB (simulated)"
 
 # Always (re)build — incremental, so this is a no-op when current, and
 # it guarantees the trajectory point never comes from a stale binary.
@@ -62,18 +82,24 @@ if [ ! -d "${BUILD}" ]; then
 fi
 cmake --build "${BUILD}" -j "$(nproc)" \
   --target bench_residency bench_table4_offload2 bench_fusion bench_service \
-  bench_hybrid
+  bench_hybrid bench_tuner
 
 ARGS=("$@")
 HETERO_ARGS=("$@")
 # The service bench takes a stream size, not a grid: jobs per class.
 SERVICE_ARGS=(8)
+# The tuner takes the CONUS rank patch by default; the artifact lands
+# in the build dir so repo root stays clean.
+TUNER_ARGS=("artifact=${BUILD}/tuned.json")
 if [ "${BENCH_SMOKE:-0}" = "1" ] && [ ${#ARGS[@]} -eq 0 ]; then
   ARGS=(24 16 10 3)
   # The hetero smoke needs a tall column (40 x 400 m reaches above the
   # 223.15 K coal gate) so the predicate split is genuinely two-sided.
   HETERO_ARGS=(16 12 40 1)
   SERVICE_ARGS=(3)
+  # Tiny grid, pruned space, loose CV target: seconds, not minutes.
+  TUNER_ARGS=(24 16 10 2 version=v1 keep=4 target_cv=0.5
+              "artifact=${BUILD}/tuned.json")
 fi
 
 RAW=$(mktemp)
@@ -320,8 +346,71 @@ print("wrote %s: throughput bulk %.0f / hybrid %.0f / bin %.0f "
           and point["census_two_sided"] else "NOT met"))
 PY
 
+# ---- autotuner point (tune= knob, tuned vs untuned) ------------------
+RAW_T=$(mktemp)
+trap 'rm -f "${RAW}" "${RAW_H}" "${RAW_F}" "${RAW_S}" "${RAW_T}"' EXIT
+rc_t=0
+"${BUILD}/bench_tuner" "${TUNER_ARGS[@]}" --benchmark_format=json \
+  > "${RAW_T}" || rc_t=$?
+
+python3 - "${RAW_T}" "${OUT_TUNER}" <<'PY'
+import json
+import sys
+
+raw = json.load(open(sys.argv[1]))
+cells = {b["name"]: b for b in raw["benchmarks"]}
+untuned = cells["tuner/untuned"]
+tuned = cells["tuner/tuned"]
+winner = cells["tuner/winner"]
+
+point = {
+    "bench": "tuner",
+    "context": raw["context"],
+    "untuned": untuned,
+    "tuned": tuned,
+    "winner": winner,
+    "speedup_x": winner["speedup"],
+    "tuned_not_slower": (
+        tuned["cellsteps_per_s"] * 1.02 >= untuned["cellsteps_per_s"]),
+    "deciding_cv_ok": winner["deciding_cv"] <= 0.5,
+    "bitwise_identical": winner["bitwise_identical"],
+}
+json.dump(point, open(sys.argv[2], "w"), indent=2)
+print("wrote %s: winner '%s', tuned %.0f vs untuned %.0f cellsteps/s "
+      "(%.2fx), deciding CV %.3f over %d measured runs; gates %s" % (
+          sys.argv[2], winner["knobs"], tuned["cellsteps_per_s"],
+          untuned["cellsteps_per_s"], winner["speedup"],
+          winner["deciding_cv"], winner["measured_runs"],
+          "met" if point["tuned_not_slower"] and point["deciding_cv_ok"]
+          and point["bitwise_identical"] else "NOT met"))
+PY
+
+# ---- stamp every point with schema version + machine fingerprint -----
+python3 - "${OUT}" "${OUT_HETERO}" "${OUT_FUSION}" "${OUT_SERVICE}" \
+  "${OUT_HYBRID}" "${OUT_TUNER}" <<'PY'
+import json
+import os
+import sys
+
+stamp = {
+    "schema_version": int(os.environ["BENCH_SCHEMA_VERSION"]),
+    "machine": {
+        "hw_threads": int(os.environ["BENCH_HW_THREADS"]),
+        "device": os.environ["BENCH_DEVICE_NAME"],
+    },
+}
+for path in sys.argv[1:]:
+    point = json.load(open(path))
+    point.update(stamp)
+    json.dump(point, open(path, "w"), indent=2)
+print("stamped %d points: schema v%d, %d hw threads, %s" % (
+    len(sys.argv) - 1, stamp["schema_version"],
+    stamp["machine"]["hw_threads"], stamp["machine"]["device"]))
+PY
+
 [ "${rc}" -ne 0 ] && exit "${rc}"
 [ "${rc_h}" -ne 0 ] && exit "${rc_h}"
 [ "${rc_f}" -ne 0 ] && exit "${rc_f}"
 [ "${rc_s}" -ne 0 ] && exit "${rc_s}"
-exit "${rc_y}"
+[ "${rc_y}" -ne 0 ] && exit "${rc_y}"
+exit "${rc_t}"

@@ -43,7 +43,9 @@ run_tsan() {
   # the observability layer (test_obs — concurrent shard threads and
   # threaded-space workers emit into one TraceSink's per-thread buffers,
   # and test_svc's trace mode has scheduler lanes emitting while the
-  # dispatcher records lifecycle instants).
+  # dispatcher records lifecycle instants), and the autotuner (test_tune
+  # — the tuner's measured rungs and the tuned-scheduler test run
+  # threaded configs and scheduler lanes under tuned knob application).
   local build_dir="build-ci-tsan"
   echo "=== ThreadSanitizer ==="
   cmake -B "${build_dir}" -S . \
@@ -51,10 +53,10 @@ run_tsan() {
     -DWRF_TSAN=ON
   cmake --build "${build_dir}" -j "$(nproc)" \
     --target test_par test_exec test_halo_overlap test_fsbm_properties \
-    test_svc test_hybrid test_obs
+    test_svc test_hybrid test_obs test_tune
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties|test_svc|test_hybrid|test_obs)$'
+      -R '^(test_par|test_exec|test_halo_overlap|test_fsbm_properties|test_svc|test_hybrid|test_obs|test_tune)$'
 }
 
 run_obs_smoke() {
@@ -108,7 +110,27 @@ run_bench_smoke() {
     OUT_FUSION=build-ci-release/BENCH_fusion_smoke.json \
     OUT_SERVICE=build-ci-release/BENCH_service_smoke.json \
     OUT_HYBRID=build-ci-release/BENCH_hybrid_smoke.json \
+    OUT_TUNER=build-ci-release/BENCH_tuner_smoke.json \
     scripts/bench_json.sh
+}
+
+run_tune_smoke() {
+  # Smoke the autotuner end to end on a tiny grid with a pruned space
+  # and a loose CV target: the successive-halving ladder must converge,
+  # the tuned.json artifact must parse as JSON (the real parser, not
+  # the tuner's own writer/reader pair), the winner knob string must be
+  # a valid knob set (asserted by bench_tuner's own bitwise gate), and
+  # tune=file: must load the artifact into a real run (quickstart).
+  echo "=== tune smoke ==="
+  local build_dir="build-ci-release"
+  local artifact="${build_dir}/tune_ci_smoke.json"
+  "${build_dir}/bench_tuner" 24 16 10 2 version=v1 keep=4 target_cv=0.5 \
+    "artifact=${artifact}" > /dev/null \
+    || { echo "tune smoke: bench_tuner gates failed"; return 1; }
+  python3 -m json.tool "${artifact}" > /dev/null
+  (cd "${build_dir}" && ./quickstart \
+    tune="file:$(basename "${artifact}")" > /dev/null)
+  echo "tune smoke: artifact parses, gates pass, tune=file: loads"
 }
 
 if [ $# -eq 0 ]; then
@@ -116,12 +138,14 @@ if [ $# -eq 0 ]; then
   run_matrix_config Release
   run_bench_smoke
   run_obs_smoke
+  run_tune_smoke
 elif [ "${1}" = "tsan" ]; then
   run_tsan
 elif [ "${1}" = "bench" ]; then
   run_matrix_config Release
   run_bench_smoke
   run_obs_smoke
+  run_tune_smoke
 else
   run_matrix_config "${1}"
 fi

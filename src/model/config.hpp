@@ -12,6 +12,7 @@
 #include "grid/decomp.hpp"
 #include "mem/residency.hpp"
 #include "obs/trace.hpp"
+#include "tune/tune.hpp"
 
 namespace wrf::model {
 
@@ -100,6 +101,17 @@ struct RunConfig {
   /// mode changes physics.  Parse with obs::ObsConfig::parse /
   /// obs::obs_from_args.
   obs::ObsConfig obs;
+
+  /// The `tune=` knob: off runs the knobs exactly as set (the default);
+  /// file:<path> loads a tuned.json artifact (src/tune) and overwrites
+  /// the performance-neutral knobs (exec/halo/sed/res/fuse) with the
+  /// entry matching this config's tune::shape_key, erroring if the file
+  /// is missing or malformed; auto does the same from ./tuned.json but
+  /// treats a missing file as "not tuned yet" (no-op).  Applying a
+  /// tuned entry is bitwise identical to setting the same knobs
+  /// explicitly — asserted in tests/test_tune.cpp.  Parse with
+  /// tune::TuneSpec::parse / tune::tune_from_args.
+  tune::TuneSpec tune;
 
   // Decomposition.
   int npx = 2;

@@ -7,6 +7,7 @@
 
 #include "model/halo.hpp"
 #include "obs/export.hpp"
+#include "tune/artifact.hpp"
 
 namespace wrf::model {
 
@@ -117,6 +118,10 @@ std::string RunConfig::describe() const {
   // effect), so default describe() strings — and the svc shape keys
   // derived from them — stay exactly as before the knob existed.
   if (!obs.off()) out += " obs=" + obs.describe();
+  // Same contract for tune=: the spec never changes physics, and the
+  // run entry points resolve it to explicit knobs (tune forced off)
+  // before any work, so a resolved config describes like a hand-set one.
+  if (!tune.off()) out += " tune=" + tune.describe();
   return out;
 }
 
@@ -309,6 +314,16 @@ io::Snapshot RankModel::snapshot() const {
 }
 
 RunResult run_simulation(const RunConfig& config, prof::Profiler& prof) {
+  if (!config.tune.off()) {
+    // Resolve tune= here, at the outermost entry, so every caller
+    // (examples, benches, service lanes) gets tuned knobs; the spec is
+    // cleared so the resolved config is indistinguishable from one with
+    // the knobs set explicitly (the bitwise gate in tests/test_tune.cpp).
+    RunConfig c = config;
+    tune::apply(c);
+    c.tune = tune::TuneSpec{};
+    return run_simulation(c, prof);
+  }
   config.validate();
   const auto patches =
       grid::decompose(config.domain(), config.npx, config.npy, config.halo);
@@ -379,6 +394,12 @@ RunResult run_single(const RunConfig& config, prof::Profiler& prof) {
   RunConfig c = config;
   c.npx = 1;
   c.npy = 1;
+  if (!c.tune.off()) {
+    // After the single-rank normalization (the artifact shape key
+    // includes the rank grid), same resolution as run_simulation.
+    tune::apply(c);
+    c.tune = tune::TuneSpec{};
+  }
   c.validate();
   const auto patches = grid::decompose(c.domain(), 1, 1, c.halo);
   RunResult result;

@@ -1,6 +1,7 @@
 #include "svc/scheduler.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <utility>
 
 #include "obs/export.hpp"
@@ -121,6 +122,16 @@ Scheduler::Scheduler(const SchedulerConfig& config)
   }
   paused_ = config_.start_paused;
   stats_.lanes = config_.lanes;
+  if (!config_.tune.off()) {
+    // One artifact read for the scheduler's lifetime.  file: is strict
+    // (a missing or malformed artifact throws here, before any lane
+    // starts); auto treats a missing ./tuned.json as "not tuned yet".
+    const std::string path = config_.tune.artifact_path();
+    if (config_.tune.mode == tune::TuneMode::kFile ||
+        std::ifstream(path).good()) {
+      tuned_ = tune::load_artifact(path);
+    }
+  }
   if (!config_.obs.off()) {
     sink_ = std::make_unique<obs::TraceSink>();
     if (config_.obs.trace()) {
@@ -160,6 +171,18 @@ Ticket Scheduler::submit(Job job) {
   RejectReason why = RejectReason::kNone;
   std::string message;
   try {
+    // Tuning is part of normalization, ahead of shape keys, footprint,
+    // and admission: the recorded config carries the explicit tuned
+    // knobs with tune=off, so re-running it standalone needs no
+    // artifact and reproduces the job bit for bit.  A job-supplied
+    // tune= spec wins over the scheduler's artifact; either failing
+    // (missing file, malformed artifact) is a kBadConfig rejection.
+    if (!job.config.tune.off()) {
+      tune::apply(job.config);
+      job.config.tune = tune::TuneSpec{};
+    } else if (tuned_) {
+      tune::apply_artifact(job.config, *tuned_);
+    }
     job.config.validate();
   } catch (const std::exception& e) {
     why = RejectReason::kBadConfig;

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -41,6 +42,7 @@
 #include "obs/trace.hpp"
 #include "svc/fairshare.hpp"
 #include "svc/job.hpp"
+#include "tune/artifact.hpp"
 
 namespace wrf::svc {
 
@@ -66,6 +68,17 @@ struct SchedulerConfig {
   /// sees their spans; jobs never write their own export files), so
   /// shape keys, state hashes, and results stay identical to obs=off.
   obs::ObsConfig obs;
+  /// Service-level autotuning.  file:<path> loads a tuned.json artifact
+  /// at construction (errors throw there, never on a lane); auto loads
+  /// ./tuned.json when present.  At submit, a job whose shape matches a
+  /// tuned entry gets the winning performance-neutral knobs applied as
+  /// part of normalization — before shape keys, footprints, and
+  /// admission — and its JobResult::config records the explicit tuned
+  /// knobs with tune=off, so the standalone-rerun determinism gate
+  /// holds unchanged.  A job carrying its own tune= spec wins over the
+  /// scheduler's artifact.  Lanes never touch the filesystem for this:
+  /// the artifact is read once, here.
+  tune::TuneSpec tune;
 };
 
 /// What submit() returns: the job's id and its admission verdict.  A
@@ -199,6 +212,9 @@ class Scheduler {
 
   SchedulerConfig config_;
   std::chrono::steady_clock::time_point epoch_;
+  /// Loaded once in the ctor from SchedulerConfig::tune; applied to
+  /// matching-shape jobs during submit-time normalization.
+  std::optional<tune::Artifact> tuned_;
   /// Observability: the sink outlives the lanes; the ScopedActive makes
   /// it the process-wide sink for the scheduler's lifetime (trace mode),
   /// so lane-run jobs' internal spans land here.  Exports happen in
